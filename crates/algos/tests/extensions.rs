@@ -1,0 +1,350 @@
+//! Tests for the extension algorithms: wide (>64 source) S-T connectivity,
+//! generational deletes under randomized schedules, and the deterministic
+//! BFS tree's validity invariants.
+
+use proptest::prelude::*;
+use remo_algos::generational::{level_in_generation, GenBfs};
+use remo_algos::{IncBfsDeterministic, IncStConWide, UNREACHED};
+use remo_baseline as oracle;
+use remo_core::{Engine, EngineConfig};
+use remo_store::{BitSet, Csr};
+
+fn undirected_csr(edges: &[(u64, u64)], n: usize) -> Csr {
+    Csr::from_edges(n, &oracle::symmetrize(edges))
+}
+
+#[test]
+fn wide_stcon_handles_more_than_64_sources() {
+    // A ring of 200 vertices with 80 sources: every vertex must end up
+    // connected to all 80 (single component).
+    let n = 200u64;
+    let edges: Vec<(u64, u64)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let sources: Vec<u64> = (0..80).map(|i| i * 2).collect();
+
+    let engine = Engine::new(
+        IncStConWide::new(sources.clone()),
+        EngineConfig::undirected(3),
+    );
+    for &s in &sources {
+        engine.init_vertex(s);
+    }
+    engine.ingest_pairs(&edges);
+    let states = engine.finish().states;
+
+    let full: BitSet = (0..80usize).collect();
+    for (v, set) in states.iter() {
+        assert!(
+            set.same_elements(&full),
+            "vertex {v} missing sources: {set:?}"
+        );
+    }
+}
+
+#[test]
+fn wide_stcon_respects_components() {
+    // Two components, sources split across them.
+    let edges = vec![(0u64, 1), (1, 2), (10, 11), (11, 12)];
+    let sources: Vec<u64> = vec![0, 10, 2];
+    let engine = Engine::new(
+        IncStConWide::new(sources.clone()),
+        EngineConfig::undirected(2),
+    );
+    for &s in &sources {
+        engine.init_vertex(s);
+    }
+    engine.ingest_pairs(&edges);
+    let states = engine.finish().states;
+
+    let left: BitSet = [0usize, 2].into_iter().collect(); // sources 0 and 2
+    let right: BitSet = [1usize].into_iter().collect(); // source 10
+    for v in [0u64, 1, 2] {
+        assert!(states.get(v).unwrap().same_elements(&left), "vertex {v}");
+    }
+    for v in [10u64, 11, 12] {
+        assert!(states.get(v).unwrap().same_elements(&right), "vertex {v}");
+    }
+}
+
+#[test]
+fn deterministic_bfs_tree_is_valid() {
+    // On a random graph: every reached vertex's parent must be reached at
+    // exactly level-1, and the parent must actually be a neighbour.
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(77);
+    let n = 120u64;
+    let edges: Vec<(u64, u64)> = (0..400)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .filter(|&(a, b)| a != b)
+        .collect();
+
+    let engine = Engine::new(IncBfsDeterministic, EngineConfig::undirected(3));
+    engine.init_vertex(0);
+    engine.ingest_pairs(&edges);
+    let states = engine.finish().states;
+
+    let mut nbrs: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+        Default::default();
+    for &(a, b) in &edges {
+        nbrs.entry(a).or_default().insert(b);
+        nbrs.entry(b).or_default().insert(a);
+    }
+    let level = |v: u64| states.get(v).map(|&(l, _)| l).unwrap_or(UNREACHED);
+    for (v, &(l, parent)) in states.iter() {
+        if l == UNREACHED || l == 0 || l == 1 {
+            continue;
+        }
+        assert_eq!(level(parent), l - 1, "vertex {v}: parent {parent} level");
+        assert!(
+            nbrs.get(&v).is_some_and(|s| s.contains(&parent)),
+            "vertex {v}: parent {parent} is not a neighbour"
+        );
+        // Tie-break: no neighbour at level l-1 has a smaller id than parent.
+        let best = nbrs[&v]
+            .iter()
+            .filter(|&&u| level(u) == l - 1)
+            .min()
+            .copied()
+            .unwrap();
+        assert_eq!(parent, best, "vertex {v}: not the lowest-id parent");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generational BFS equals a static recompute after arbitrary
+    /// add/delete splits — the §VI-B claim under randomized schedules.
+    #[test]
+    fn generational_matches_recompute(
+        edges in proptest::collection::vec((0u64..20, 0u64..20), 5..60)
+            .prop_map(|v| v.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>()),
+        delete_mask in proptest::collection::vec(any::<bool>(), 60),
+        shards in 1usize..4,
+    ) {
+        prop_assume!(!edges.is_empty());
+        let deletions: Vec<(u64, u64)> = edges
+            .iter()
+            .zip(delete_mask.iter())
+            .filter(|(_, &del)| del)
+            .map(|(&e, _)| e)
+            .collect();
+
+        let (algo, generation) = GenBfs::new();
+        let engine = Engine::new(algo, EngineConfig::undirected(shards));
+        engine.init_vertex(0);
+        engine.ingest_pairs(&edges);
+        engine.await_quiescence();
+        engine.delete_pairs(&deletions);
+        engine.await_quiescence();
+        let g = generation.bump();
+        engine.init_vertex(0);
+        let states = engine.finish().states;
+
+        let deleted: std::collections::HashSet<(u64, u64)> = deletions
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .collect();
+        let remaining: Vec<(u64, u64)> = edges
+            .iter()
+            .filter(|&&(a, b)| !deleted.contains(&(a, b)))
+            .copied()
+            .collect();
+        let csr = undirected_csr(&remaining, 20);
+        let want = oracle::bfs_levels(&csr, 0);
+
+        for (v, &state) in states.iter() {
+            let got = level_in_generation(state, g);
+            let expect = want.get(v as usize).copied().unwrap_or(UNREACHED);
+            prop_assert_eq!(got, expect, "vertex {} (P={})", v, shards);
+        }
+    }
+}
+
+#[test]
+fn gen_cc_without_deletes_matches_plain_cc() {
+    use remo_algos::{cc_label, GenCc, IncCc};
+    let edges: Vec<(u64, u64)> = (0..60u64).map(|i| (i, (i * 7 + 2) % 60)).collect();
+
+    let plain = {
+        let e = Engine::new(IncCc, EngineConfig::undirected(3));
+        e.ingest_pairs(&edges);
+        e.finish().states.into_vec()
+    };
+    let gen = {
+        let e = Engine::new(GenCc, EngineConfig::undirected(3));
+        e.ingest_pairs(&edges);
+        e.finish().states.into_vec()
+    };
+    for ((v1, label), (v2, (g, glabel))) in plain.iter().zip(gen.iter()) {
+        assert_eq!(v1, v2);
+        assert_eq!(*g, 0, "no deletions: generation stays 0");
+        assert_eq!(glabel, label, "vertex {v1}");
+    }
+    let _ = cc_label(0);
+}
+
+#[test]
+fn gen_cc_bridge_deletion_splits_component() {
+    use remo_algos::GenCc;
+    // Two triangles joined by the bridge 2-3.
+    let edges = vec![(0u64, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)];
+    let engine = Engine::new(GenCc, EngineConfig::undirected(2));
+    engine.ingest_pairs(&edges);
+    engine.await_quiescence();
+    // One component: all states equal.
+    let before = engine.collect_live();
+    let first = *before.get(0).unwrap();
+    for v in 0..6u64 {
+        assert_eq!(before.get(v), Some(&first), "vertex {v} before the cut");
+    }
+
+    engine.delete_pairs(&[(2, 3)]);
+    let states = engine.finish().states;
+    // Self-healing: both halves re-labelled in a newer generation.
+    let left = *states.get(0).unwrap();
+    let right = *states.get(3).unwrap();
+    assert!(left.0 >= 1 && right.0 >= 1, "generation must have advanced");
+    assert_ne!(left, right, "the halves must now differ");
+    for v in [0u64, 1, 2] {
+        assert_eq!(states.get(v), Some(&left), "left vertex {v}");
+    }
+    for v in [3u64, 4, 5] {
+        assert_eq!(states.get(v), Some(&right), "right vertex {v}");
+    }
+}
+
+#[test]
+fn gen_cc_non_bridge_deletion_keeps_component_together() {
+    use remo_algos::GenCc;
+    // A 4-cycle: deleting one edge keeps it connected.
+    let edges = vec![(0u64, 1), (1, 2), (2, 3), (3, 0)];
+    let engine = Engine::new(GenCc, EngineConfig::undirected(2));
+    engine.ingest_pairs(&edges);
+    engine.await_quiescence();
+    engine.delete_pairs(&[(1, 2)]);
+    let states = engine.finish().states;
+    let first = *states.get(0).unwrap();
+    assert!(first.0 >= 1);
+    for v in 0..4u64 {
+        assert_eq!(states.get(v), Some(&first), "vertex {v} must stay merged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// GenCc with **quiescence-separated** deletions (its exactness
+    /// contract): same-component iff same `(generation, label)` pair,
+    /// against a union-find recompute over the remaining edges.
+    #[test]
+    fn gen_cc_matches_recompute_after_deletes(
+        edges in proptest::collection::vec((0u64..16, 0u64..16), 4..40)
+            .prop_map(|v| v.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>()),
+        delete_mask in proptest::collection::vec(any::<bool>(), 40),
+        shards in 1usize..4,
+    ) {
+        use remo_algos::GenCc;
+        prop_assume!(!edges.is_empty());
+        let deletions: Vec<(u64, u64)> = edges
+            .iter()
+            .zip(delete_mask.iter())
+            .filter(|(_, &del)| del)
+            .map(|(&e, _)| e)
+            .collect();
+
+        let engine = Engine::new(GenCc, EngineConfig::undirected(shards));
+        engine.ingest_pairs(&edges);
+        engine.await_quiescence();
+        for &d in &deletions {
+            engine.delete_pairs(&[d]);
+            engine.await_quiescence();
+        }
+        let states = engine.finish().states;
+
+        // Remaining topology after removing each deleted pair entirely.
+        let deleted: std::collections::HashSet<(u64, u64)> = deletions
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .collect();
+        let remaining: Vec<(u64, u64)> = edges
+            .iter()
+            .filter(|&&(a, b)| !deleted.contains(&(a, b)))
+            .copied()
+            .collect();
+        let csr = undirected_csr(&remaining, 16);
+        let want = oracle::components_min_label(&csr);
+
+        // Same component (oracle) <=> identical (gen, label) state.
+        let touched: Vec<u64> = states.iter().map(|(v, _)| v).collect();
+        for &a in &touched {
+            for &b in &touched {
+                let same_oracle = want[a as usize] == want[b as usize];
+                let same_state = states.get(a) == states.get(b);
+                prop_assert_eq!(
+                    same_oracle, same_state,
+                    "vertices {} and {}: oracle {} vs state {} (P={})",
+                    a, b, same_oracle, same_state, shards
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// GenCc under a fully **concurrent** deletion storm: the weaker
+    /// guarantee that still always holds — convergence, generations
+    /// advance on touched components, and *completeness* (vertices the
+    /// oracle puts in one component always share a state). Exactness of
+    /// the separation direction needs quiesced deletions (tested above).
+    #[test]
+    fn gen_cc_concurrent_deletes_stay_complete(
+        edges in proptest::collection::vec((0u64..16, 0u64..16), 4..40)
+            .prop_map(|v| v.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>()),
+        delete_mask in proptest::collection::vec(any::<bool>(), 40),
+        shards in 1usize..4,
+    ) {
+        use remo_algos::GenCc;
+        prop_assume!(!edges.is_empty());
+        let deletions: Vec<(u64, u64)> = edges
+            .iter()
+            .zip(delete_mask.iter())
+            .filter(|(_, &del)| del)
+            .map(|(&e, _)| e)
+            .collect();
+
+        let engine = Engine::new(GenCc, EngineConfig::undirected(shards));
+        engine.ingest_pairs(&edges);
+        engine.await_quiescence();
+        engine.delete_pairs(&deletions); // all at once, fully concurrent
+        let states = engine.finish().states;
+
+        let deleted: std::collections::HashSet<(u64, u64)> = deletions
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .collect();
+        let remaining: Vec<(u64, u64)> = edges
+            .iter()
+            .filter(|&&(a, b)| !deleted.contains(&(a, b)))
+            .copied()
+            .collect();
+        let csr = undirected_csr(&remaining, 16);
+        let want = oracle::components_min_label(&csr);
+
+        // Completeness: same oracle component => identical state.
+        let touched: Vec<u64> = states.iter().map(|(v, _)| v).collect();
+        for &a in &touched {
+            for &b in &touched {
+                if want[a as usize] == want[b as usize] {
+                    prop_assert_eq!(
+                        states.get(a), states.get(b),
+                        "same-component vertices {} and {} diverged (P={})",
+                        a, b, shards
+                    );
+                }
+            }
+        }
+    }
+}

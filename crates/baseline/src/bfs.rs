@@ -1,0 +1,148 @@
+//! Static Breadth First Search on CSR.
+//!
+//! The paper's static comparator (Fig. 3, Fig. 4): a top-down,
+//! level-synchronous BFS. Levels follow the paper's convention — the source
+//! has level **1** (`start_vertex.level = 1`, Algorithm 1) and unreached
+//! vertices hold "infinity" (`u64::MAX`).
+//!
+//! Two drivers are provided: a sequential frontier walk and a
+//! rayon-parallelized per-level expansion. The parallel one stands in for
+//! the paper's 24-rank static HavoqGT execution; the benches pick whichever
+//! is faster at the given size (small graphs favour sequential).
+
+use rayon::prelude::*;
+use remo_store::{Csr, VertexId};
+
+/// Level assigned to unreached vertices.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// Sequential top-down BFS; returns the level of every vertex.
+pub fn bfs_levels(g: &Csr, source: VertexId) -> Vec<u64> {
+    let mut levels = vec![UNREACHED; g.num_vertices()];
+    if g.num_vertices() == 0 {
+        return levels;
+    }
+    let mut frontier = vec![source];
+    levels[source as usize] = 1;
+    let mut next = Vec::new();
+    let mut level = 1u64;
+    while !frontier.is_empty() {
+        level += 1;
+        for &v in &frontier {
+            for &n in g.neighbors(v) {
+                if levels[n as usize] == UNREACHED {
+                    levels[n as usize] = level;
+                    next.push(n);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    levels
+}
+
+/// Parallel level-synchronous BFS. Each level's frontier is expanded with a
+/// rayon fold/reduce; claiming a vertex uses a relaxed CAS on its level slot
+/// (benign race: all writers write the same level).
+pub fn bfs_levels_parallel(g: &Csr, source: VertexId) -> Vec<u64> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let n = g.num_vertices();
+    let levels_vec = vec![UNREACHED; n];
+    if n == 0 {
+        return levels_vec;
+    }
+    // Reinterpret as atomics for the duration of the traversal.
+    let levels: &[AtomicU64] =
+        unsafe { std::slice::from_raw_parts(levels_vec.as_ptr() as *const AtomicU64, n) };
+    levels[source as usize].store(1, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    let mut level = 1u64;
+    while !frontier.is_empty() {
+        level += 1;
+        let next: Vec<VertexId> = frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &v| {
+                for &nb in g.neighbors(v) {
+                    if levels[nb as usize]
+                        .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        acc.push(nb);
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        frontier = next;
+    }
+    // Atomics release their claim when the slice borrow ends.
+    let _ = levels;
+    levels_vec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remo_store::Csr;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut e = Vec::new();
+        for i in 0..n as u64 - 1 {
+            e.push((i, i + 1));
+            e.push((i + 1, i));
+        }
+        Csr::from_edges(n, &e)
+    }
+
+    #[test]
+    fn path_levels_increment() {
+        let g = path_graph(5);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn disconnected_stays_unreached() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 0)]);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l[0], 1);
+        assert_eq!(l[1], 2);
+        assert_eq!(l[2], UNREACHED);
+        assert_eq!(l[3], UNREACHED);
+    }
+
+    #[test]
+    fn source_level_is_one() {
+        let g = path_graph(3);
+        assert_eq!(bfs_levels(&g, 1)[1], 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // A mid-size random graph; both drivers must agree exactly.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 2000usize;
+        let mut edges = Vec::new();
+        for _ in 0..10_000 {
+            let s = rng.gen_range(0..n as u64);
+            let d = rng.gen_range(0..n as u64);
+            edges.push((s, d));
+            edges.push((d, s));
+        }
+        let g = Csr::from_edges(n, &edges);
+        assert_eq!(bfs_levels(&g, 0), bfs_levels_parallel(&g, 0));
+    }
+
+    #[test]
+    fn triangle_with_chord_prefers_shortest() {
+        // 0-1, 1-2, 0-2: vertex 2 reachable at level 2, not 3.
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]);
+        assert_eq!(bfs_levels(&g, 0), vec![1, 2, 2]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Static Single Source Shortest Path (Dijkstra) on CSR.
+//!
+//! Oracle and baseline for the incremental SSSP algorithm. Costs follow the
+//! paper's convention (Algorithm 5): the source's value is **1** and a
+//! neighbour reached over an edge of weight `w` costs `value + w`; unreached
+//! vertices hold `u64::MAX`.
+
+use remo_store::{Csr, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cost assigned to unreached vertices.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// Dijkstra from `source`; returns the cost of every vertex.
+pub fn sssp_costs(g: &Csr, source: VertexId) -> Vec<u64> {
+    let mut costs = vec![UNREACHED; g.num_vertices()];
+    if g.num_vertices() == 0 {
+        return costs;
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    costs[source as usize] = 1;
+    heap.push(Reverse((1, source)));
+    while let Some(Reverse((cost, v))) = heap.pop() {
+        if cost > costs[v as usize] {
+            continue; // stale heap entry
+        }
+        for (&n, &w) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+            let candidate = cost.saturating_add(w);
+            if candidate < costs[n as usize] {
+                costs[n as usize] = candidate;
+                heap.push(Reverse((candidate, n)));
+            }
+        }
+    }
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted(n: usize, edges: &[(u64, u64, u64)]) -> Csr {
+        let mut sym = Vec::new();
+        for &(s, d, w) in edges {
+            sym.push((s, d, w));
+            sym.push((d, s, w));
+        }
+        Csr::from_weighted_edges(n, &sym)
+    }
+
+    #[test]
+    fn source_cost_is_one() {
+        let g = weighted(2, &[(0, 1, 5)]);
+        let c = sssp_costs(&g, 0);
+        assert_eq!(c[0], 1);
+        assert_eq!(c[1], 6);
+    }
+
+    #[test]
+    fn picks_cheaper_indirect_path() {
+        // 0 -10-> 2 direct, but 0 -1-> 1 -2-> 2 is cheaper.
+        let g = weighted(3, &[(0, 2, 10), (0, 1, 1), (1, 2, 2)]);
+        let c = sssp_costs(&g, 0);
+        assert_eq!(c[2], 4); // 1 + 1 + 2
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = weighted(3, &[(0, 1, 1)]);
+        assert_eq!(sssp_costs(&g, 0)[2], UNREACHED);
+    }
+
+    #[test]
+    fn equal_weights_degenerate_to_bfs_shape() {
+        let g = weighted(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 1)]);
+        let c = sssp_costs(&g, 0);
+        assert_eq!(c, vec![1, 2, 3, 2]);
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_unit_weights() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 500;
+        let mut edges = Vec::new();
+        for _ in 0..3000 {
+            let s = rng.gen_range(0..n as u64);
+            let d = rng.gen_range(0..n as u64);
+            if s != d {
+                edges.push((s, d, 1));
+            }
+        }
+        let g = weighted(n, &edges);
+        let costs = sssp_costs(&g, 0);
+        let levels = crate::bfs::bfs_levels(&g, 0);
+        assert_eq!(costs, levels);
+    }
+}

@@ -1,0 +1,89 @@
+//! Static multi-source S-T connectivity on CSR.
+//!
+//! Oracle for the incremental multi S-T algorithm (Algorithm 7): for a set
+//! of source vertices `S = {S_0..S_{k-1}}`, every vertex's state is the
+//! bitmask of sources it can reach (bit `i` set iff connected to `S_i`).
+//! Computed by one BFS per source; sources index into bits of a `u64`
+//! (matching the fast-path state of the dynamic algorithm) so `k <= 64`.
+
+use remo_store::{Csr, VertexId};
+
+/// Per-vertex connectivity bitmask over up to 64 sources.
+pub fn st_masks(g: &Csr, sources: &[VertexId]) -> Vec<u64> {
+    assert!(sources.len() <= 64, "u64 mask supports at most 64 sources");
+    let n = g.num_vertices();
+    let mut masks = vec![0u64; n];
+    let mut visited = vec![false; n];
+    let mut frontier = Vec::new();
+    for (i, &s) in sources.iter().enumerate() {
+        let bit = 1u64 << i;
+        visited.iter_mut().for_each(|v| *v = false);
+        frontier.clear();
+        frontier.push(s);
+        visited[s as usize] = true;
+        masks[s as usize] |= bit;
+        while let Some(v) = frontier.pop() {
+            for &nb in g.neighbors(v) {
+                if !visited[nb as usize] {
+                    visited[nb as usize] = true;
+                    masks[nb as usize] |= bit;
+                    frontier.push(nb);
+                }
+            }
+        }
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, pairs: &[(u64, u64)]) -> Csr {
+        let mut sym = Vec::new();
+        for &(s, d) in pairs {
+            sym.push((s, d));
+            sym.push((d, s));
+        }
+        Csr::from_edges(n, &sym)
+    }
+
+    #[test]
+    fn single_source_reachability() {
+        let g = undirected(4, &[(0, 1), (1, 2)]);
+        let m = st_masks(&g, &[0]);
+        assert_eq!(m, vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn two_sources_union_masks() {
+        let g = undirected(5, &[(0, 1), (3, 4)]);
+        let m = st_masks(&g, &[0, 3]);
+        assert_eq!(m[0], 0b01);
+        assert_eq!(m[1], 0b01);
+        assert_eq!(m[2], 0b00);
+        assert_eq!(m[3], 0b10);
+        assert_eq!(m[4], 0b10);
+    }
+
+    #[test]
+    fn source_in_both_components_sets_both_bits() {
+        let g = undirected(3, &[(0, 1), (1, 2)]);
+        let m = st_masks(&g, &[0, 2]);
+        assert!(m.iter().all(|&x| x == 0b11));
+    }
+
+    #[test]
+    fn no_sources_no_bits() {
+        let g = undirected(3, &[(0, 1)]);
+        assert_eq!(st_masks(&g, &[]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn too_many_sources_panics() {
+        let g = undirected(2, &[(0, 1)]);
+        let sources: Vec<u64> = (0..65).map(|i| i % 2).collect();
+        st_masks(&g, &sources);
+    }
+}

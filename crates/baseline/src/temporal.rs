@@ -1,0 +1,78 @@
+//! Static earliest-arrival (temporal reachability) oracle on CSR.
+//!
+//! Edge weights are interaction timestamps; information starting at the
+//! source (arrival 1, before all timestamps `>= 2`) crosses an interaction
+//! at time τ iff it had arrived at either endpoint by τ, and then arrives
+//! at the other endpoint *at* τ. A Dijkstra-style sweep in increasing
+//! arrival order computes the fixpoint the incremental algorithm maintains
+//! on-line.
+
+use remo_store::{Csr, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Arrival for unreached vertices.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// Arrival of the source itself.
+pub const SOURCE_ARRIVAL: u64 = 1;
+
+/// Earliest arrival time from `source` for every vertex.
+pub fn earliest_arrivals(g: &Csr, source: VertexId) -> Vec<u64> {
+    let mut best = vec![UNREACHED; g.num_vertices()];
+    if g.num_vertices() == 0 {
+        return best;
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    best[source as usize] = SOURCE_ARRIVAL;
+    heap.push(Reverse((SOURCE_ARRIVAL, source)));
+    while let Some(Reverse((arrival, v))) = heap.pop() {
+        if arrival > best[v as usize] {
+            continue; // stale
+        }
+        for (&n, &tau) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+            // Time-respecting: the interaction must not predate our arrival.
+            if tau >= arrival && tau < best[n as usize] {
+                best[n as usize] = tau;
+                heap.push(Reverse((tau, n)));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted(n: usize, edges: &[(u64, u64, u64)]) -> Csr {
+        let mut sym = Vec::new();
+        for &(s, d, w) in edges {
+            sym.push((s, d, w));
+            sym.push((d, s, w));
+        }
+        Csr::from_weighted_edges(n, &sym)
+    }
+
+    #[test]
+    fn respects_time_ordering() {
+        // Ascending chain works, descending does not.
+        let g = weighted(3, &[(0, 1, 5), (1, 2, 9)]);
+        assert_eq!(earliest_arrivals(&g, 0), vec![1, 5, 9]);
+        let g = weighted(3, &[(0, 1, 9), (1, 2, 5)]);
+        assert_eq!(earliest_arrivals(&g, 0), vec![1, 9, UNREACHED]);
+    }
+
+    #[test]
+    fn earliest_route_wins() {
+        let g = weighted(3, &[(0, 1, 3), (1, 2, 20), (0, 2, 7)]);
+        assert_eq!(earliest_arrivals(&g, 0)[2], 7);
+    }
+
+    #[test]
+    fn equal_timestamp_is_traversable() {
+        // Arriving exactly at τ still lets the interaction carry it.
+        let g = weighted(3, &[(0, 1, 4), (1, 2, 4)]);
+        assert_eq!(earliest_arrivals(&g, 0), vec![1, 4, 4]);
+    }
+}

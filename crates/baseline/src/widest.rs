@@ -1,0 +1,80 @@
+//! Static widest-path (maximum bottleneck) oracle on CSR.
+//!
+//! Dijkstra with a max-heap over bottleneck values: the classic static
+//! solution to the problem the incremental [`remo-algos` `IncWidest`]
+//! algorithm maintains on-line. Source capacity is `u64::MAX`, unreached
+//! vertices hold 0 — matching the dynamic side bit-for-bit.
+
+use remo_store::{Csr, VertexId};
+use std::collections::BinaryHeap;
+
+/// Bottleneck of the source itself.
+pub const SOURCE_CAPACITY: u64 = u64::MAX;
+
+/// Bottleneck of unreached vertices.
+pub const UNREACHED: u64 = 0;
+
+/// Maximum-bottleneck capacity from `source` to every vertex.
+pub fn widest_paths(g: &Csr, source: VertexId) -> Vec<u64> {
+    let mut best = vec![UNREACHED; g.num_vertices()];
+    if g.num_vertices() == 0 {
+        return best;
+    }
+    let mut heap: BinaryHeap<(u64, VertexId)> = BinaryHeap::new();
+    best[source as usize] = SOURCE_CAPACITY;
+    heap.push((SOURCE_CAPACITY, source));
+    while let Some((cap, v)) = heap.pop() {
+        if cap < best[v as usize] {
+            continue; // stale
+        }
+        for (&n, &w) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+            let candidate = cap.min(w);
+            if candidate > best[n as usize] {
+                best[n as usize] = candidate;
+                heap.push((candidate, n));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted(n: usize, edges: &[(u64, u64, u64)]) -> Csr {
+        let mut sym = Vec::new();
+        for &(s, d, w) in edges {
+            sym.push((s, d, w));
+            sym.push((d, s, w));
+        }
+        Csr::from_weighted_edges(n, &sym)
+    }
+
+    #[test]
+    fn path_minimum_rules() {
+        let g = weighted(4, &[(0, 1, 10), (1, 2, 4), (2, 3, 9)]);
+        let b = widest_paths(&g, 0);
+        assert_eq!(b, vec![SOURCE_CAPACITY, 10, 4, 4]);
+    }
+
+    #[test]
+    fn picks_widest_alternative() {
+        let g = weighted(3, &[(0, 2, 3), (0, 1, 10), (1, 2, 8)]);
+        assert_eq!(widest_paths(&g, 0)[2], 8);
+    }
+
+    #[test]
+    fn unreached_is_zero() {
+        let g = weighted(4, &[(0, 1, 5)]);
+        let b = widest_paths(&g, 0);
+        assert_eq!(b[2], UNREACHED);
+        assert_eq!(b[3], UNREACHED);
+    }
+
+    #[test]
+    fn parallel_edges_take_the_fattest() {
+        let g = Csr::from_weighted_edges(2, &[(0, 1, 3), (0, 1, 9), (1, 0, 3), (1, 0, 9)]);
+        assert_eq!(widest_paths(&g, 0)[1], 9);
+    }
+}

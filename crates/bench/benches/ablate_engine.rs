@@ -1,0 +1,120 @@
+//! Ablation: engine design choices (criterion).
+//!
+//! - Termination detection: global-counter vs Safra token ring — the cost
+//!   of being faithfully shared-nothing.
+//! - Snapshot machinery: ingestion with periodic on-the-fly snapshots vs
+//!   none — the price of continuous global state collection (§III-D).
+//! - Shard count on a fixed workload — the engine's strong-scaling knee at
+//!   micro scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use remo_algos::{IncBfs, IncCc};
+use remo_bench::{timed_run, ConstructionOnly};
+use remo_core::{Engine, EngineConfig, SequentialEngine, TerminationMode};
+use remo_gen::{stream, Dataset};
+
+fn workload() -> Vec<(u64, u64)> {
+    let mut edges = Dataset::ErdosRenyi.generate(0.05, 21);
+    stream::shuffle(&mut edges, 2);
+    edges
+}
+
+fn bench_termination(c: &mut Criterion) {
+    let edges = workload();
+    let source = edges[0].0;
+    let mut g = c.benchmark_group("termination_mode");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("counter", TerminationMode::Counter),
+        ("safra", TerminationMode::Safra),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let config = EngineConfig {
+                    termination: mode,
+                    ..EngineConfig::undirected(4)
+                };
+                let engine = Engine::new(IncBfs, config);
+                engine.init_vertex(source);
+                engine.ingest_pairs(&edges);
+                engine.await_quiescence();
+                engine.finish().num_edges
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_snapshot_overhead(c: &mut Criterion) {
+    let edges = workload();
+    let mut g = c.benchmark_group("snapshot_overhead");
+    g.sample_size(10);
+    g.bench_function("no_snapshots", |b| {
+        b.iter(|| {
+            let engine = Engine::new(IncCc, EngineConfig::undirected(4));
+            engine.ingest_pairs(&edges);
+            engine.finish().num_edges
+        })
+    });
+    g.bench_function("snapshot_every_quarter", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(IncCc, EngineConfig::undirected(4));
+            let chunk = edges.len() / 4;
+            for part in edges.chunks(chunk) {
+                engine.ingest_pairs(part);
+                let _ = engine.snapshot();
+            }
+            engine.finish().num_edges
+        })
+    });
+    g.finish();
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let edges = workload();
+    let mut g = c.benchmark_group("construction_shards");
+    g.sample_size(10);
+    for p in [1usize, 2, 4, 8] {
+        g.bench_function(format!("p{p}"), |b| {
+            b.iter(|| timed_run(ConstructionOnly, p, &edges, &[]).result.num_edges)
+        });
+    }
+    g.finish();
+}
+
+fn bench_sequential_vs_concurrent(c: &mut Criterion) {
+    // §II-A's architectural motivation: prior work's one-event-at-a-time
+    // abstract machine vs the concurrent shared-nothing engine, running the
+    // *same* Algorithm implementation.
+    let edges = workload();
+    let source = edges[0].0;
+    let mut g = c.benchmark_group("execution_model");
+    g.sample_size(10);
+    g.bench_function("sequential_reference", |b| {
+        b.iter(|| {
+            let mut eng = SequentialEngine::undirected(IncBfs);
+            eng.init_vertex(source);
+            eng.apply_pairs(&edges);
+            eng.num_edges()
+        })
+    });
+    g.bench_function("concurrent_4_shards", |b| {
+        b.iter(|| {
+            let engine = Engine::new(IncBfs, EngineConfig::undirected(4));
+            engine.init_vertex(source);
+            engine.ingest_pairs(&edges);
+            engine.finish().num_edges
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_termination,
+    bench_snapshot_overhead,
+    bench_shard_scaling,
+    bench_sequential_vs_concurrent
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Ablation: the cost of §VI-B generational deletions.
+//!
+//! "While deletion events done in this generational fashion may have a high
+//! overhead, generally, the ratio of delete to add events is low" — this
+//! bench quantifies that overhead. On a built graph it deletes a varying
+//! fraction of edges and measures: the generational repair (GenCc's
+//! self-healing flood / GenBfs's re-seeded flood) vs a full static
+//! recompute of the remaining graph — the alternative a snapshotting system
+//! would use.
+//!
+//! Run: `cargo bench -p remo-bench --bench ablate_generational`
+
+use std::time::Instant;
+
+use remo_algos::{GenBfs, GenCc};
+use remo_bench::*;
+use remo_core::{Engine, EngineConfig};
+use remo_gen::{stream, Dataset};
+
+fn main() {
+    let scale = bench_scale();
+    let shards = *shard_counts().last().unwrap_or(&4);
+    // Small instance on purpose: GenCC's concurrent self-heal is
+    // O(deletions x affected-component) — every delete event floods the
+    // whole component (the cascade cost §VI-B warns about). The curve, not
+    // the absolute size, is the point here.
+    let mut edges = Dataset::SmallWorld.generate(scale * 0.02, 888);
+    stream::shuffle(&mut edges, 5);
+    let source = edges[0].0;
+    println!(
+        "SmallWorld stand-in: {} edges, {} shards",
+        edges.len(),
+        shards
+    );
+
+    let mut rows = Vec::new();
+    for delete_pct in [1usize, 5, 20] {
+        let step = 100 / delete_pct;
+        let deletions: Vec<(u64, u64)> = edges.iter().step_by(step).copied().collect();
+
+        // Generational BFS: delete, bump, re-seed, reconverge.
+        let (algo, generation) = GenBfs::new();
+        let engine = Engine::new(algo, EngineConfig::undirected(shards));
+        engine.init_vertex(source);
+        engine.ingest_pairs(&edges);
+        engine.await_quiescence();
+        let t0 = Instant::now();
+        engine.delete_pairs(&deletions);
+        engine.await_quiescence();
+        generation.bump();
+        engine.init_vertex(source);
+        engine.await_quiescence();
+        let bfs_repair = t0.elapsed();
+        drop(engine.finish());
+
+        // Generational CC: delete; the flood repairs itself.
+        let engine = Engine::new(GenCc, EngineConfig::undirected(shards));
+        engine.ingest_pairs(&edges);
+        engine.await_quiescence();
+        let t0 = Instant::now();
+        engine.delete_pairs(&deletions);
+        engine.await_quiescence();
+        let cc_repair = t0.elapsed();
+        drop(engine.finish());
+
+        // Static alternative: recompute BFS + CC over the remaining graph.
+        let deleted: std::collections::HashSet<(u64, u64)> = deletions
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .collect();
+        let remaining: Vec<(u64, u64)> = edges
+            .iter()
+            .filter(|&&(a, b)| !deleted.contains(&(a, b)))
+            .copied()
+            .collect();
+        let t0 = Instant::now();
+        let build = remo_baseline::build_undirected(&remaining);
+        let _ = remo_baseline::bfs_levels(&build.csr, source);
+        let _ = remo_baseline::components_min_label(&build.csr);
+        let static_recompute = t0.elapsed();
+
+        rows.push(vec![
+            format!("{delete_pct}%"),
+            deletions.len().to_string(),
+            fmt_dur(bfs_repair),
+            fmt_dur(cc_repair),
+            fmt_dur(static_recompute),
+        ]);
+    }
+
+    print_table(
+        "Ablation: generational delete repair vs static recompute",
+        &[
+            "Deleted",
+            "#Deletions",
+            "GenBFS repair",
+            "GenCC self-heal",
+            "Static rebuild (BFS+CC)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape vs the paper's discussion: generational repair is worst-case a\n\
+         full rewrite (the flood touches the whole affected component), so at\n\
+         high delete ratios it approaches — and can exceed — the static\n\
+         rebuild; at the low delete ratios real streams exhibit, it wins by\n\
+         keeping the state live and the stream un-paused."
+    );
+}

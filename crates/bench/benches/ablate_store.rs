@@ -1,0 +1,162 @@
+//! Ablation: storage-layer design choices (criterion).
+//!
+//! Quantifies the decisions DESIGN.md calls out for the DegAwareRHH-style
+//! store:
+//! - Robin Hood map vs `std::collections::HashMap` (SipHash) for integer
+//!   keys — the open-addressing + fast-mix choice;
+//! - compact-array vs promoted-table adjacency at low degree — the
+//!   degree-aware split;
+//! - spill/restore round-trip cost — the out-of-core tier;
+//! - cache-suppressed vs plain incremental BFS — the per-edge neighbour
+//!   value cache of Algorithm 3.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use remo_algos::{IncBfs, IncBfsSuppressed};
+use remo_bench::timed_run;
+use remo_gen::{stream, Dataset};
+use remo_store::{Adjacency, EdgeMeta, RhhMap, SpillStore};
+
+fn bench_maps(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+
+    let mut g = c.benchmark_group("map_insert_10k");
+    g.bench_function("rhh", |b| {
+        b.iter_batched(
+            RhhMap::<u64, u64>::new,
+            |mut m| {
+                for &k in &keys {
+                    m.insert(k, k);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("std_hashmap", |b| {
+        b.iter_batched(
+            std::collections::HashMap::<u64, u64>::new,
+            |mut m| {
+                for &k in &keys {
+                    m.insert(k, k);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+
+    let mut rhh = RhhMap::new();
+    let mut std_map = std::collections::HashMap::new();
+    for &k in &keys {
+        rhh.insert(k, k);
+        std_map.insert(k, k);
+    }
+    let mut g = c.benchmark_group("map_get_10k");
+    g.bench_function("rhh", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc = acc.wrapping_add(*rhh.get(black_box(k)).unwrap());
+            }
+            acc
+        })
+    });
+    g.bench_function("std_hashmap", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc = acc.wrapping_add(*std_map.get(&black_box(k)).unwrap());
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_adjacency(c: &mut Criterion) {
+    // Lookup at degree 16 (compact) vs degree 64 (promoted).
+    let mut compact = Adjacency::new();
+    for i in 0..16u64 {
+        compact.insert(i, EdgeMeta::unweighted());
+    }
+    assert!(!compact.is_promoted());
+    let mut table = Adjacency::new();
+    for i in 0..64u64 {
+        table.insert(i, EdgeMeta::unweighted());
+    }
+    assert!(table.is_promoted());
+
+    let mut g = c.benchmark_group("adjacency_lookup");
+    g.bench_function("compact_deg16", |b| {
+        b.iter(|| compact.get(black_box(13)).map(|m| m.weight))
+    });
+    g.bench_function("table_deg64", |b| {
+        b.iter(|| table.get(black_box(13)).map(|m| m.weight))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("adjacency_scan");
+    g.bench_function("compact_deg16", |b| {
+        b.iter(|| compact.iter().map(|(n, _)| n).sum::<u64>())
+    });
+    g.bench_function("table_deg64", |b| {
+        b.iter(|| table.iter().map(|(n, _)| n).sum::<u64>())
+    });
+    g.finish();
+}
+
+fn bench_spill(c: &mut Criterion) {
+    let mut adj = Adjacency::new();
+    for i in 0..256u64 {
+        adj.insert(i, EdgeMeta::weighted(i));
+    }
+    c.bench_function("spill_roundtrip_deg256", |b| {
+        let mut store = SpillStore::new_temp().unwrap();
+        b.iter(|| {
+            let h = store.spill(&adj).unwrap();
+            let back = store.restore(&h).unwrap();
+            store.release(h);
+            black_box(back.degree())
+        })
+    });
+}
+
+fn bench_cache_suppression(c: &mut Criterion) {
+    let mut edges = Dataset::TwitterLike.generate(0.05, 9);
+    stream::shuffle(&mut edges, 3);
+    let source = edges[0].0;
+
+    let mut g = c.benchmark_group("bfs_cache_suppression");
+    g.sample_size(10);
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            timed_run(IncBfs, 4, &edges, &[source])
+                .result
+                .metrics
+                .total()
+                .update_events
+        })
+    });
+    g.bench_function("suppressed", |b| {
+        b.iter(|| {
+            timed_run(IncBfsSuppressed, 4, &edges, &[source])
+                .result
+                .metrics
+                .total()
+                .update_events
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maps,
+    bench_adjacency,
+    bench_spill,
+    bench_cache_suppression
+);
+criterion_main!(benches);

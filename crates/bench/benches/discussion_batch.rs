@@ -1,0 +1,97 @@
+//! §VI-A — "Why is this better than a batching solution?"
+//!
+//! Quantifies the discussion section's argument. A snapshot/batching system
+//! answers queries only at batch boundaries, and each boundary costs a
+//! full static recompute over the accumulated graph (we even grant it
+//! in-memory topology, skipping the reload the paper notes it would pay).
+//! The continuous system ingests the same stream once, keeps the answer
+//! live the whole time, and discretizes on demand.
+//!
+//! For each batch count B:
+//!   - batching: sum over batches of (CSR rebuild + static BFS);
+//!   - continuous: one live-BFS ingestion + B on-the-fly snapshots;
+//!   - answer latency: batching answers are stale by a full batch,
+//!     continuous local state is always current.
+//!
+//! Run: `cargo bench -p remo-bench --bench discussion_batch`
+
+use std::time::{Duration, Instant};
+
+use remo_algos::IncBfs;
+use remo_bench::*;
+use remo_core::{Engine, EngineConfig};
+use remo_gen::{stream, Dataset};
+
+fn main() {
+    let scale = bench_scale();
+    let shards = *shard_counts().last().unwrap_or(&4);
+    let mut edges = Dataset::TwitterLike.generate(scale * 0.5, 161);
+    stream::shuffle(&mut edges, 8);
+    let source = edges[0].0;
+    println!(
+        "Twitter-like stand-in: {} edge events, {} shards, BFS from {}",
+        edges.len(),
+        shards,
+        source
+    );
+
+    let mut rows = Vec::new();
+    for batches in [4usize, 16, 64] {
+        // --- Batching/snapshotting solution ---
+        let t0 = Instant::now();
+        let chunk = edges.len() / batches;
+        for b in 1..=batches {
+            let hi = if b == batches { edges.len() } else { b * chunk };
+            let build = remo_baseline::build_undirected(&edges[..hi]);
+            let _levels = remo_baseline::bfs_levels(&build.csr, source);
+        }
+        let batch_total = t0.elapsed();
+
+        // --- Continuous solution: same stream, live BFS, B snapshots ---
+        let t0 = Instant::now();
+        let mut engine = Engine::new(IncBfs, EngineConfig::undirected(shards));
+        engine.init_vertex(source);
+        for b in 1..=batches {
+            let lo = (b - 1) * chunk;
+            let hi = if b == batches { edges.len() } else { b * chunk };
+            engine.ingest_pairs(&edges[lo..hi]);
+            let _snap = engine.snapshot();
+        }
+        engine.await_quiescence();
+        let continuous_total = t0.elapsed();
+        let _ = engine.finish();
+
+        rows.push(vec![
+            batches.to_string(),
+            fmt_dur(batch_total),
+            fmt_dur(continuous_total),
+            format!(
+                "{:.2}x",
+                batch_total.as_secs_f64() / continuous_total.as_secs_f64().max(1e-9)
+            ),
+            fmt_dur(Duration::from_secs_f64(
+                batch_total.as_secs_f64() / batches as f64 / 2.0,
+            )),
+            "continuous (local state)".into(),
+        ]);
+    }
+
+    print_table(
+        "Discussion (VI-A): batching/snapshotting vs continuous",
+        &[
+            "Batches",
+            "Batch total",
+            "Continuous total",
+            "Batch/continuous",
+            "Mean answer staleness (batch)",
+            "Answer staleness (continuous)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape vs the paper: the batch solution's cost grows with the number\n\
+         of discretization points (each is a full recompute over the grown\n\
+         graph), while the continuous solution pays ingestion once and\n\
+         cheap snapshots; its local state is queryable at every instant."
+    );
+}

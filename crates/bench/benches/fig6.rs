@@ -1,0 +1,74 @@
+//! Figure 6 — strong and weak scaling on synthetic RMAT graphs with a
+//! live BFS maintained during construction.
+//!
+//! Grid: RMAT scale (graph size) x shard count, cell = max event rate.
+//!
+//! Paper shapes: (strong scaling) for a fixed graph, doubling compute gives
+//! a near doubling of the maximum event rate; (weak scaling) for a fixed
+//! shard count, growing the graph does **not** significantly reduce the
+//! event rate — "the size of the graph does not impact event processing
+//! rate".
+//!
+//! Run: `cargo bench -p remo-bench --bench fig6`
+
+use remo_algos::IncBfs;
+use remo_bench::*;
+use remo_gen::{stream, RmatConfig};
+
+fn main() {
+    let scale = bench_scale();
+    let shard_list = shard_counts();
+    let base: u32 = 12 + (scale.log2().round() as i32).clamp(-4, 8) as u32;
+    let rmat_scales = [base, base + 1, base + 2];
+
+    let mut rows = Vec::new();
+    let mut rates: Vec<Vec<f64>> = Vec::new();
+    for &s in &rmat_scales {
+        let cfg = RmatConfig::graph500(s);
+        let mut edges = remo_gen::rmat::generate(&cfg);
+        stream::shuffle(&mut edges, 60);
+        let source = edges[0].0;
+        let mut cells = vec![format!("RMAT{s}"), edges.len().to_string()];
+        let mut row_rates = Vec::new();
+        for &p in &shard_list {
+            let rate = timed_run(IncBfs, p, &edges, &[source]).events_per_sec();
+            row_rates.push(rate);
+            cells.push(fmt_rate(rate));
+        }
+        rates.push(row_rates);
+        rows.push(cells);
+    }
+
+    let mut header: Vec<String> = vec!["Graph".into(), "#Edges".into()];
+    header.extend(shard_list.iter().map(|p| format!("{p} shard(s)")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        "Figure 6: RMAT scaling grid (events/sec, live BFS maintained)",
+        &header_refs,
+        &rows,
+    );
+
+    // Derived scaling summaries.
+    if shard_list.len() >= 2 {
+        let first = &rates[0];
+        println!(
+            "\nStrong scaling on RMAT{}: {:.2}x rate from {} to {} shards \
+             (ideal {:.1}x)",
+            rmat_scales[0],
+            first.last().unwrap() / first.first().unwrap().max(1e-9),
+            shard_list.first().unwrap(),
+            shard_list.last().unwrap(),
+            *shard_list.last().unwrap() as f64 / *shard_list.first().unwrap() as f64
+        );
+    }
+    let col = shard_list.len() - 1;
+    let weak_ratio = rates.last().unwrap()[col] / rates.first().unwrap()[col].max(1e-9);
+    println!(
+        "Weak scaling at {} shards: RMAT{} rate / RMAT{} rate = {:.2}x \
+         (paper: graph size does not significantly impact the rate)",
+        shard_list[col],
+        rmat_scales.last().unwrap(),
+        rmat_scales.first().unwrap(),
+        weak_ratio
+    );
+}

@@ -1,0 +1,57 @@
+//! Table I — graphs used in experiments.
+//!
+//! Regenerates the paper's dataset-inventory table for the laptop-scale
+//! stand-ins (DESIGN.md §3.3 documents the substitution). Columns mirror
+//! the paper: name, #Vertices, #Edges, on-disk size of the raw
+//! `[src, dst]` pair stream. RMAT rows state the Graph500 relationship
+//! (|E| = |V| * 16) exactly as Table I does.
+//!
+//! Run: `cargo bench -p remo-bench --bench table1`
+
+use remo_bench::{bench_scale, print_table};
+use remo_gen::{table_row, Dataset};
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.1} KB", b as f64 / (1u64 << 10) as f64)
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let datasets = [
+        Dataset::FriendsterLike,
+        Dataset::TwitterLike,
+        Dataset::Sk2005Like,
+        Dataset::WebgraphLike,
+        Dataset::Rmat(14),
+        Dataset::Rmat(16),
+        Dataset::ErdosRenyi,
+        Dataset::SmallWorld,
+    ];
+    let rows: Vec<Vec<String>> = datasets
+        .iter()
+        .map(|&ds| {
+            let row = table_row(ds, scale, 0x7ab1e);
+            vec![
+                row.name,
+                row.vertices.to_string(),
+                row.edges.to_string(),
+                human_bytes(row.on_disk_bytes),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Table I stand-ins (scale x{scale})"),
+        &["Name", "#Vertices", "#Edges", "OnDiskSpace"],
+        &rows,
+    );
+    println!(
+        "\nRMAT graphs use Graph500 parameters (A=0.57 B=0.19 C=0.19) with a\n\
+         16x undirected (32x directed) edge factor, as in the paper."
+    );
+}

@@ -1,0 +1,29 @@
+//! Quick saturation-rate probe: construction-only event rate across shard
+//! counts on a Twitter-like stream. Useful for sizing `REMO_BENCH_SCALE` /
+//! `REMO_BENCH_SHARDS` on a new machine before running the full figure
+//! harnesses.
+//!
+//! Usage: `SC=1.0 cargo run --release -p remo-bench --bin rate_probe`
+//! (`SC` scales the dataset; default 0.5).
+
+use remo_bench::*;
+use remo_gen::{stream, Dataset};
+fn main() {
+    let mut edges = Dataset::TwitterLike.generate(
+        std::env::var("SC")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.5),
+        303,
+    );
+    stream::shuffle(&mut edges, 42);
+    println!("{} events", edges.len());
+    for p in [1usize, 2, 4, 8] {
+        let run = timed_run(ConstructionOnly, p, &edges, &[]);
+        println!(
+            "P={p}: {:?} -> {}/s",
+            run.elapsed,
+            fmt_rate(run.events_per_sec())
+        );
+    }
+}

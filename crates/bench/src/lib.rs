@@ -1,0 +1,245 @@
+//! # remo-bench — harness utilities for regenerating the paper's evaluation
+//!
+//! Every table and figure of the paper's §V has a bench target in
+//! `benches/` that prints the corresponding rows/series. This library holds
+//! the shared machinery: saturation-test runners (the paper's methodology —
+//! streams pre-randomized and pulled "as fast as possible", §V-A), a
+//! construction-only algorithm, a static-BFS-over-dynamic-store driver
+//! (Fig. 3's centre bar), and table formatting.
+//!
+//! Workload sizes default to laptop scale; set `REMO_BENCH_SCALE` (a float
+//! multiplier) and `REMO_BENCH_SHARDS` (comma-separated shard counts) to
+//! dial them.
+
+use std::time::{Duration, Instant};
+
+use remo_core::{
+    AlgoCtx, Algorithm, Engine, EngineConfig, RunResult, VertexId, VertexState, Weight,
+};
+use remo_store::VertexTable;
+
+/// "CON" in Fig. 5: graph construction with no algorithm hooked in.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConstructionOnly;
+
+impl Algorithm for ConstructionOnly {
+    type State = u64;
+}
+
+/// A timed saturation run: ingest the whole stream and wait for quiescence.
+pub struct TimedRun<S> {
+    pub result: RunResult<S>,
+    pub elapsed: Duration,
+}
+
+impl<S> TimedRun<S> {
+    /// Topology events per second — the paper's headline metric.
+    pub fn events_per_sec(&self) -> f64 {
+        let t = self.result.metrics.total();
+        t.topo_ingested as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs `algo` over the unweighted stream at `shards`, initiating `inits`
+/// first, timing ingestion-to-quiescence.
+pub fn timed_run<A: Algorithm>(
+    algo: A,
+    shards: usize,
+    edges: &[(VertexId, VertexId)],
+    inits: &[VertexId],
+) -> TimedRun<A::State> {
+    let engine = Engine::new(algo, EngineConfig::undirected(shards));
+    for &v in inits {
+        engine.init_vertex(v);
+    }
+    let start = Instant::now();
+    engine.ingest_pairs(edges);
+    engine.await_quiescence();
+    let elapsed = start.elapsed();
+    TimedRun {
+        result: engine.finish(),
+        elapsed,
+    }
+}
+
+/// Weighted variant of [`timed_run`].
+pub fn timed_run_weighted<A: Algorithm>(
+    algo: A,
+    shards: usize,
+    edges: &[(VertexId, VertexId, Weight)],
+    inits: &[VertexId],
+) -> TimedRun<A::State> {
+    let engine = Engine::new(algo, EngineConfig::undirected(shards));
+    for &v in inits {
+        engine.init_vertex(v);
+    }
+    let start = Instant::now();
+    engine.ingest_weighted(edges);
+    engine.await_quiescence();
+    let elapsed = start.elapsed();
+    TimedRun {
+        result: engine.finish(),
+        elapsed,
+    }
+}
+
+/// Static top-down BFS **over the dynamic store** (the paper's Fig. 3
+/// centre bar: "running the static algorithm run-time on top of ... the
+/// graph constructed dynamically"). Every state read/write goes through the
+/// sharded Robin Hood tables instead of a flat CSR array — exactly the
+/// locality disadvantage §V-B discusses.
+pub fn static_bfs_on_dynamic<S: Clone + Default + Send + PartialEq + std::fmt::Debug + 'static>(
+    tables: &[VertexTable<VertexState<S>>],
+    source: VertexId,
+) -> Vec<(VertexId, u64)> {
+    use remo_core::Partitioner;
+    use remo_store::RhhMap;
+    let part = Partitioner::new(tables.len());
+    let mut levels: RhhMap<VertexId, u64> = RhhMap::new();
+    let mut frontier = vec![source];
+    levels.insert(source, 1);
+    let mut level = 1u64;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            let table = &tables[part.owner(v)];
+            if let Some(rec) = table.get(v) {
+                for (nbr, _) in rec.adj.iter() {
+                    if !levels.contains(nbr) {
+                        levels.insert(nbr, level);
+                        next.push(nbr);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    levels.iter().map(|(v, &l)| (v, l)).collect()
+}
+
+/// Size multiplier from `REMO_BENCH_SCALE` (default 1.0).
+pub fn bench_scale() -> f64 {
+    std::env::var("REMO_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Shard counts from `REMO_BENCH_SHARDS` (default "1,2,4,8", capped at the
+/// machine's available parallelism).
+pub fn shard_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8);
+    std::env::var("REMO_BENCH_SHARDS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+        .into_iter()
+        .filter(|&s| s >= 1 && s <= max.max(8))
+        .collect()
+}
+
+/// Formats a rate in the paper's "events per second" style.
+pub fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}B", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}K", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}us", s * 1e6)
+    }
+}
+
+/// Prints a markdown-style table (header + rows) to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(4)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// A tiny always-empty-callback marker used by criterion benches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Noop;
+
+impl Algorithm for Noop {
+    type State = u64;
+    fn on_add(&self, _ctx: &mut impl AlgoCtx<u64>, _v: VertexId, _val: &u64, _w: Weight) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_run_counts_events() {
+        let edges = vec![(0u64, 1u64), (1, 2), (2, 3)];
+        let run = timed_run(ConstructionOnly, 2, &edges, &[]);
+        assert_eq!(run.result.metrics.total().topo_ingested, 3);
+        assert!(run.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn static_bfs_on_dynamic_matches_levels() {
+        let edges = vec![(0u64, 1u64), (1, 2), (0, 3)];
+        let run = timed_run(ConstructionOnly, 3, &edges, &[]);
+        let mut levels = static_bfs_on_dynamic(&run.result.tables, 0);
+        levels.sort_unstable();
+        assert_eq!(levels, vec![(0, 1), (1, 2), (2, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_rate(1_500_000.0), "1.50M");
+        assert_eq!(fmt_rate(2_000.0), "2.0K");
+        assert_eq!(fmt_rate(3.2e9), "3.20B");
+        assert!(fmt_dur(Duration::from_millis(5)).ends_with("ms"));
+    }
+
+    #[test]
+    fn scale_default_is_one() {
+        std::env::remove_var("REMO_BENCH_SCALE");
+        assert_eq!(bench_scale(), 1.0);
+    }
+}

@@ -1,0 +1,434 @@
+//! The event-centric programming model (§III-A, Algorithm 3).
+//!
+//! An [`Algorithm`] is a set of user-defined callbacks triggered by events:
+//! `init` / `on_add` / `on_reverse_add` / `on_update`, mirroring the paper's
+//! virtual methods. Each callback receives a context implementing
+//! [`AlgoCtx`] giving access to the visited vertex's state and adjacency,
+//! and to the two propagation primitives `update_nbrs` /
+//! `update_single_nbr`. The programmer "does not have to consider how the
+//! event propagates: the complexities of the graph topology structure are
+//! hidden by the supporting framework."
+//!
+//! The context is a trait (rather than the concrete [`EventCtx`]) so that
+//! algorithms compose: [`crate::compose::Pair`] runs two algorithms
+//! simultaneously over one topology by projecting the context — the paper's
+//! "multiple algorithms can be executed simultaneously on the same
+//! underlying dynamic data structure" vision (§I), which its prototype left
+//! as future work (§III-F).
+//!
+//! State changes go through [`AlgoCtx::apply`], which transparently handles
+//! the snapshot protocol (applying old-epoch events to the forked previous
+//! state as well, §III-D) and records changes for trigger evaluation.
+
+use crate::event::Epoch;
+use crate::vertex_state::VertexState;
+use remo_store::{EdgeMeta, VertexId, VertexRecord, Weight};
+
+/// A REMO algorithm: user callbacks over the engine's events.
+///
+/// Implementations must preserve the two REMO properties (§II-B):
+/// *recursive* event propagation (callbacks re-use the same update event as
+/// the recursive step) and *monotonic* convergence (every state change moves
+/// in one direction toward a bound). The engine does not — cannot — check
+/// monotonicity; the algorithm crate's property tests do.
+pub trait Algorithm: Send + Sync + 'static {
+    /// Vertex-local state (`this.value`). `Default` must be the lattice
+    /// bottom: the state of a vertex that has seen no events.
+    type State: Clone + Default + Send + PartialEq + std::fmt::Debug + 'static;
+
+    /// Called when an `Init` event reaches a vertex (e.g. the BFS source).
+    fn init(&self, _ctx: &mut impl AlgoCtx<Self::State>) {}
+
+    /// Called at the first endpoint of a new edge (after the engine inserted
+    /// the edge into the local topology). `visitor` is the other endpoint;
+    /// no meaningful value is available yet.
+    fn on_add(
+        &self,
+        _ctx: &mut impl AlgoCtx<Self::State>,
+        _visitor: VertexId,
+        _value: &Self::State,
+        _weight: Weight,
+    ) {
+    }
+
+    /// Called at the second endpoint of an undirected edge; `value` is the
+    /// first endpoint's state at `Add` time.
+    fn on_reverse_add(
+        &self,
+        _ctx: &mut impl AlgoCtx<Self::State>,
+        _visitor: VertexId,
+        _value: &Self::State,
+        _weight: Weight,
+    ) {
+    }
+
+    /// Called for algorithm-generated update events; `value` is the
+    /// visitor's state at send time, `weight` the edge the event travelled.
+    fn on_update(
+        &self,
+        _ctx: &mut impl AlgoCtx<Self::State>,
+        _visitor: VertexId,
+        _value: &Self::State,
+        _weight: Weight,
+    ) {
+    }
+
+    /// Called at the first endpoint of a removed edge, after the engine
+    /// dropped the edge from the local topology (§VI-B extension). The core
+    /// REMO algorithms ignore removals; generational variants react here.
+    fn on_remove(
+        &self,
+        _ctx: &mut impl AlgoCtx<Self::State>,
+        _visitor: VertexId,
+        _value: &Self::State,
+        _weight: Weight,
+    ) {
+    }
+
+    /// Called at the second endpoint of an undirected edge removal.
+    fn on_reverse_remove(
+        &self,
+        _ctx: &mut impl AlgoCtx<Self::State>,
+        _visitor: VertexId,
+        _value: &Self::State,
+        _weight: Weight,
+    ) {
+    }
+
+    /// Compact encoding of a state for the per-edge neighbour cache
+    /// (`this.nbrs.set(vis_ID, vis_val)` in Algorithm 3). The engine stores
+    /// this on the incoming edge whenever a neighbour's value arrives;
+    /// algorithms may read it back to suppress redundant sends. Return 0 if
+    /// the cache is unused.
+    fn encode_cache(_state: &Self::State) -> u64
+    where
+        Self: Sized,
+    {
+        0
+    }
+}
+
+/// Callback context: the visited vertex's state, adjacency, and propagation
+/// primitives. Implemented by the engine's [`EventCtx`] and by the
+/// projections of [`crate::compose::Pair`].
+pub trait AlgoCtx<S: Clone> {
+    /// The vertex being visited.
+    fn vertex(&self) -> VertexId;
+
+    /// Snapshot epoch of the event being processed.
+    fn epoch(&self) -> Epoch;
+
+    /// Current (live) state of the vertex.
+    fn state(&self) -> &S;
+
+    /// Applies a monotone state transition. The closure must return whether
+    /// it changed the state; it may be invoked twice (live + snapshot
+    /// fork), so it must be a pure function of its argument — which is
+    /// exactly what a REMO monotone join is.
+    fn apply(&mut self, f: impl Fn(&mut S) -> bool) -> bool
+    where
+        Self: Sized;
+
+    /// Out-degree of the vertex.
+    fn degree(&self) -> usize;
+
+    /// Weight of the edge to `nbr`, if present.
+    fn edge_weight(&self, nbr: VertexId) -> Option<Weight>;
+
+    /// Cached last-known value of `nbr` (as encoded by
+    /// [`Algorithm::encode_cache`]), if the edge exists.
+    fn nbr_cached(&self, nbr: VertexId) -> Option<u64>;
+
+    /// Invokes `f` for every `(neighbour, edge metadata)` pair.
+    fn for_each_nbr(&self, f: &mut dyn FnMut(VertexId, EdgeMeta));
+
+    /// Sends an update event carrying `value` to every neighbour, each over
+    /// its own edge weight (Algorithm 3's `update_nbrs`).
+    fn update_nbrs(&mut self, value: &S);
+
+    /// Sends an update event to the neighbours for which `keep` returns
+    /// true — the cache-suppression variant (see
+    /// [`Algorithm::encode_cache`]).
+    fn update_nbrs_filtered(&mut self, value: &S, keep: impl Fn(VertexId, &EdgeMeta) -> bool)
+    where
+        Self: Sized;
+
+    /// Sends an update event carrying `value` to a single vertex, using the
+    /// stored edge weight when the edge exists (Algorithm 3's
+    /// `update_single_nbr`). Falls back to weight 1 for edges this vertex
+    /// does not hold (e.g. notify-back in a directed graph).
+    fn update_single_nbr(&mut self, nbr: VertexId, value: &S) {
+        let weight = self.edge_weight(nbr).unwrap_or(1);
+        self.send_update(nbr, value, weight);
+    }
+
+    /// Sends an update event with an explicit weight.
+    fn send_update(&mut self, target: VertexId, value: &S, weight: Weight);
+}
+
+/// An update event queued by a callback, routed by the shard after the
+/// callback returns.
+#[derive(Debug, Clone)]
+pub struct Outgoing<S> {
+    pub target: VertexId,
+    pub value: S,
+    pub weight: Weight,
+}
+
+/// The engine's concrete callback context.
+pub struct EventCtx<'a, S> {
+    vertex: VertexId,
+    rec: &'a mut VertexRecord<VertexState<S>>,
+    out: &'a mut Vec<Outgoing<S>>,
+    epoch: Epoch,
+    /// Whether the current event must also be applied to the snapshot fork.
+    dual_apply: bool,
+    /// Set when `apply` reported a state change (drives trigger checks).
+    pub(crate) state_changed: bool,
+}
+
+impl<'a, S: Clone> EventCtx<'a, S> {
+    /// Builds a context for one callback invocation. `dual_apply` is true
+    /// when the event's epoch predates the vertex's fork.
+    pub(crate) fn new(
+        vertex: VertexId,
+        rec: &'a mut VertexRecord<VertexState<S>>,
+        out: &'a mut Vec<Outgoing<S>>,
+        epoch: Epoch,
+    ) -> Self {
+        let dual_apply = rec.state.applies_to_prev(epoch);
+        EventCtx {
+            vertex,
+            rec,
+            out,
+            epoch,
+            dual_apply,
+            state_changed: false,
+        }
+    }
+
+    /// Trigger bookkeeping (engine-internal).
+    #[inline]
+    pub(crate) fn fired_bits(&self) -> u32 {
+        self.rec.state.fired
+    }
+
+    #[inline]
+    pub(crate) fn mark_fired(&mut self, bit: u32) {
+        self.rec.state.fired |= bit;
+    }
+
+    /// Iterates `(neighbour, edge metadata)` pairs (inherent convenience).
+    pub fn nbrs(&self) -> impl Iterator<Item = (VertexId, EdgeMeta)> + '_ {
+        self.rec.adj.iter()
+    }
+}
+
+impl<'a, S: Clone> AlgoCtx<S> for EventCtx<'a, S> {
+    #[inline]
+    fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    #[inline]
+    fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    #[inline]
+    fn state(&self) -> &S {
+        &self.rec.state.live
+    }
+
+    fn apply(&mut self, f: impl Fn(&mut S) -> bool) -> bool {
+        let changed = f(&mut self.rec.state.live);
+        if self.dual_apply {
+            if let Some(prev) = self.rec.state.prev.as_mut() {
+                f(prev);
+            }
+        }
+        self.state_changed |= changed;
+        changed
+    }
+
+    #[inline]
+    fn degree(&self) -> usize {
+        self.rec.adj.degree()
+    }
+
+    fn edge_weight(&self, nbr: VertexId) -> Option<Weight> {
+        self.rec.adj.get(nbr).map(|m| m.weight)
+    }
+
+    fn nbr_cached(&self, nbr: VertexId) -> Option<u64> {
+        self.rec.adj.get(nbr).map(|m| m.cached)
+    }
+
+    fn for_each_nbr(&self, f: &mut dyn FnMut(VertexId, EdgeMeta)) {
+        for (n, m) in self.rec.adj.iter() {
+            f(n, m);
+        }
+    }
+
+    fn update_nbrs(&mut self, value: &S) {
+        for (nbr, meta) in self.rec.adj.iter() {
+            self.out.push(Outgoing {
+                target: nbr,
+                value: value.clone(),
+                weight: meta.weight,
+            });
+        }
+    }
+
+    fn update_nbrs_filtered(&mut self, value: &S, keep: impl Fn(VertexId, &EdgeMeta) -> bool) {
+        for (nbr, meta) in self.rec.adj.iter() {
+            if keep(nbr, &meta) {
+                self.out.push(Outgoing {
+                    target: nbr,
+                    value: value.clone(),
+                    weight: meta.weight,
+                });
+            }
+        }
+    }
+
+    fn send_update(&mut self, target: VertexId, value: &S, weight: Weight) {
+        self.out.push(Outgoing {
+            target,
+            value: value.clone(),
+            weight,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remo_store::Adjacency;
+
+    fn make_rec(state: u64) -> VertexRecord<VertexState<u64>> {
+        VertexRecord {
+            state: VertexState {
+                live: state,
+                ..Default::default()
+            },
+            adj: Adjacency::new(),
+        }
+    }
+
+    #[test]
+    fn apply_tracks_changes() {
+        let mut rec = make_rec(10);
+        let mut out = Vec::new();
+        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        assert!(!ctx.apply(|s| {
+            if *s > 20 {
+                *s = 20;
+                true
+            } else {
+                false
+            }
+        }));
+        assert!(!ctx.state_changed);
+        assert!(ctx.apply(|s| {
+            if *s > 5 {
+                *s = 5;
+                true
+            } else {
+                false
+            }
+        }));
+        assert!(ctx.state_changed);
+        assert_eq!(*ctx.state(), 5);
+    }
+
+    #[test]
+    fn apply_dual_applies_to_fork_for_old_events() {
+        let mut rec = make_rec(10);
+        rec.state.fork_for(1); // vertex has advanced to epoch 1
+        let mut out = Vec::new();
+        // Event of epoch 0: predates the fork.
+        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        ctx.apply(|s| {
+            if *s > 3 {
+                *s = 3;
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(rec.state.live, 3);
+        assert_eq!(rec.state.prev, Some(3), "old event must reach the fork");
+    }
+
+    #[test]
+    fn apply_new_epoch_spares_fork() {
+        let mut rec = make_rec(10);
+        rec.state.fork_for(1);
+        let mut out = Vec::new();
+        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 1);
+        ctx.apply(|s| {
+            *s = 2;
+            true
+        });
+        assert_eq!(rec.state.live, 2);
+        assert_eq!(
+            rec.state.prev,
+            Some(10),
+            "new event must not touch the fork"
+        );
+    }
+
+    #[test]
+    fn update_nbrs_fans_out_with_edge_weights() {
+        let mut rec = make_rec(0);
+        rec.adj.insert(2, EdgeMeta::weighted(5));
+        rec.adj.insert(3, EdgeMeta::weighted(7));
+        let mut out = Vec::new();
+        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        ctx.update_nbrs(&42);
+        assert_eq!(out.len(), 2);
+        let mut got: Vec<(VertexId, u64, Weight)> =
+            out.iter().map(|o| (o.target, o.value, o.weight)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(2, 42, 5), (3, 42, 7)]);
+    }
+
+    #[test]
+    fn update_single_nbr_uses_stored_weight() {
+        let mut rec = make_rec(0);
+        rec.adj.insert(9, EdgeMeta::weighted(3));
+        let mut out = Vec::new();
+        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        ctx.update_single_nbr(9, &1);
+        ctx.update_single_nbr(100, &1); // no edge: weight defaults to 1
+        assert_eq!(out[0].weight, 3);
+        assert_eq!(out[1].weight, 1);
+    }
+
+    #[test]
+    fn filtered_fanout_respects_predicate() {
+        let mut rec = make_rec(0);
+        for n in 0..10u64 {
+            rec.adj.insert(n, EdgeMeta::unweighted());
+        }
+        let mut out = Vec::new();
+        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        ctx.update_nbrs_filtered(&7, |n, _| n % 2 == 0);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|o| o.target % 2 == 0));
+    }
+
+    #[test]
+    fn for_each_nbr_visits_all() {
+        let mut rec = make_rec(0);
+        for n in 0..5u64 {
+            rec.adj.insert(n, EdgeMeta::unweighted());
+        }
+        let mut out = Vec::new();
+        let ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        let mut count = 0;
+        ctx.for_each_nbr(&mut |_, _| count += 1);
+        assert_eq!(count, 5);
+    }
+}

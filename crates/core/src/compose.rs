@@ -1,0 +1,392 @@
+//! Algorithm composition: multiple live queries on one dynamic graph.
+//!
+//! The paper targets "a design where ... multiple algorithms can be
+//! executed simultaneously (i.e. maintain their state) on the same
+//! underlying dynamic data structure, thus enabling support for multiple
+//! queries" (§I) — but its prototype "only supports hooking in one
+//! algorithm" (§III-F limitations). [`Pair`] implements that vision:
+//! `Pair::new(a, b)` is itself an [`Algorithm`] whose vertex state is the
+//! tuple of both states; every topology event drives both callbacks, the
+//! topology (and its storage and messaging) is shared, and nesting
+//! (`Pair::new(Pair::new(a, b), c)`) composes any number of queries.
+//!
+//! ## Why this is sound for REMO algorithms
+//!
+//! A propagation by one side sends a tuple whose other component is that
+//! vertex's *current* other-side state. The receiver therefore sometimes
+//! processes "gratuitous" updates: valid current states it did not ask
+//! for. For REMO algorithms these are harmless by construction — a
+//! monotone join with a genuine current value either helps or is a no-op,
+//! and the paper's own convergence argument ("potentially conflicting
+//! events being either independent or order-irrelevant", §II-D) covers
+//! them. Every reply a side emits strictly improves the receiving side's
+//! state, so termination is preserved. The composition tests and the
+//! workspace integration tests assert both fixpoints equal their solo
+//! runs.
+
+use std::marker::PhantomData;
+
+use crate::algorithm::{AlgoCtx, Algorithm};
+use crate::event::Epoch;
+use remo_store::{EdgeMeta, VertexId, Weight};
+
+/// Two algorithms running simultaneously over one dynamic graph.
+pub struct Pair<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: Algorithm, B: Algorithm> Pair<A, B> {
+    /// Composes `first` and `second`.
+    pub fn new(first: A, second: B) -> Self {
+        Pair { first, second }
+    }
+}
+
+/// Context projection onto the first component.
+struct ProjA<'c, C, SA, SB> {
+    inner: &'c mut C,
+    _pd: PhantomData<fn() -> (SA, SB)>,
+}
+
+/// Context projection onto the second component.
+struct ProjB<'c, C, SA, SB> {
+    inner: &'c mut C,
+    _pd: PhantomData<fn() -> (SA, SB)>,
+}
+
+fn proj_a<C, SA, SB>(inner: &mut C) -> ProjA<'_, C, SA, SB> {
+    ProjA {
+        inner,
+        _pd: PhantomData,
+    }
+}
+
+fn proj_b<C, SA, SB>(inner: &mut C) -> ProjB<'_, C, SA, SB> {
+    ProjB {
+        inner,
+        _pd: PhantomData,
+    }
+}
+
+impl<'c, C, SA, SB> AlgoCtx<SA> for ProjA<'c, C, SA, SB>
+where
+    SA: Clone,
+    SB: Clone,
+    C: AlgoCtx<(SA, SB)>,
+{
+    fn vertex(&self) -> VertexId {
+        self.inner.vertex()
+    }
+
+    fn epoch(&self) -> Epoch {
+        self.inner.epoch()
+    }
+
+    fn state(&self) -> &SA {
+        &self.inner.state().0
+    }
+
+    fn apply(&mut self, f: impl Fn(&mut SA) -> bool) -> bool {
+        self.inner.apply(|s| f(&mut s.0))
+    }
+
+    fn degree(&self) -> usize {
+        self.inner.degree()
+    }
+
+    fn edge_weight(&self, nbr: VertexId) -> Option<Weight> {
+        self.inner.edge_weight(nbr)
+    }
+
+    fn nbr_cached(&self, nbr: VertexId) -> Option<u64> {
+        self.inner.nbr_cached(nbr)
+    }
+
+    fn for_each_nbr(&self, f: &mut dyn FnMut(VertexId, EdgeMeta)) {
+        self.inner.for_each_nbr(f)
+    }
+
+    fn update_nbrs(&mut self, value: &SA) {
+        let full = (value.clone(), self.inner.state().1.clone());
+        self.inner.update_nbrs(&full);
+    }
+
+    fn update_nbrs_filtered(&mut self, value: &SA, keep: impl Fn(VertexId, &EdgeMeta) -> bool) {
+        let full = (value.clone(), self.inner.state().1.clone());
+        self.inner.update_nbrs_filtered(&full, keep);
+    }
+
+    fn send_update(&mut self, target: VertexId, value: &SA, weight: Weight) {
+        let full = (value.clone(), self.inner.state().1.clone());
+        self.inner.send_update(target, &full, weight);
+    }
+}
+
+impl<'c, C, SA, SB> AlgoCtx<SB> for ProjB<'c, C, SA, SB>
+where
+    SA: Clone,
+    SB: Clone,
+    C: AlgoCtx<(SA, SB)>,
+{
+    fn vertex(&self) -> VertexId {
+        self.inner.vertex()
+    }
+
+    fn epoch(&self) -> Epoch {
+        self.inner.epoch()
+    }
+
+    fn state(&self) -> &SB {
+        &self.inner.state().1
+    }
+
+    fn apply(&mut self, f: impl Fn(&mut SB) -> bool) -> bool {
+        self.inner.apply(|s| f(&mut s.1))
+    }
+
+    fn degree(&self) -> usize {
+        self.inner.degree()
+    }
+
+    fn edge_weight(&self, nbr: VertexId) -> Option<Weight> {
+        self.inner.edge_weight(nbr)
+    }
+
+    fn nbr_cached(&self, nbr: VertexId) -> Option<u64> {
+        self.inner.nbr_cached(nbr)
+    }
+
+    fn for_each_nbr(&self, f: &mut dyn FnMut(VertexId, EdgeMeta)) {
+        self.inner.for_each_nbr(f)
+    }
+
+    fn update_nbrs(&mut self, value: &SB) {
+        let full = (self.inner.state().0.clone(), value.clone());
+        self.inner.update_nbrs(&full);
+    }
+
+    fn update_nbrs_filtered(&mut self, value: &SB, keep: impl Fn(VertexId, &EdgeMeta) -> bool) {
+        let full = (self.inner.state().0.clone(), value.clone());
+        self.inner.update_nbrs_filtered(&full, keep);
+    }
+
+    fn send_update(&mut self, target: VertexId, value: &SB, weight: Weight) {
+        let full = (self.inner.state().0.clone(), value.clone());
+        self.inner.send_update(target, &full, weight);
+    }
+}
+
+macro_rules! forward_both {
+    ($self:ident, $ctx:ident, $method:ident, $visitor:ident, $value:ident, $weight:ident) => {{
+        $self
+            .first
+            .$method(&mut proj_a($ctx), $visitor, &$value.0, $weight);
+        $self
+            .second
+            .$method(&mut proj_b($ctx), $visitor, &$value.1, $weight);
+    }};
+}
+
+impl<A: Algorithm, B: Algorithm> Algorithm for Pair<A, B> {
+    type State = (A::State, B::State);
+
+    fn init(&self, ctx: &mut impl AlgoCtx<Self::State>) {
+        self.first.init(&mut proj_a(ctx));
+        self.second.init(&mut proj_b(ctx));
+    }
+
+    fn on_add(
+        &self,
+        ctx: &mut impl AlgoCtx<Self::State>,
+        visitor: VertexId,
+        value: &Self::State,
+        weight: Weight,
+    ) {
+        forward_both!(self, ctx, on_add, visitor, value, weight)
+    }
+
+    fn on_reverse_add(
+        &self,
+        ctx: &mut impl AlgoCtx<Self::State>,
+        visitor: VertexId,
+        value: &Self::State,
+        weight: Weight,
+    ) {
+        forward_both!(self, ctx, on_reverse_add, visitor, value, weight)
+    }
+
+    fn on_update(
+        &self,
+        ctx: &mut impl AlgoCtx<Self::State>,
+        visitor: VertexId,
+        value: &Self::State,
+        weight: Weight,
+    ) {
+        forward_both!(self, ctx, on_update, visitor, value, weight)
+    }
+
+    fn on_remove(
+        &self,
+        ctx: &mut impl AlgoCtx<Self::State>,
+        visitor: VertexId,
+        value: &Self::State,
+        weight: Weight,
+    ) {
+        forward_both!(self, ctx, on_remove, visitor, value, weight)
+    }
+
+    fn on_reverse_remove(
+        &self,
+        ctx: &mut impl AlgoCtx<Self::State>,
+        visitor: VertexId,
+        value: &Self::State,
+        weight: Weight,
+    ) {
+        forward_both!(self, ctx, on_reverse_remove, visitor, value, weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::shard::EngineConfig;
+
+    /// Counter of add/reverse-add touches.
+    #[derive(Debug, Default, Clone, Copy)]
+    struct Touch;
+
+    impl Algorithm for Touch {
+        type State = u64;
+        fn on_add(&self, ctx: &mut impl AlgoCtx<u64>, _v: VertexId, _val: &u64, _w: Weight) {
+            ctx.apply(|s| {
+                *s += 1;
+                true
+            });
+        }
+        fn on_reverse_add(
+            &self,
+            ctx: &mut impl AlgoCtx<u64>,
+            _v: VertexId,
+            _val: &u64,
+            _w: Weight,
+        ) {
+            ctx.apply(|s| {
+                *s += 1;
+                true
+            });
+        }
+    }
+
+    /// Min-id flood.
+    #[derive(Debug, Default, Clone, Copy)]
+    struct MinFlood;
+
+    impl Algorithm for MinFlood {
+        type State = u64;
+        fn on_add(&self, ctx: &mut impl AlgoCtx<u64>, _v: VertexId, _val: &u64, _w: Weight) {
+            let me = ctx.vertex() + 1;
+            ctx.apply(move |s| {
+                if *s == 0 || *s > me {
+                    *s = me;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        fn on_reverse_add(&self, ctx: &mut impl AlgoCtx<u64>, v: VertexId, val: &u64, w: Weight) {
+            self.on_add(ctx, v, val, w);
+            self.on_update(ctx, v, val, w);
+        }
+        fn on_update(
+            &self,
+            ctx: &mut impl AlgoCtx<u64>,
+            visitor: VertexId,
+            value: &u64,
+            _w: Weight,
+        ) {
+            let mine = *ctx.state();
+            let theirs = *value;
+            if theirs != 0 && (mine == 0 || theirs < mine) {
+                if ctx.apply(move |s| {
+                    if *s == 0 || *s > theirs {
+                        *s = theirs;
+                        true
+                    } else {
+                        false
+                    }
+                }) {
+                    ctx.update_nbrs(&theirs);
+                }
+            } else if mine != 0 && (theirs == 0 || mine < theirs) {
+                ctx.update_single_nbr(visitor, &mine);
+            }
+        }
+    }
+
+    fn edges() -> Vec<(u64, u64)> {
+        (0..40u64).map(|i| (i, (i * 13 + 1) % 40)).collect()
+    }
+
+    #[test]
+    fn pair_matches_solo_runs() {
+        let es = edges();
+
+        let solo_touch = {
+            let e = Engine::new(Touch, EngineConfig::undirected(3));
+            e.ingest_pairs(&es);
+            e.finish().states.into_vec()
+        };
+        let solo_flood = {
+            let e = Engine::new(MinFlood, EngineConfig::undirected(3));
+            e.ingest_pairs(&es);
+            e.finish().states.into_vec()
+        };
+
+        let e = Engine::new(Pair::new(Touch, MinFlood), EngineConfig::undirected(3));
+        e.ingest_pairs(&es);
+        let both = e.finish().states.into_vec();
+
+        let firsts: Vec<(u64, u64)> = both.iter().map(|&(v, (a, _))| (v, a)).collect();
+        let seconds: Vec<(u64, u64)> = both.iter().map(|&(v, (_, b))| (v, b)).collect();
+        assert_eq!(firsts, solo_touch, "first component diverged");
+        assert_eq!(seconds, solo_flood, "second component diverged");
+    }
+
+    #[test]
+    fn nested_pair_composes_three() {
+        // A ring: connected, so the flood must reach min id + 1 everywhere.
+        let es: Vec<(u64, u64)> = (0..40u64).map(|i| (i, (i + 1) % 40)).collect();
+        let e = Engine::new(
+            Pair::new(Pair::new(Touch, MinFlood), Touch),
+            EngineConfig::undirected(2),
+        );
+        e.ingest_pairs(&es);
+        let states = e.finish().states;
+        for (v, ((touch1, flood), touch2)) in states.iter() {
+            assert_eq!(touch1, touch2, "vertex {v}: the two Touch copies diverged");
+            assert_eq!(*flood, 1, "vertex {v}: flood must reach min id + 1");
+        }
+    }
+
+    #[test]
+    fn pair_init_reaches_both() {
+        #[derive(Debug, Default)]
+        struct InitMark;
+        impl Algorithm for InitMark {
+            type State = u64;
+            fn init(&self, ctx: &mut impl AlgoCtx<u64>) {
+                ctx.apply(|s| {
+                    *s = 7;
+                    true
+                });
+            }
+        }
+        let e = Engine::new(Pair::new(InitMark, InitMark), EngineConfig::undirected(2));
+        e.init_vertex(3);
+        let states = e.finish().states;
+        assert_eq!(states.get(3), Some(&(7, 7)));
+    }
+}

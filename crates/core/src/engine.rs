@@ -1,0 +1,384 @@
+//! The engine controller: spawns shards, routes streams, detects
+//! quiescence, collects snapshots and final state.
+//!
+//! An [`Engine`] is the embodiment of Figure 1: an incoming stream of events
+//! (1) modifies the graph (4) while the hooked algorithm (2,3) observes
+//! events (5) and maintains its dynamic state. The controller thread is
+//! *not* on the data path — shards exchange visitor messages directly over
+//! their FIFO channels — it only injects streams, requests global state
+//! collections, and harvests results.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use remo_store::{VertexId, Weight};
+
+use crate::algorithm::Algorithm;
+use crate::event::{Envelope, EventKind, TopoEvent};
+use crate::metrics::RunMetrics;
+use crate::shard::{EngineConfig, Message, ShardReport, ShardWorker};
+use crate::snapshot::Snapshot;
+use crate::termination::{SharedCounters, TerminationMode};
+use crate::trigger::{TriggerDef, TriggerFire, MAX_TRIGGERS};
+
+/// Builds an [`Engine`], registering triggers before the shards start.
+pub struct EngineBuilder<A: Algorithm> {
+    algo: A,
+    config: EngineConfig,
+    triggers: Vec<TriggerDef<A::State>>,
+}
+
+impl<A: Algorithm> EngineBuilder<A> {
+    /// Starts a builder for `algo` under `config`.
+    pub fn new(algo: A, config: EngineConfig) -> Self {
+        EngineBuilder {
+            algo,
+            config,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Registers a "When" query (§III-E): `predicate` over `(vertex, local
+    /// state)`, evaluated on the owning shard at every state change, firing
+    /// at most once per vertex. Returns the trigger's index.
+    pub fn trigger(
+        &mut self,
+        label: impl Into<String>,
+        predicate: impl Fn(VertexId, &A::State) -> bool + Send + Sync + 'static,
+    ) -> usize {
+        assert!(
+            self.triggers.len() < MAX_TRIGGERS,
+            "at most {MAX_TRIGGERS} triggers per engine"
+        );
+        self.triggers.push(TriggerDef {
+            label: label.into(),
+            predicate: Box::new(predicate),
+        });
+        self.triggers.len() - 1
+    }
+
+    /// Spawns the shard threads and returns the running engine.
+    pub fn build(self) -> Engine<A> {
+        let config = self.config;
+        let shards = config.num_shards;
+        assert!(shards > 0, "need at least one shard");
+
+        let shared = Arc::new(SharedCounters::new(shards));
+        let algo = Arc::new(self.algo);
+        let triggers = Arc::new(self.triggers);
+        let (trigger_tx, trigger_rx) = unbounded();
+        let (quiesce_tx, quiesce_rx) = unbounded();
+
+        let channels: Vec<_> = (0..shards)
+            .map(|_| unbounded::<Message<A::State>>())
+            .collect();
+        let senders: Vec<Sender<Message<A::State>>> =
+            channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+        let mut handles = Vec::with_capacity(shards);
+        for (id, (_, rx)) in channels.into_iter().enumerate() {
+            let worker = ShardWorker::new(
+                id,
+                Arc::clone(&algo),
+                config.clone(),
+                rx,
+                senders.clone(),
+                Arc::clone(&shared),
+                Arc::clone(&triggers),
+                trigger_tx.clone(),
+                quiesce_tx.clone(),
+            );
+            let handle = std::thread::Builder::new()
+                .name(format!("remo-shard-{id}"))
+                .spawn(move || worker.run())
+                .expect("failed to spawn shard thread");
+            handles.push(handle);
+        }
+
+        Engine {
+            shared,
+            senders,
+            handles,
+            trigger_rx,
+            quiesce_rx,
+            config,
+        }
+    }
+}
+
+/// Final results of a run.
+pub struct RunResult<S> {
+    /// Live algorithm state of every vertex (sorted by id).
+    pub states: Snapshot<S>,
+    /// Aggregated per-shard metrics.
+    pub metrics: RunMetrics,
+    /// Vertices materialized across all shards.
+    pub num_vertices: usize,
+    /// Distinct directed edges stored.
+    pub num_edges: u64,
+    /// Approximate heap footprint of adjacency storage.
+    pub adjacency_bytes: usize,
+    /// The per-shard dynamic stores (vertex tables), indexed by shard id.
+    /// Lets callers run *static* algorithms over the dynamically built
+    /// structure — the paper's Fig. 3 centre bar — or inspect topology.
+    pub tables: Vec<remo_store::VertexTable<crate::vertex_state::VertexState<S>>>,
+}
+
+/// A running dynamic-graph engine (shards are live threads).
+pub struct Engine<A: Algorithm> {
+    shared: Arc<SharedCounters>,
+    senders: Vec<Sender<Message<A::State>>>,
+    handles: Vec<JoinHandle<ShardReport<A::State>>>,
+    trigger_rx: Receiver<TriggerFire>,
+    quiesce_rx: Receiver<()>,
+    config: EngineConfig,
+}
+
+impl<A: Algorithm> Engine<A> {
+    /// Convenience: build with no triggers.
+    pub fn new(algo: A, config: EngineConfig) -> Self {
+        EngineBuilder::new(algo, config).build()
+    }
+
+    /// Number of shard threads.
+    pub fn num_shards(&self) -> usize {
+        self.config.num_shards
+    }
+
+    /// Channel on which trigger firings arrive in real time.
+    pub fn trigger_events(&self) -> &Receiver<TriggerFire> {
+        &self.trigger_rx
+    }
+
+    /// Injects pre-split event streams: stream `i` becomes shard
+    /// `i % P`'s in-order input. Streams may be injected at any time,
+    /// including while previous streams are still draining.
+    pub fn ingest(&self, streams: Vec<Vec<TopoEvent>>) {
+        let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        // Count *before* sending so quiescence cannot be observed between
+        // the send and the shard's receipt.
+        self.shared.injected.fetch_add(total, Ordering::SeqCst);
+        for (i, stream) in streams.into_iter().enumerate() {
+            let shard = i % self.config.num_shards;
+            self.senders[shard]
+                .send(Message::Stream(stream))
+                .expect("shard channel closed");
+        }
+    }
+
+    /// Convenience: split an unweighted pair list into one stream per shard
+    /// and ingest (the paper's evaluation methodology, §V-A).
+    pub fn ingest_pairs(&self, pairs: &[(VertexId, VertexId)]) {
+        let k = self.config.num_shards;
+        let mut streams: Vec<Vec<TopoEvent>> = (0..k).map(|_| Vec::new()).collect();
+        for (i, &(s, d)) in pairs.iter().enumerate() {
+            streams[i % k].push(TopoEvent::new(s, d));
+        }
+        self.ingest(streams);
+    }
+
+    /// Convenience: stream edge **removals** (§VI-B extension).
+    pub fn delete_pairs(&self, pairs: &[(VertexId, VertexId)]) {
+        let k = self.config.num_shards;
+        let mut streams: Vec<Vec<TopoEvent>> = (0..k).map(|_| Vec::new()).collect();
+        for (i, &(s, d)) in pairs.iter().enumerate() {
+            streams[i % k].push(TopoEvent::removal(s, d));
+        }
+        self.ingest(streams);
+    }
+
+    /// Convenience: weighted variant of [`Self::ingest_pairs`].
+    pub fn ingest_weighted(&self, triples: &[(VertexId, VertexId, Weight)]) {
+        let k = self.config.num_shards;
+        let mut streams: Vec<Vec<TopoEvent>> = (0..k).map(|_| Vec::new()).collect();
+        for (i, &(s, d, w)) in triples.iter().enumerate() {
+            streams[i % k].push(TopoEvent::weighted(s, d, w));
+        }
+        self.ingest(streams);
+    }
+
+    /// Sends an `Init` event to `v` — e.g. designate the BFS/SSSP source or
+    /// an S-T connectivity source. "Can be initiated at any time" (§IV.1):
+    /// before, during, or after ingestion.
+    pub fn init_vertex(&self, v: VertexId) {
+        let epoch = self.shared.epoch.load(Ordering::SeqCst);
+        // The controller publishes its own sent counter (extra slot).
+        let ctl = self.shared.controller_slot();
+        self.shared.slot(ctl).sent[(epoch & 1) as usize].fetch_add(1, Ordering::SeqCst);
+        let owner_shard = self.owner(v);
+        self.senders[owner_shard]
+            .send(Message::Event(Envelope {
+                target: v,
+                visitor: v,
+                value: A::State::default(),
+                weight: 1,
+                kind: EventKind::Init,
+                epoch,
+            }))
+            .expect("shard channel closed");
+    }
+
+    fn owner(&self, v: VertexId) -> usize {
+        crate::partition::Partitioner::new(self.config.num_shards).owner(v)
+    }
+
+    /// Blocks until every injected stream is drained and no algorithmic
+    /// event is in flight.
+    pub fn await_quiescence(&self) {
+        match self.config.termination {
+            TerminationMode::Counter => {
+                while !self.shared.quiescent_probe() {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+            TerminationMode::Safra => loop {
+                if self.shared.quiescent_probe() {
+                    // Drain any announcements for this quiet period.
+                    while self.quiesce_rx.try_recv().is_ok() {}
+                    return;
+                }
+                let _ = self.quiesce_rx.recv_timeout(Duration::from_millis(1));
+            },
+        }
+    }
+
+    /// Receiver of the Safra detector's quiescence announcements (for tests
+    /// and the termination ablation).
+    pub fn quiescence_announcements(&self) -> &Receiver<()> {
+        &self.quiesce_rx
+    }
+
+    /// Collects a global snapshot **without pausing ingestion** (§III-D):
+    /// opens a new epoch, waits for every shard to start tagging with it,
+    /// waits for the old epoch's events to drain (they keep draining while
+    /// new-epoch events are processed concurrently), then gathers each
+    /// vertex's previous-epoch state.
+    pub fn snapshot(&mut self) -> Snapshot<A::State> {
+        let old = self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        let new = old + 1;
+        // Barrier: every shard must have observed the new epoch, so no
+        // further old-epoch stream events can be born.
+        for id in 0..self.config.num_shards {
+            while self.shared.slot(id).epoch_ack.load(Ordering::SeqCst) < new {
+                std::thread::yield_now();
+            }
+        }
+        // Drain the old epoch (its cascades inherit its parity).
+        while !self.shared.drained_probe(old) {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        // Gather fragments.
+        let (reply_tx, reply_rx) = bounded(self.config.num_shards);
+        for s in &self.senders {
+            s.send(Message::Collect {
+                old_epoch: old,
+                live: false,
+                reply: reply_tx.clone(),
+            })
+            .expect("shard channel closed");
+        }
+        drop(reply_tx);
+        let mut states = Vec::new();
+        for _ in 0..self.config.num_shards {
+            states.extend(reply_rx.recv().expect("shard died during collect"));
+        }
+        Snapshot::from_fragments(old, states)
+    }
+
+    /// Observes one vertex's **live local state** right now (§III-E,
+    /// §VI-A): an O(1) read on the owning shard, answered in queue order
+    /// with the events currently ahead of it. Returns `None` for vertices
+    /// no event has touched. Does not wait for quiescence — the answer is
+    /// the current monotone bound, exactly what local-state queries mean in
+    /// this model.
+    pub fn local_state(&self, v: VertexId) -> Option<A::State> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let owner_shard = self.owner(v);
+        self.senders[owner_shard]
+            .send(Message::Query {
+                vertex: v,
+                reply: reply_tx,
+            })
+            .expect("shard channel closed");
+        reply_rx.recv().expect("shard died during query")
+    }
+
+    /// Waits for quiescence, then collects every vertex's live state
+    /// (equivalent to a snapshot at the end of all injected work).
+    pub fn collect_live(&self) -> Snapshot<A::State> {
+        self.await_quiescence();
+        let (reply_tx, reply_rx) = bounded(self.config.num_shards);
+        let epoch = self.shared.epoch.load(Ordering::SeqCst);
+        for s in &self.senders {
+            s.send(Message::Collect {
+                old_epoch: epoch,
+                live: true,
+                reply: reply_tx.clone(),
+            })
+            .expect("shard channel closed");
+        }
+        drop(reply_tx);
+        let mut states = Vec::new();
+        for _ in 0..self.config.num_shards {
+            states.extend(reply_rx.recv().expect("shard died during collect"));
+        }
+        Snapshot::from_fragments(epoch, states)
+    }
+
+    /// Waits for quiescence, stops the shards, and returns final state plus
+    /// metrics.
+    pub fn finish(mut self) -> RunResult<A::State> {
+        self.await_quiescence();
+        for s in &self.senders {
+            let _ = s.send(Message::Shutdown);
+        }
+        let mut states = Vec::new();
+        let mut metrics = RunMetrics::default();
+        metrics
+            .per_shard
+            .resize(self.config.num_shards, Default::default());
+        let mut num_vertices = 0;
+        let mut num_edges = 0;
+        let mut adjacency_bytes = 0;
+        let mut tables: Vec<Option<remo_store::VertexTable<_>>> =
+            (0..self.config.num_shards).map(|_| None).collect();
+        for h in self.handles.drain(..) {
+            let report = h.join().expect("shard thread panicked");
+            states.extend(report.states);
+            metrics.per_shard[report.id] = report.metrics;
+            num_vertices += report.num_vertices;
+            num_edges += report.num_edges;
+            adjacency_bytes += report.adjacency_bytes;
+            tables[report.id] = Some(report.table);
+        }
+        let epoch = self.shared.epoch.load(Ordering::SeqCst);
+        RunResult {
+            states: Snapshot::from_fragments(epoch, states),
+            metrics,
+            num_vertices,
+            num_edges,
+            adjacency_bytes,
+            tables: tables
+                .into_iter()
+                .map(|t| t.expect("shard reported"))
+                .collect(),
+        }
+    }
+}
+
+impl<A: Algorithm> Drop for Engine<A> {
+    fn drop(&mut self) {
+        // finish() drains handles; an un-finished engine tears down here.
+        if !self.handles.is_empty() {
+            for s in &self.senders {
+                let _ = s.send(Message::Shutdown);
+            }
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Event types: the wire format of the engine.
+//!
+//! The programming model (§III-A) defines three key events — Edge Add, Edge
+//! Reverse-Add, and Update — plus Init for algorithms with an initiation
+//! vertex (Algorithm 4's `init()`). An [`Envelope`] is one visitor message:
+//! it identifies the vertex being visited (`target`), the vertex that
+//! created the event (`visitor`, the paper's `vis_ID`), the visitor's value
+//! at event-creation time (`vis_val`), the edge weight, and the snapshot
+//! epoch the event belongs to (§III-D's version identifier).
+
+use remo_store::{VertexId, Weight};
+
+/// Snapshot version identifier carried by every event (§III-D).
+pub type Epoch = u32;
+
+/// The kind of an algorithmic event (Algorithm 3's `VISIT_TYPE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Algorithm initiation at a vertex (e.g. choose the BFS source).
+    Init,
+    /// Topology change: a directed edge `visitor <- target`... more
+    /// precisely the edge `[target -> visitor]` materializes at `target`,
+    /// the first endpoint of the edge (§III-A).
+    Add,
+    /// Second half of an undirected insertion: `target` learns of the edge
+    /// back to `visitor` and of the visitor's current value.
+    ReverseAdd,
+    /// Algorithm-generated propagation (the recursive step).
+    Update,
+    /// Decremental topology change (§VI-B extension): the edge
+    /// `[target -> visitor]` is removed at `target`.
+    Remove,
+    /// Second half of an undirected removal.
+    ReverseRemove,
+}
+
+/// One visitor message.
+#[derive(Debug, Clone)]
+pub struct Envelope<S> {
+    /// Vertex being visited (`this` in Algorithm 3).
+    pub target: VertexId,
+    /// Vertex that created the event (`vis_ID`).
+    pub visitor: VertexId,
+    /// The visitor's vertex value when it created the event (`vis_val`).
+    /// Default-valued for `Add`/`Init`, where no meaningful value exists.
+    pub value: S,
+    /// Weight of the edge the event travelled over (1 for unweighted).
+    pub weight: Weight,
+    pub kind: EventKind,
+    /// Snapshot epoch: inherited from the triggering event; stream events
+    /// are tagged at ingestion time.
+    pub epoch: Epoch,
+}
+
+/// Whether a topology event creates or removes an edge. The core paper is
+/// add-only; removal implements the §VI-B decremental extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopoOp {
+    #[default]
+    Add,
+    Remove,
+}
+
+/// A raw topology event from an input stream: "create (or remove) edge
+/// src -> dst". For undirected runs the engine generates the
+/// reverse-add/remove automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopoEvent {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub weight: Weight,
+    pub op: TopoOp,
+}
+
+impl TopoEvent {
+    /// Unweighted edge-add event.
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        TopoEvent {
+            src,
+            dst,
+            weight: 1,
+            op: TopoOp::Add,
+        }
+    }
+
+    /// Weighted edge-add event.
+    pub fn weighted(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        TopoEvent {
+            src,
+            dst,
+            weight,
+            op: TopoOp::Add,
+        }
+    }
+
+    /// Edge-removal event (§VI-B extension).
+    pub fn removal(src: VertexId, dst: VertexId) -> Self {
+        TopoEvent {
+            src,
+            dst,
+            weight: 1,
+            op: TopoOp::Remove,
+        }
+    }
+}
+
+/// Converts an unweighted pair stream into topology events.
+pub fn events_from_pairs(pairs: &[(VertexId, VertexId)]) -> Vec<TopoEvent> {
+    pairs.iter().map(|&(s, d)| TopoEvent::new(s, d)).collect()
+}
+
+/// Converts a weighted triple stream into topology events.
+pub fn events_from_weighted(pairs: &[(VertexId, VertexId, Weight)]) -> Vec<TopoEvent> {
+    pairs
+        .iter()
+        .map(|&(s, d, w)| TopoEvent::weighted(s, d, w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_event_constructors() {
+        assert_eq!(TopoEvent::new(1, 2).weight, 1);
+        assert_eq!(TopoEvent::weighted(1, 2, 9).weight, 9);
+    }
+
+    #[test]
+    fn pair_conversions() {
+        let evs = events_from_pairs(&[(1, 2), (3, 4)]);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0], TopoEvent::new(1, 2));
+        let evs = events_from_weighted(&[(1, 2, 5)]);
+        assert_eq!(evs[0].weight, 5);
+    }
+}

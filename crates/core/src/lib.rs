@@ -1,0 +1,80 @@
+//! # remo-core — event-centric engine for incremental graph analytics
+//!
+//! A from-scratch Rust reproduction of the infrastructure in *Incremental
+//! Graph Processing for On-Line Analytics* (Sallinen, Pearce, Ripeanu,
+//! IPDPS 2019): a shared-nothing, asynchronous, event-centric engine on
+//! which **REMO** algorithms (REcursive updates, MOnotonic convergence) run
+//! concurrently with graph construction, keeping a live, queryable result.
+//!
+//! ## Architecture (paper Figures 1 & 2)
+//!
+//! - Vertices are partitioned over shard threads by consistent hashing
+//!   ([`partition`]); each shard owns its vertex table exclusively and
+//!   communicates only via FIFO channels of visitor messages ([`shard`]).
+//! - Topology events (`[src, dst]` pairs) arrive over per-shard in-order
+//!   streams; events on different streams are concurrent ([`event`]).
+//! - Algorithms are sets of callbacks over events ([`algorithm`]:
+//!   `init`/`on_add`/`on_reverse_add`/`on_update`), with the recursive step
+//!   expressed through `update_nbrs`/`update_single_nbr`.
+//! - Quiescence is detected by a global counter or by Safra's token-ring
+//!   algorithm ([`termination`]).
+//! - Global state is collected *without pausing ingestion* via epoch-tagged
+//!   events and per-vertex state forks ([`snapshot`], [`vertex_state`]) — the
+//!   paper's Chandy–Lamport variant (§III-D).
+//! - Local-state "When" queries fire user callbacks at most once per vertex
+//!   ([`trigger`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use remo_core::{AlgoCtx, Algorithm, Engine, EngineConfig};
+//! use remo_core::VertexId;
+//!
+//! /// Track each vertex's degree (the paper's §II-A example).
+//! struct Degree;
+//! impl Algorithm for Degree {
+//!     type State = u64;
+//!     fn on_add(&self, ctx: &mut impl AlgoCtx<u64>, _v: VertexId, _val: &u64, _w: u64) {
+//!         ctx.apply(|d| { *d += 1; true });
+//!     }
+//!     fn on_reverse_add(&self, ctx: &mut impl AlgoCtx<u64>, _v: VertexId, _val: &u64, _w: u64) {
+//!         ctx.apply(|d| { *d += 1; true });
+//!     }
+//! }
+//!
+//! let engine = Engine::new(Degree, EngineConfig::undirected(2));
+//! engine.ingest_pairs(&[(0, 1), (1, 2)]);
+//! let result = engine.finish();
+//! assert_eq!(result.states.get(1), Some(&2)); // vertex 1 has degree 2
+//! ```
+
+pub mod algorithm;
+pub mod compose;
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod partition;
+pub mod sequential;
+pub mod shard;
+pub mod snapshot;
+pub mod termination;
+pub mod trigger;
+pub mod vertex_state;
+
+pub use algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
+pub use compose::Pair;
+pub use engine::{Engine, EngineBuilder, RunResult};
+pub use event::{
+    events_from_pairs, events_from_weighted, Envelope, Epoch, EventKind, TopoEvent, TopoOp,
+};
+pub use metrics::{RunMetrics, ShardMetrics};
+pub use partition::Partitioner;
+pub use sequential::SequentialEngine;
+pub use shard::EngineConfig;
+pub use snapshot::Snapshot;
+pub use termination::TerminationMode;
+pub use trigger::{TriggerFire, MAX_TRIGGERS};
+pub use vertex_state::VertexState;
+
+/// Re-exports of the storage layer's core identifiers.
+pub use remo_store::{EdgeMeta, VertexId, Weight};

@@ -1,0 +1,142 @@
+//! Per-shard and aggregated run metrics.
+//!
+//! The paper's headline metric is topology events per second at ingestion
+//! saturation (§V). These counters let the benches compute that, plus the
+//! message-amplification statistics the per-algorithm comparisons need
+//! (how many Update events did one topology event fan out into?).
+
+/// Counters owned (unsynchronized) by one shard and merged at shutdown.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Topology events pulled from this shard's input streams.
+    pub topo_ingested: u64,
+    /// Envelope counts by kind, as processed.
+    pub init_events: u64,
+    pub add_events: u64,
+    pub reverse_add_events: u64,
+    pub update_events: u64,
+    /// Decremental events processed (§VI-B extension).
+    pub remove_events: u64,
+    /// Envelopes sent to other shards (or self) through channels.
+    pub envelopes_sent: u64,
+    /// New edges inserted into this shard's tables.
+    pub edges_inserted: u64,
+    /// Duplicate edge insertions observed.
+    pub duplicate_edges: u64,
+    /// Edges removed from this shard's tables.
+    pub edges_removed: u64,
+    /// Trigger callbacks fired from this shard.
+    pub triggers_fired: u64,
+    /// Vertex state forks performed for snapshot epochs.
+    pub snapshot_forks: u64,
+    /// Safra tokens forwarded (0 in counter mode).
+    pub safra_tokens: u64,
+}
+
+impl ShardMetrics {
+    /// Total algorithmic envelopes processed.
+    pub fn events_processed(&self) -> u64 {
+        self.init_events
+            + self.add_events
+            + self.reverse_add_events
+            + self.update_events
+            + self.remove_events
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        self.topo_ingested += other.topo_ingested;
+        self.init_events += other.init_events;
+        self.add_events += other.add_events;
+        self.reverse_add_events += other.reverse_add_events;
+        self.update_events += other.update_events;
+        self.remove_events += other.remove_events;
+        self.edges_removed += other.edges_removed;
+        self.envelopes_sent += other.envelopes_sent;
+        self.edges_inserted += other.edges_inserted;
+        self.duplicate_edges += other.duplicate_edges;
+        self.triggers_fired += other.triggers_fired;
+        self.snapshot_forks += other.snapshot_forks;
+        self.safra_tokens += other.safra_tokens;
+    }
+}
+
+/// Aggregated metrics for a whole run.
+#[derive(Debug, Default, Clone)]
+pub struct RunMetrics {
+    /// Per-shard breakdown, indexed by shard id.
+    pub per_shard: Vec<ShardMetrics>,
+}
+
+impl RunMetrics {
+    /// Sum over shards.
+    pub fn total(&self) -> ShardMetrics {
+        let mut t = ShardMetrics::default();
+        for m in &self.per_shard {
+            t.merge(m);
+        }
+        t
+    }
+
+    /// Update events generated per topology event — the algorithm's message
+    /// amplification factor.
+    pub fn amplification(&self) -> f64 {
+        let t = self.total();
+        if t.topo_ingested == 0 {
+            0.0
+        } else {
+            t.update_events as f64 / t.topo_ingested as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ShardMetrics {
+            add_events: 2,
+            update_events: 3,
+            ..Default::default()
+        };
+        let b = ShardMetrics {
+            add_events: 5,
+            triggers_fired: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.add_events, 7);
+        assert_eq!(a.update_events, 3);
+        assert_eq!(a.triggers_fired, 1);
+    }
+
+    #[test]
+    fn events_processed_sums_kinds() {
+        let m = ShardMetrics {
+            init_events: 1,
+            add_events: 2,
+            reverse_add_events: 3,
+            update_events: 4,
+            ..Default::default()
+        };
+        assert_eq!(m.events_processed(), 10);
+    }
+
+    #[test]
+    fn amplification_guards_division() {
+        let r = RunMetrics {
+            per_shard: vec![ShardMetrics::default()],
+        };
+        assert_eq!(r.amplification(), 0.0);
+        let r = RunMetrics {
+            per_shard: vec![ShardMetrics {
+                topo_ingested: 10,
+                update_events: 30,
+                ..Default::default()
+            }],
+        };
+        assert!((r.amplification() - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Consistent-hash vertex partitioning (§III-C).
+//!
+//! "We use a simple form of consistent hashing where we assume a cluster
+//! with a static process count P, and assign a vertex with ID V to a process
+//! via hash(V) modulo P. This way, as each process uses the same hash
+//! function, any process can determine in constant time which process owns a
+//! vertex." The paper deliberately accepts the resulting edge imbalance on
+//! power-law graphs as a simplicity/baseline trade-off; so do we.
+
+use remo_store::hash::partition_hash;
+use remo_store::VertexId;
+
+/// Maps vertices to owning shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    shards: usize,
+}
+
+impl Partitioner {
+    /// A partitioner over `shards` processes.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Partitioner { shards }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Owning shard of `v` — `hash(V) mod P`.
+    #[inline(always)]
+    pub fn owner(&self, v: VertexId) -> usize {
+        (partition_hash(v) % self.shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let p = Partitioner::new(7);
+        for v in 0..10_000u64 {
+            let o = p.owner(v);
+            assert!(o < 7);
+            assert_eq!(o, p.owner(v));
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let p = Partitioner::new(1);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(u64::MAX), 0);
+    }
+
+    #[test]
+    fn vertex_balance_is_roughly_uniform() {
+        // "Consistent hashing produces a balanced, uniform partitioning in
+        // terms of the number of vertices" (§III-C).
+        let p = Partitioner::new(8);
+        let mut counts = [0usize; 8];
+        for v in 0..80_000u64 {
+            counts[p.owner(v)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..=11_000).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        Partitioner::new(0);
+    }
+}

@@ -1,0 +1,599 @@
+//! The shard worker: one shared-nothing "process" of the engine.
+//!
+//! Each shard owns a partition of the vertices (consistent hashing,
+//! §III-C), a [`VertexTable`] holding their adjacency and live algorithm
+//! state, and an inbound FIFO channel of visitor messages (HavoqGT's visitor
+//! queue, Figure 2). The worker loop:
+//!
+//! 1. drains and processes all queued algorithmic events (events that
+//!    "impact the same vertex are ordered in the infrastructure layer by the
+//!    built-in visitor queue in FIFO ordering", §IV);
+//! 2. when no algorithmic work remains, pulls **one** topology event from
+//!    its assigned input stream — the paper's saturation-test semantics,
+//!    "each rank pulling a topology event as soon as local work is
+//!    completed" (§V-A);
+//! 3. when fully idle, participates in termination detection and parks
+//!    briefly on its channel.
+//!
+//! Undirected edge serialization follows §III-C exactly: the `[a, b]` event
+//! is routed to `owner(a)`, which inserts `a -> b` and then sends the
+//! reverse-add for `[b, a]` to `owner(b)` over the FIFO channel, ensuring
+//! the edge exists before either side uses it.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use remo_store::{EdgeMeta, VertexId, VertexTable};
+
+use crate::algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
+use crate::event::{Envelope, Epoch, EventKind, TopoEvent};
+use crate::metrics::ShardMetrics;
+use crate::partition::Partitioner;
+use crate::termination::{SafraState, SharedCounters, TerminationMode, Token, TokenAction};
+use crate::trigger::{TriggerDef, TriggerFire};
+use crate::vertex_state::VertexState;
+
+/// Envelopes are shipped in batches to amortize channel overhead (HavoqGT
+/// batches visitor messages the same way); a batch from one sender
+/// preserves its internal order, so per-pair FIFO is unaffected.
+pub(crate) const ENVELOPE_BATCH: usize = 256;
+
+/// Messages a shard can receive: data envelopes plus control traffic.
+pub(crate) enum Message<S> {
+    /// An algorithmic event (counted by termination detection).
+    Event(Envelope<S>),
+    /// A batch of algorithmic events (each counted individually).
+    Batch(Vec<Envelope<S>>),
+    /// A batch of topology events for this shard's input stream.
+    Stream(Vec<TopoEvent>),
+    /// Safra termination token.
+    Token(Token),
+    /// Collect states: the snapshot view at `old_epoch` (or live states).
+    Collect {
+        old_epoch: Epoch,
+        live: bool,
+        reply: Sender<Vec<(VertexId, S)>>,
+    },
+    /// Point query: one vertex's live local state (§VI-A: "any vertices'
+    /// local state can be observed in constant time").
+    Query {
+        vertex: VertexId,
+        reply: Sender<Option<S>>,
+    },
+    /// Stop immediately and report.
+    Shutdown,
+}
+
+/// Immutable engine configuration shared with every shard.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of shard threads (the paper's "processes"/"nodes").
+    pub num_shards: usize,
+    /// Undirected mode: every `Add` spawns the `ReverseAdd` (§III-A).
+    pub undirected: bool,
+    /// Which quiescence detector runs.
+    pub termination: TerminationMode,
+    /// How long an idle shard parks on its channel per wait.
+    pub idle_park: Duration,
+}
+
+impl EngineConfig {
+    /// `shards` shard threads, undirected, counter-based termination.
+    pub fn undirected(shards: usize) -> Self {
+        EngineConfig {
+            num_shards: shards,
+            undirected: true,
+            termination: TerminationMode::Counter,
+            idle_park: Duration::from_micros(200),
+        }
+    }
+
+    /// `shards` shard threads, directed edges.
+    pub fn directed(shards: usize) -> Self {
+        EngineConfig {
+            undirected: false,
+            ..Self::undirected(shards)
+        }
+    }
+}
+
+/// What a shard hands back when it stops.
+pub(crate) struct ShardReport<S> {
+    pub id: usize,
+    pub states: Vec<(VertexId, S)>,
+    pub metrics: ShardMetrics,
+    pub num_vertices: usize,
+    pub num_edges: u64,
+    pub adjacency_bytes: usize,
+    /// The shard's vertex table (dynamic store), for post-run static
+    /// algorithms over the dynamic structure (paper Fig. 3 centre bar).
+    pub table: VertexTable<VertexState<S>>,
+}
+
+pub(crate) struct ShardWorker<A: Algorithm> {
+    id: usize,
+    algo: Arc<A>,
+    config: EngineConfig,
+    part: Partitioner,
+    rx: Receiver<Message<A::State>>,
+    senders: Vec<Sender<Message<A::State>>>,
+    shared: Arc<SharedCounters>,
+    triggers: Arc<Vec<TriggerDef<A::State>>>,
+    trigger_tx: Sender<TriggerFire>,
+    quiesce_tx: Sender<()>,
+
+    table: VertexTable<VertexState<A::State>>,
+    /// Envelopes this shard sent to itself: bypass the channel, preserve
+    /// FIFO (a local queue is trivially in-order per sender).
+    local_q: VecDeque<Envelope<A::State>>,
+    streams: VecDeque<std::vec::IntoIter<TopoEvent>>,
+    out: Vec<Outgoing<A::State>>,
+    /// Per-destination-shard buffers of unsent envelopes.
+    outboxes: Vec<Vec<Envelope<A::State>>>,
+    /// Local monotone counters, published to this shard's [`ShardSlots`].
+    sent_local: [u64; 2],
+    processed_local: [u64; 2],
+    ingested_local: u64,
+    pending_fires: Vec<TriggerFire>,
+    metrics: ShardMetrics,
+    safra: SafraState,
+    edges: u64,
+    seq: u64,
+}
+
+impl<A: Algorithm> ShardWorker<A> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        algo: Arc<A>,
+        config: EngineConfig,
+        rx: Receiver<Message<A::State>>,
+        senders: Vec<Sender<Message<A::State>>>,
+        shared: Arc<SharedCounters>,
+        triggers: Arc<Vec<TriggerDef<A::State>>>,
+        trigger_tx: Sender<TriggerFire>,
+        quiesce_tx: Sender<()>,
+    ) -> Self {
+        let part = Partitioner::new(config.num_shards);
+        let num_shards = config.num_shards;
+        ShardWorker {
+            id,
+            algo,
+            config,
+            part,
+            rx,
+            senders,
+            shared,
+            triggers,
+            trigger_tx,
+            quiesce_tx,
+            table: VertexTable::new(),
+            local_q: VecDeque::new(),
+            streams: VecDeque::new(),
+            out: Vec::new(),
+            outboxes: (0..num_shards).map(|_| Vec::new()).collect(),
+            sent_local: [0; 2],
+            processed_local: [0; 2],
+            ingested_local: 0,
+            pending_fires: Vec::new(),
+            metrics: ShardMetrics::default(),
+            safra: SafraState::default(),
+            edges: 0,
+            seq: 0,
+        }
+    }
+
+    /// The worker loop. Returns the shard's final report on shutdown.
+    pub(crate) fn run(mut self) -> ShardReport<A::State> {
+        use std::sync::atomic::Ordering;
+        loop {
+            // Phase 1: drain all queued messages (algorithm events first):
+            // alternate between the inbound channel and the local queue
+            // until both are empty.
+            let mut did_work = false;
+            loop {
+                let mut round = false;
+                while let Ok(msg) = self.rx.try_recv() {
+                    round = true;
+                    if self.dispatch(msg) {
+                        return self.report();
+                    }
+                }
+                while let Some(env) = self.local_q.pop_front() {
+                    round = true;
+                    self.safra.on_receive();
+                    self.process(env);
+                }
+                if !round {
+                    break;
+                }
+                did_work = true;
+            }
+
+            // Phase 2: publish the epoch this iteration will tag pulls with
+            // (the snapshot barrier ack — see Engine::snapshot).
+            let epoch = self.shared.epoch.load(Ordering::SeqCst);
+            self.shared
+                .slot(self.id)
+                .epoch_ack
+                .store(epoch, Ordering::SeqCst);
+
+            // Phase 3: pull one topology event, if any.
+            if let Some(ev) = self.next_topo() {
+                self.metrics.topo_ingested += 1;
+                self.ingested_local += 1;
+                self.shared
+                    .slot(self.id)
+                    .ingested
+                    .store(self.ingested_local, Ordering::Release);
+                self.route_topo(ev, epoch);
+                continue;
+            }
+            if did_work {
+                continue;
+            }
+
+            // Phase 4: fully idle — flush buffered envelopes, then
+            // termination detection, then park.
+            self.flush_all();
+            self.idle_step();
+            match self.rx.recv_timeout(self.config.idle_park) {
+                Ok(msg) => {
+                    if self.dispatch(msg) {
+                        return self.report();
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return self.report(),
+            }
+        }
+    }
+
+    /// Handles one message; returns true on shutdown.
+    fn dispatch(&mut self, msg: Message<A::State>) -> bool {
+        match msg {
+            Message::Event(env) => {
+                self.safra.on_receive();
+                self.process(env);
+                false
+            }
+            Message::Batch(batch) => {
+                for env in batch {
+                    self.safra.on_receive();
+                    self.process(env);
+                }
+                false
+            }
+            Message::Stream(events) => {
+                self.streams.push_back(events.into_iter());
+                false
+            }
+            Message::Token(tok) => {
+                self.safra.held = Some(tok);
+                false
+            }
+            Message::Collect {
+                old_epoch,
+                live,
+                reply,
+            } => {
+                let states = self.collect(old_epoch, live);
+                let _ = reply.send(states);
+                false
+            }
+            Message::Query { vertex, reply } => {
+                let state = self.table.get(vertex).map(|r| r.state.live.clone());
+                let _ = reply.send(state);
+                false
+            }
+            Message::Shutdown => true,
+        }
+    }
+
+    /// Processes one algorithmic envelope.
+    fn process(&mut self, env: Envelope<A::State>) {
+        self.seq += 1;
+        let target = env.target;
+        let (rec, _) = self.table.ensure(target);
+        if rec.state.fork_for(env.epoch) {
+            self.metrics.snapshot_forks += 1;
+        }
+
+        // Topology maintenance is handled by the framework (Algorithm 3):
+        // Add/ReverseAdd insert the edge before the user callback runs.
+        match env.kind {
+            EventKind::Add | EventKind::ReverseAdd => {
+                let cached = if env.kind == EventKind::ReverseAdd {
+                    A::encode_cache(&env.value)
+                } else {
+                    0
+                };
+                let new_edge = rec.adj.insert(
+                    env.visitor,
+                    EdgeMeta {
+                        weight: env.weight,
+                        cached,
+                    },
+                );
+                if new_edge {
+                    self.edges += 1;
+                    self.metrics.edges_inserted += 1;
+                } else {
+                    self.metrics.duplicate_edges += 1;
+                }
+            }
+            EventKind::Update => {
+                // Cache the visitor's value on our edge to it, if present
+                // (`this.nbrs.set(vis_ID, vis_val)`).
+                rec.adj.set_cached(env.visitor, A::encode_cache(&env.value));
+            }
+            EventKind::Remove | EventKind::ReverseRemove => {
+                if rec.adj.remove(env.visitor).is_some() {
+                    self.edges -= 1;
+                    self.metrics.edges_removed += 1;
+                }
+            }
+            EventKind::Init => {}
+        }
+
+        // User callback (single table borrow: reverse-add value capture and
+        // trigger evaluation happen inside the same record access).
+        let mut reverse_value: Option<A::State> = None;
+        {
+            let mut ctx = EventCtx::new(target, rec, &mut self.out, env.epoch);
+            match env.kind {
+                EventKind::Init => {
+                    self.metrics.init_events += 1;
+                    self.algo.init(&mut ctx);
+                }
+                EventKind::Add => {
+                    self.metrics.add_events += 1;
+                    self.algo
+                        .on_add(&mut ctx, env.visitor, &env.value, env.weight);
+                }
+                EventKind::ReverseAdd => {
+                    self.metrics.reverse_add_events += 1;
+                    self.algo
+                        .on_reverse_add(&mut ctx, env.visitor, &env.value, env.weight);
+                }
+                EventKind::Update => {
+                    self.metrics.update_events += 1;
+                    self.algo
+                        .on_update(&mut ctx, env.visitor, &env.value, env.weight);
+                }
+                EventKind::Remove => {
+                    self.metrics.remove_events += 1;
+                    self.algo
+                        .on_remove(&mut ctx, env.visitor, &env.value, env.weight);
+                }
+                EventKind::ReverseRemove => {
+                    self.metrics.remove_events += 1;
+                    self.algo
+                        .on_reverse_remove(&mut ctx, env.visitor, &env.value, env.weight);
+                }
+            }
+
+            // For an undirected Add/Remove, the reverse event carries our
+            // value *after* the callback ran (Algorithm 3 sends
+            // `this.value`).
+            if self.config.undirected && matches!(env.kind, EventKind::Add | EventKind::Remove) {
+                reverse_value = Some(ctx.state().clone());
+            }
+
+            // Trigger evaluation on state change (§III-E): fire-once per
+            // (trigger, vertex), observed on the owning shard.
+            if ctx.state_changed && !self.triggers.is_empty() {
+                let seq = self.seq;
+                let shard = self.id;
+                for (i, t) in self.triggers.iter().enumerate() {
+                    let bit = 1u32 << i;
+                    if ctx.fired_bits() & bit == 0 && (t.predicate)(target, ctx.state()) {
+                        ctx.mark_fired(bit);
+                        self.pending_fires.push(TriggerFire {
+                            trigger: i,
+                            vertex: target,
+                            shard,
+                            seq,
+                        });
+                    }
+                }
+            }
+        }
+        for fire in self.pending_fires.drain(..) {
+            self.metrics.triggers_fired += 1;
+            let _ = self.trigger_tx.send(fire);
+        }
+
+        if let Some(value) = reverse_value {
+            let kind = if env.kind == EventKind::Add {
+                EventKind::ReverseAdd
+            } else {
+                EventKind::ReverseRemove
+            };
+            self.send_envelope(Envelope {
+                target: env.visitor,
+                visitor: target,
+                value,
+                weight: env.weight,
+                kind,
+                epoch: env.epoch,
+            });
+        }
+
+        // Route the callback's generated updates, keeping the buffer's
+        // allocation for the next event.
+        let mut outgoing = std::mem::take(&mut self.out);
+        for o in outgoing.drain(..) {
+            self.send_envelope(Envelope {
+                target: o.target,
+                visitor: target,
+                value: o.value,
+                weight: o.weight,
+                kind: EventKind::Update,
+                epoch: env.epoch,
+            });
+        }
+        self.out = outgoing;
+
+        // Retire the envelope only after its children's sends were
+        // published (four-counter soundness).
+        self.note_processed(env.epoch);
+    }
+
+    /// Publishes one processed envelope of `epoch`'s parity.
+    #[inline]
+    fn note_processed(&mut self, epoch: Epoch) {
+        use std::sync::atomic::Ordering;
+        let p = (epoch & 1) as usize;
+        self.processed_local[p] += 1;
+        self.shared.slot(self.id).processed[p].store(self.processed_local[p], Ordering::Release);
+    }
+
+    /// Publishes one created envelope of `epoch`'s parity. Must happen
+    /// before the envelope becomes receivable.
+    #[inline]
+    fn note_sent(&mut self, epoch: Epoch) {
+        use std::sync::atomic::Ordering;
+        let p = (epoch & 1) as usize;
+        self.sent_local[p] += 1;
+        self.shared.slot(self.id).sent[p].store(self.sent_local[p], Ordering::Release);
+    }
+
+    /// Routes a pulled topology event as an `Add`/`Remove` at `owner(src)`.
+    fn route_topo(&mut self, ev: TopoEvent, epoch: Epoch) {
+        let kind = match ev.op {
+            crate::event::TopoOp::Add => EventKind::Add,
+            crate::event::TopoOp::Remove => EventKind::Remove,
+        };
+        self.send_envelope(Envelope {
+            target: ev.src,
+            visitor: ev.dst,
+            value: A::State::default(),
+            weight: ev.weight,
+            kind,
+            epoch,
+        });
+    }
+
+    /// Queues an envelope for its owner (possibly self), with termination
+    /// accounting. Buffered envelopes are already counted as in flight;
+    /// buffers flush when full or when the shard goes idle, so the
+    /// in-flight counter can only reach zero once every buffer is empty.
+    fn send_envelope(&mut self, env: Envelope<A::State>) {
+        self.note_sent(env.epoch);
+        self.safra.on_send();
+        self.metrics.envelopes_sent += 1;
+        let owner = self.part.owner(env.target);
+        if owner == self.id {
+            self.local_q.push_back(env);
+            return;
+        }
+        self.outboxes[owner].push(env);
+        if self.outboxes[owner].len() >= ENVELOPE_BATCH {
+            self.flush(owner);
+        }
+    }
+
+    /// Ships one destination's buffered envelopes.
+    fn flush(&mut self, owner: usize) {
+        if self.outboxes[owner].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.outboxes[owner]);
+        if let Err(e) = self.senders[owner].send(Message::Batch(batch)) {
+            // Receiver shut down mid-run (engine teardown): retire the
+            // envelopes so counters stay balanced.
+            if let Message::Batch(batch) = e.into_inner() {
+                for env in batch {
+                    self.safra.count -= 1;
+                    self.note_processed(env.epoch);
+                }
+            }
+        }
+    }
+
+    /// Ships every buffered envelope.
+    fn flush_all(&mut self) {
+        for owner in 0..self.outboxes.len() {
+            self.flush(owner);
+        }
+    }
+
+    /// Next topology event from the shard's pending streams.
+    fn next_topo(&mut self) -> Option<TopoEvent> {
+        loop {
+            let front = self.streams.front_mut()?;
+            match front.next() {
+                Some(ev) => return Some(ev),
+                None => {
+                    self.streams.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Safra participation while idle (counter mode: no-op; the controller
+    /// reads the shared counters directly).
+    fn idle_step(&mut self) {
+        if self.config.termination != TerminationMode::Safra {
+            return;
+        }
+        // Passive: no local stream work (inbound known empty at this point).
+        if !self.streams.is_empty() {
+            return;
+        }
+        if let Some(tok) = self.safra.held.take() {
+            self.metrics.safra_tokens += 1;
+            match self.safra.process_token(tok, self.id == 0) {
+                TokenAction::Forward(t) | TokenAction::Restart(t) => self.send_token(t),
+                TokenAction::Quiescent => {
+                    let _ = self.quiesce_tx.send(());
+                }
+            }
+        } else if self.id == 0 && !self.safra.round_active && !self.safra.announced {
+            let t = self.safra.start_round();
+            self.send_token(t);
+        }
+    }
+
+    fn send_token(&mut self, t: Token) {
+        let next = (self.id + 1) % self.config.num_shards;
+        let _ = self.senders[next].send(Message::Token(t));
+    }
+
+    /// Collects this shard's contribution to a snapshot (or the live view).
+    fn collect(&mut self, old_epoch: Epoch, live: bool) -> Vec<(VertexId, A::State)> {
+        let default = A::State::default();
+        let mut states = Vec::with_capacity(self.table.num_vertices());
+        for (v, rec) in self.table.iter_mut() {
+            if live {
+                states.push((v, rec.state.live.clone()));
+            } else {
+                let view = rec.state.snapshot_view(old_epoch);
+                // A vertex still at bottom did not exist (algorithmically)
+                // at the snapshot point; omit it, matching what a static
+                // run over the stream prefix would produce.
+                if *view != default {
+                    states.push((v, view.clone()));
+                }
+                rec.state.clear_fork();
+            }
+        }
+        states
+    }
+
+    fn report(mut self) -> ShardReport<A::State> {
+        let states = self.collect(u32::MAX, true);
+        ShardReport {
+            id: self.id,
+            states,
+            metrics: self.metrics,
+            num_vertices: self.table.num_vertices(),
+            num_edges: self.edges,
+            adjacency_bytes: self.table.adjacency_heap_bytes(),
+            table: self.table,
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Quiescence / termination detection.
+//!
+//! "Processing completes when all visitors have completed, which is
+//! determined by a distributed quiescence detection algorithm" (§III-F,
+//! citing Pearce et al. \[24\]). Two detectors are provided:
+//!
+//! - **Counter** (default): Mattern's *four-counter method*. Every shard
+//!   owns monotone `sent` / `processed` counters (per snapshot-epoch
+//!   parity) on its own padded cache line, published with plain atomic
+//!   stores — there is **no shared read-modify-write on the data path**.
+//!   The controller probes in two waves: first it sums `processed` (R),
+//!   then `sent` (S); because a shard publishes `sent` *before* an envelope
+//!   becomes receivable, published S ≥ published R always, and `S == R`
+//!   proves no envelope is in flight or buffered. Stream ingestion is
+//!   covered by a third monotone counter pair (`injected` by the
+//!   controller, `ingested` by shards).
+//! - **Safra**: the classic Dijkstra–Feijen–van Gasteren/Safra token-ring
+//!   algorithm — per-shard message counts and colours, a token circulating
+//!   `0 → 1 → … → P-1 → 0`, termination when a white token returns to a
+//!   white shard 0 with a zero global count. Fully decentralized; the
+//!   detector a distributed deployment would run. The `ablate_termination`
+//!   bench measures the cost difference.
+//!
+//! The per-parity split is what the snapshot protocol (§III-D) uses to know
+//! when all events of the *previous* epoch have drained without pausing the
+//! new epoch's stream.
+
+use crate::event::Epoch;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Which detector the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TerminationMode {
+    /// Four-counter probing over per-shard published counters (fast path).
+    #[default]
+    Counter,
+    /// Safra's token-ring algorithm (fully decentralized).
+    Safra,
+}
+
+/// One participant's published monotone counters. Each lives on its own
+/// cache line; only the owner writes it (plain stores), only the controller
+/// reads it.
+#[derive(Debug, Default)]
+pub struct ShardSlots {
+    /// Envelopes created, by epoch parity. Published **before** the
+    /// envelope can be received anywhere (the four-counter soundness
+    /// condition).
+    pub sent: [AtomicU64; 2],
+    /// Envelopes fully processed (including the publication of any derived
+    /// envelopes), by epoch parity.
+    pub processed: [AtomicU64; 2],
+    /// Topology events pulled from this shard's input streams.
+    pub ingested: AtomicU64,
+    /// Last epoch this shard has observed (snapshot barrier ack).
+    pub epoch_ack: AtomicU32,
+}
+
+/// Engine-wide bookkeeping: the epoch cell, the controller's injection
+/// count, and one padded [`ShardSlots`] per shard plus one extra slot
+/// (index `P`) for envelopes the controller itself creates (`init_vertex`).
+#[derive(Debug)]
+pub struct SharedCounters {
+    /// Current snapshot epoch; stream events are tagged with this.
+    pub epoch: AtomicU32,
+    /// Total topology events handed to shards (controller-written).
+    pub injected: AtomicU64,
+    slots: Vec<CachePadded<ShardSlots>>,
+}
+
+impl SharedCounters {
+    /// Counters for `shards` shards (plus the controller slot).
+    pub fn new(shards: usize) -> Self {
+        SharedCounters {
+            epoch: AtomicU32::new(0),
+            injected: AtomicU64::new(0),
+            slots: (0..=shards)
+                .map(|_| CachePadded::new(ShardSlots::default()))
+                .collect(),
+        }
+    }
+
+    /// The slot owned by `id` (shards use their index; the controller uses
+    /// `num_shards`).
+    #[inline]
+    pub fn slot(&self, id: usize) -> &ShardSlots {
+        &self.slots[id]
+    }
+
+    /// Index of the controller's slot.
+    #[inline]
+    pub fn controller_slot(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    fn sum_processed(&self, parity: usize) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.processed[parity].load(Ordering::SeqCst))
+            .sum()
+    }
+
+    fn sum_sent(&self, parity: usize) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.sent[parity].load(Ordering::SeqCst))
+            .sum()
+    }
+
+    fn sum_ingested(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.ingested.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// One four-counter quiescence probe. Sound (no false positives):
+    /// `processed` for an envelope is only ever published after its `sent`
+    /// was published, so with R read strictly before S, `S == R` implies no
+    /// envelope is unprocessed; `ingested == injected` implies no stream
+    /// event is pending. May return false negatives (probe again).
+    pub fn quiescent_probe(&self) -> bool {
+        if self.sum_ingested() != self.injected.load(Ordering::SeqCst) {
+            return false;
+        }
+        // Wave 1: received/processed counts (R).
+        let r = [self.sum_processed(0), self.sum_processed(1)];
+        // Wave 2: sent counts (S) — strictly after wave 1.
+        let s = [self.sum_sent(0), self.sum_sent(1)];
+        s == r
+    }
+
+    /// Four-counter probe restricted to one epoch's parity class — used by
+    /// the snapshot protocol to wait for the old epoch to drain. Only sound
+    /// once no *new* events of that parity can be born (the epoch-ack
+    /// barrier guarantees that for stream events; cascades of the old epoch
+    /// are covered by the counters themselves).
+    pub fn drained_probe(&self, epoch: Epoch) -> bool {
+        let p = (epoch & 1) as usize;
+        let r = self.sum_processed(p);
+        let s = self.sum_sent(p);
+        s == r
+    }
+}
+
+/// The circulating Safra token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Accumulated message-count sum of the shards visited this round.
+    pub q: i64,
+    /// True if any visited shard was black.
+    pub black: bool,
+}
+
+/// What a shard should do with a token it processed while passive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenAction {
+    /// Forward this token to the next shard in the ring.
+    Forward(Token),
+    /// Ring 0 determined global quiescence.
+    Quiescent,
+    /// Ring 0 must start a fresh probe round.
+    Restart(Token),
+}
+
+/// Per-shard Safra bookkeeping.
+#[derive(Debug, Default)]
+pub struct SafraState {
+    /// Messages sent minus messages received (data envelopes only).
+    pub count: i64,
+    /// Black after receiving any data message since last token pass.
+    pub black: bool,
+    /// A token received while the shard was still active, parked until the
+    /// shard goes passive.
+    pub held: Option<Token>,
+    /// Shard 0 only: a probe round is in flight.
+    pub round_active: bool,
+    /// Shard 0 only: quiescence was announced and no activity has occurred
+    /// since (suppresses redundant probe rounds).
+    pub announced: bool,
+}
+
+impl SafraState {
+    /// Bookkeeping for sending one data message.
+    #[inline]
+    pub fn on_send(&mut self) {
+        self.count += 1;
+    }
+
+    /// Bookkeeping for receiving one data message (Safra: receipt blackens).
+    #[inline]
+    pub fn on_receive(&mut self) {
+        self.count -= 1;
+        self.black = true;
+        self.announced = false;
+    }
+
+    /// Shard 0 starts a probe: emits a fresh white token and whitens itself.
+    pub fn start_round(&mut self) -> Token {
+        self.round_active = true;
+        self.black = false;
+        Token { q: 0, black: false }
+    }
+
+    /// Processes a held token at a **passive** shard. `is_ring_zero`
+    /// selects the evaluation rule.
+    pub fn process_token(&mut self, token: Token, is_ring_zero: bool) -> TokenAction {
+        if is_ring_zero {
+            // Round complete: evaluate Safra's termination condition.
+            if !token.black && !self.black && token.q + self.count == 0 {
+                self.round_active = false;
+                self.announced = true;
+                TokenAction::Quiescent
+            } else {
+                TokenAction::Restart(self.start_round())
+            }
+        } else {
+            let fwd = Token {
+                q: token.q + self.count,
+                black: token.black || self.black,
+            };
+            self.black = false;
+            TokenAction::Forward(fwd)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates the publication discipline for one shard.
+    struct Sim<'a> {
+        c: &'a SharedCounters,
+        id: usize,
+        sent: [u64; 2],
+        processed: [u64; 2],
+    }
+
+    impl<'a> Sim<'a> {
+        fn new(c: &'a SharedCounters, id: usize) -> Self {
+            Sim {
+                c,
+                id,
+                sent: [0; 2],
+                processed: [0; 2],
+            }
+        }
+        fn send(&mut self, epoch: Epoch) {
+            let p = (epoch & 1) as usize;
+            self.sent[p] += 1;
+            self.c.slot(self.id).sent[p].store(self.sent[p], Ordering::SeqCst);
+        }
+        fn process(&mut self, epoch: Epoch) {
+            let p = (epoch & 1) as usize;
+            self.processed[p] += 1;
+            self.c.slot(self.id).processed[p].store(self.processed[p], Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn four_counter_basics() {
+        let c = SharedCounters::new(2);
+        assert!(c.quiescent_probe(), "empty system is quiescent");
+        let mut s0 = Sim::new(&c, 0);
+        s0.send(0);
+        assert!(!c.quiescent_probe(), "in-flight envelope detected");
+        s0.process(0);
+        assert!(c.quiescent_probe());
+    }
+
+    #[test]
+    fn parity_classes_are_independent() {
+        let c = SharedCounters::new(1);
+        let mut s = Sim::new(&c, 0);
+        s.send(2); // parity 0
+        s.send(3); // parity 1
+        assert!(!c.drained_probe(2));
+        assert!(!c.drained_probe(3));
+        s.process(2);
+        assert!(c.drained_probe(2));
+        assert!(!c.drained_probe(3));
+        s.process(3);
+        assert!(c.drained_probe(3));
+    }
+
+    #[test]
+    fn stream_injection_blocks_quiescence() {
+        let c = SharedCounters::new(1);
+        c.injected.store(5, Ordering::SeqCst);
+        assert!(!c.quiescent_probe(), "uningested stream events pending");
+        c.slot(0).ingested.store(5, Ordering::SeqCst);
+        assert!(c.quiescent_probe());
+    }
+
+    #[test]
+    fn controller_slot_counts() {
+        let c = SharedCounters::new(2);
+        let ctl = c.controller_slot();
+        assert_eq!(ctl, 2);
+        c.slot(ctl).sent[0].store(1, Ordering::SeqCst);
+        assert!(!c.quiescent_probe());
+        let mut s1 = Sim::new(&c, 1);
+        s1.process(0); // the shard that received the init retires it
+        assert!(c.quiescent_probe());
+    }
+
+    /// Simulates a 3-shard ring with no outstanding messages: the first
+    /// probe round must conclude quiescence.
+    #[test]
+    fn safra_clean_ring_terminates_first_round() {
+        let mut shards: Vec<SafraState> = (0..3).map(|_| SafraState::default()).collect();
+        let mut token = shards[0].start_round();
+        for shard in shards.iter_mut().skip(1) {
+            match shard.process_token(token, false) {
+                TokenAction::Forward(t) => token = t,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(shards[0].process_token(token, true), TokenAction::Quiescent);
+    }
+
+    /// A message in flight (sent but not yet received) makes the count sum
+    /// nonzero: the round must restart, and must succeed after delivery and
+    /// one extra (whitening) round.
+    #[test]
+    fn safra_detects_in_flight_message() {
+        let mut shards: Vec<SafraState> = (0..2).map(|_| SafraState::default()).collect();
+        shards[0].on_send(); // 0 sent to 1; not yet received
+
+        let mut token = shards[0].start_round();
+        match shards[1].process_token(token, false) {
+            TokenAction::Forward(t) => token = t,
+            other => panic!("unexpected {other:?}"),
+        }
+        // q = 0 (shard1 count 0), shard0 count = +1 -> sum 1 != 0: restart.
+        let t2 = match shards[0].process_token(token, true) {
+            TokenAction::Restart(t) => t,
+            other => panic!("expected restart, got {other:?}"),
+        };
+
+        // Message now delivered: shard 1 receives and turns black.
+        shards[1].on_receive();
+        let mut token = t2;
+        match shards[1].process_token(token, false) {
+            TokenAction::Forward(t) => token = t,
+            other => panic!("unexpected {other:?}"),
+        }
+        // Counts now sum to zero but shard 1 was black: restart again.
+        let t3 = match shards[0].process_token(token, true) {
+            TokenAction::Restart(t) => t,
+            other => panic!("expected restart (black), got {other:?}"),
+        };
+
+        // Clean round: terminates.
+        let mut token = t3;
+        match shards[1].process_token(token, false) {
+            TokenAction::Forward(t) => token = t,
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(shards[0].process_token(token, true), TokenAction::Quiescent);
+    }
+
+    #[test]
+    fn safra_self_ring_single_shard() {
+        // P = 1: shard 0 sends itself a message, receives it, then probes.
+        let mut s = SafraState::default();
+        s.on_send();
+        s.on_receive();
+        let token = s.start_round();
+        // Token returns immediately (ring of one): start_round whitened the
+        // shard, so the round is clean and counts cancel.
+        assert_eq!(s.process_token(token, true), TokenAction::Quiescent);
+        assert!(s.announced);
+    }
+
+    #[test]
+    fn safra_announcement_resets_on_activity() {
+        let mut s = SafraState::default();
+        let token = s.start_round();
+        assert_eq!(s.process_token(token, true), TokenAction::Quiescent);
+        assert!(s.announced);
+        s.on_send();
+        s.on_receive();
+        assert!(!s.announced, "new activity must re-arm the announcer");
+    }
+}

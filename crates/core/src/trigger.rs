@@ -1,0 +1,69 @@
+//! Local-state triggers: the "When" in graph processing (§II, §III-E).
+//!
+//! A trigger is a user-defined predicate over `(vertex, local state)`. The
+//! engine evaluates the registered triggers for a vertex every time that
+//! vertex's state changes, on the shard that owns the vertex — local state
+//! "can be observed immediately, at a low cost, during algorithm execution".
+//!
+//! For REMO algorithms the paper guarantees (§III-E): no false positives
+//! (monotone state never regresses out of a satisfied predicate) and
+//! at-most-once firing. The engine enforces the at-most-once half with a
+//! per-vertex fired bitmask; the no-false-positives half is a property of
+//! the algorithm's monotone predicate, asserted by integration tests.
+
+use remo_store::VertexId;
+
+/// Maximum number of triggers per engine (fired flags live in a `u32`).
+pub const MAX_TRIGGERS: usize = 32;
+
+/// Boxed trigger predicate over `(vertex, state)`.
+pub type TriggerPredicate<S> = Box<dyn Fn(VertexId, &S) -> bool + Send + Sync>;
+
+/// A registered trigger: predicate over local state.
+pub struct TriggerDef<S> {
+    /// Human-readable label, carried into [`TriggerFire`] reports.
+    pub label: String,
+    /// Predicate over `(vertex, state)`. Must be monotone for REMO
+    /// guarantees to hold: once true, forever true.
+    pub predicate: TriggerPredicate<S>,
+}
+
+/// A trigger firing, delivered to the controller in real time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerFire {
+    /// Index of the trigger (registration order).
+    pub trigger: usize,
+    /// Vertex whose local state satisfied the predicate.
+    pub vertex: VertexId,
+    /// Shard that observed the fire.
+    pub shard: usize,
+    /// The observing shard's event sequence number at fire time — a
+    /// causally meaningful local timestamp ("when" in event-time).
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_def_evaluates() {
+        let t = TriggerDef::<u64> {
+            label: "level<=2".into(),
+            predicate: Box::new(|_, s| *s <= 2),
+        };
+        assert!((t.predicate)(1, &2));
+        assert!(!(t.predicate)(1, &3));
+    }
+
+    #[test]
+    fn fire_equality() {
+        let a = TriggerFire {
+            trigger: 0,
+            vertex: 5,
+            shard: 1,
+            seq: 10,
+        };
+        assert_eq!(a.clone(), a);
+    }
+}

@@ -1,0 +1,32 @@
+//! # remo-gen — workload generation
+//!
+//! Deterministic, seeded graph generators and stream tooling for the
+//! reproduction's experiments:
+//!
+//! - [`rmat`]: RMAT with Graph500 parameters (identical to the paper's
+//!   synthetic workloads).
+//! - [`social`]: preferential attachment (Twitter/Friendster stand-ins).
+//! - [`web`]: copying-model web graphs (SK2005/Webgraph stand-ins).
+//! - [`random`]: Erdős–Rényi and Watts–Strogatz controls.
+//! - [`stream`]: shuffle / split / weight-decorate edge streams, matching
+//!   the paper's ingestion methodology (§V-A).
+//! - [`datasets`]: the Table I stand-in registry used by the benches.
+//!
+//! Everything is deterministic per seed so that the dynamic engine, the
+//! static oracle, and every shard-count configuration see the same graph.
+
+pub mod datasets;
+pub mod random;
+pub mod rmat;
+pub mod social;
+pub mod stream;
+pub mod web;
+
+/// Vertex identifier (matches `remo_store::VertexId`; the generator crate is
+/// dependency-free by design).
+pub type VertexId = u64;
+
+pub use datasets::{table_row, Dataset, DatasetRow};
+pub use rmat::RmatConfig;
+pub use social::SocialConfig;
+pub use web::WebConfig;

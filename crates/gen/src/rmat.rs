@@ -1,0 +1,207 @@
+//! RMAT (Recursive MATrix) graph generator with Graph500 parameters.
+//!
+//! The paper's synthetic workloads are "RMAT graphs (Graph500 parameters)"
+//! with "a 16x undirected (32x directed) edge factor" (Table I): a graph of
+//! SCALE `s` has `2^s` vertices and `2^s * 16` undirected edges. Graph500
+//! fixes the quadrant probabilities at A=0.57, B=0.19, C=0.19, D=0.05.
+//!
+//! Each edge is generated independently by descending `s` levels of the
+//! recursive adjacency-matrix partition, which makes generation trivially
+//! parallel and — more importantly for us — deterministic per (seed, index):
+//! the same stream can be regenerated for the static oracle and for every
+//! shard count.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::VertexId;
+
+/// Graph500 RMAT quadrant probabilities.
+pub const GRAPH500_A: f64 = 0.57;
+pub const GRAPH500_B: f64 = 0.19;
+pub const GRAPH500_C: f64 = 0.19;
+
+/// Configuration for the RMAT generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Directed edges per vertex (Graph500 uses 16 undirected = 32 directed;
+    /// the engine adds the reverse direction itself for undirected runs, so
+    /// `edge_factor = 16` matches the paper's Table I).
+    pub edge_factor: u32,
+    /// Quadrant probabilities; `d` is implied (1 - a - b - c).
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// When true, vertex ids are scrambled with a hash-based permutation so
+    /// that id order carries no structural information (Graph500 requires
+    /// this; it also prevents the consistent-hash partitioner from
+    /// accidentally aligning with RMAT's quadrant structure).
+    pub scramble: bool,
+}
+
+impl RmatConfig {
+    /// Graph500 defaults at the given scale.
+    pub fn graph500(scale: u32) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor: 16,
+            a: GRAPH500_A,
+            b: GRAPH500_B,
+            c: GRAPH500_C,
+            seed: 0x5eed_0001,
+            scramble: true,
+        }
+    }
+
+    /// Number of vertices (`2^scale`).
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of directed edges generated.
+    pub fn num_edges(&self) -> u64 {
+        self.num_vertices() * self.edge_factor as u64
+    }
+}
+
+/// Generates the full edge list for `cfg`.
+pub fn generate(cfg: &RmatConfig) -> Vec<(VertexId, VertexId)> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = cfg.num_edges() as usize;
+    let mut edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        edges.push(one_edge(cfg, &mut rng));
+    }
+    edges
+}
+
+/// Generates a single RMAT edge.
+fn one_edge(cfg: &RmatConfig, rng: &mut SmallRng) -> (VertexId, VertexId) {
+    let mut src: u64 = 0;
+    let mut dst: u64 = 0;
+    let ab = cfg.a + cfg.b;
+    let abc = ab + cfg.c;
+    for _ in 0..cfg.scale {
+        src <<= 1;
+        dst <<= 1;
+        let r: f64 = rng.gen();
+        if r < cfg.a {
+            // top-left: no bits set
+        } else if r < ab {
+            dst |= 1;
+        } else if r < abc {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    if cfg.scramble {
+        (
+            scramble_id(src, cfg.seed, cfg.scale),
+            scramble_id(dst, cfg.seed, cfg.scale),
+        )
+    } else {
+        (src, dst)
+    }
+}
+
+/// A seeded **bijective** permutation of the `scale`-bit id domain, as
+/// Graph500 requires (a lossy hash would merge vertices — ~37% of the id
+/// space at typical scales — and distort both |V| and the degree
+/// distribution). Built from operations that are individually invertible on
+/// an s-bit domain: xor with a constant, multiplication by an odd number
+/// modulo 2^s, and xorshift-right.
+#[inline]
+fn scramble_id(v: u64, seed: u64, scale: u32) -> u64 {
+    let mask = (1u64 << scale) - 1;
+    let half = (scale / 2).max(1);
+    let mut x = (v ^ seed) & mask;
+    for round in 0..3u32 {
+        // Odd multiplier: bijective mod 2^scale.
+        x = x.wrapping_mul(0xd134_2543_de82_ef95) & mask;
+        // Xorshift: invertible on the s-bit domain.
+        x ^= x >> half;
+        // Seeded offset: bijective.
+        x = x.wrapping_add(seed.rotate_left(round * 13)) & mask;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = RmatConfig::graph500(10);
+        assert_eq!(cfg.num_vertices(), 1024);
+        assert_eq!(cfg.num_edges(), 16 * 1024);
+        let edges = generate(&cfg);
+        assert_eq!(edges.len(), 16 * 1024);
+        let n = cfg.num_vertices();
+        assert!(edges.iter().all(|&(s, d)| s < n && d < n));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RmatConfig::graph500(8);
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = RmatConfig { seed: 42, ..cfg };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn skew_produces_heavy_hitters() {
+        // RMAT graphs are scale-free: the most popular vertex should have
+        // far more than the average degree.
+        let cfg = RmatConfig {
+            scramble: false,
+            ..RmatConfig::graph500(12)
+        };
+        let edges = generate(&cfg);
+        let mut deg = vec![0u64; cfg.num_vertices() as usize];
+        for &(s, d) in &edges {
+            deg[s as usize] += 1;
+            deg[d as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = 2 * edges.len() as u64 / cfg.num_vertices();
+        assert!(
+            max > avg * 10,
+            "expected power-law skew: max {max} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn scramble_is_a_bijection() {
+        for scale in [1u32, 4, 10] {
+            let n = 1u64 << scale;
+            let mut seen = std::collections::HashSet::new();
+            for v in 0..n {
+                let s = scramble_id(v, 0x5eed, scale);
+                assert!(s < n, "out of domain");
+                assert!(seen.insert(s), "collision at scale {scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn scramble_decorrelates_ids_from_degree() {
+        // Without scramble, vertex 0 is the hottest id. With scramble the
+        // hot vertex should land elsewhere almost surely.
+        let cfg = RmatConfig::graph500(12);
+        let edges = generate(&cfg);
+        let mut deg = std::collections::HashMap::new();
+        for &(s, d) in &edges {
+            *deg.entry(s).or_insert(0u64) += 1;
+            *deg.entry(d).or_insert(0u64) += 1;
+        }
+        let (hot, _) = deg.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert_ne!(*hot, 0, "scramble left vertex 0 the hottest");
+    }
+}

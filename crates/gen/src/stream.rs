@@ -1,0 +1,137 @@
+//! Edge-stream utilities.
+//!
+//! The paper's ingestion model (§III-C, §V-A): topology events arrive over
+//! one or more streams; "each individual stream presents its own events
+//! in-order, and events on different streams are treated as concurrent".
+//! For evaluation, "edges are pre-randomized and ingested ... parallelized
+//! into one stream per MPI rank". These helpers implement that methodology:
+//! deterministic shuffling, stream splitting, and weight decoration.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::VertexId;
+
+/// A directed, optionally weighted topology event stream (in event order).
+pub type Edges = Vec<(VertexId, VertexId)>;
+
+/// Fisher–Yates shuffles `edges` in place with a seeded RNG
+/// ("edges are pre-randomized", §V-A).
+pub fn shuffle(edges: &mut [(VertexId, VertexId)], seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..edges.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        edges.swap(i, j);
+    }
+}
+
+/// Splits a stream into `k` in-order sub-streams, round-robin. Events within
+/// each sub-stream preserve their relative order (the per-stream ordering
+/// guarantee); events across sub-streams become concurrent.
+pub fn split(edges: &[(VertexId, VertexId)], k: usize) -> Vec<Edges> {
+    assert!(k > 0, "need at least one stream");
+    let mut streams: Vec<Edges> = (0..k)
+        .map(|i| Vec::with_capacity(edges.len() / k + usize::from(i < edges.len() % k)))
+        .collect();
+    for (i, &e) in edges.iter().enumerate() {
+        streams[i % k].push(e);
+    }
+    streams
+}
+
+/// Decorates a stream with uniform random weights in `1..=max_weight`
+/// (for SSSP workloads; the real datasets in Table I are unweighted, so the
+/// paper, like us, synthesizes weights).
+pub fn with_weights(
+    edges: &[(VertexId, VertexId)],
+    max_weight: u64,
+    seed: u64,
+) -> Vec<(VertexId, VertexId, u64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    edges
+        .iter()
+        .map(|&(s, d)| (s, d, rng.gen_range(1..=max_weight)))
+        .collect()
+}
+
+/// Takes the first `frac` (0..=1) of the stream — used by interval
+/// experiments (Fig. 4) to materialize the graph "as of" an ingestion point.
+pub fn prefix(edges: &[(VertexId, VertexId)], frac: f64) -> &[(VertexId, VertexId)] {
+    let n = ((edges.len() as f64) * frac.clamp(0.0, 1.0)).round() as usize;
+    &edges[..n.min(edges.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Edges {
+        (0..100u64).map(|i| (i, i + 1)).collect()
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a = sample();
+        let mut b = sample();
+        shuffle(&mut a, 42);
+        shuffle(&mut b, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, sample(), "seed 42 left the stream untouched");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, sample());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = sample();
+        let mut b = sample();
+        shuffle(&mut a, 1);
+        shuffle(&mut b, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_preserves_order_and_partitions() {
+        let edges = sample();
+        let streams = split(&edges, 3);
+        assert_eq!(streams.len(), 3);
+        assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), 100);
+        // Round-robin: stream i holds elements i, i+3, i+6, ... in order.
+        for (i, s) in streams.iter().enumerate() {
+            let expected: Edges = edges.iter().skip(i).step_by(3).copied().collect();
+            assert_eq!(s, &expected);
+        }
+    }
+
+    #[test]
+    fn split_one_is_identity() {
+        let edges = sample();
+        assert_eq!(split(&edges, 1), vec![edges]);
+    }
+
+    #[test]
+    fn weights_in_range_and_deterministic() {
+        let edges = sample();
+        let w1 = with_weights(&edges, 10, 5);
+        let w2 = with_weights(&edges, 10, 5);
+        assert_eq!(w1, w2);
+        assert!(w1.iter().all(|&(_, _, w)| (1..=10).contains(&w)));
+        assert!(
+            w1.iter()
+                .map(|&(_, _, w)| w)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1
+        );
+    }
+
+    #[test]
+    fn prefix_fractions() {
+        let edges = sample();
+        assert_eq!(prefix(&edges, 0.0).len(), 0);
+        assert_eq!(prefix(&edges, 0.25).len(), 25);
+        assert_eq!(prefix(&edges, 1.0).len(), 100);
+        assert_eq!(prefix(&edges, 2.0).len(), 100);
+    }
+}

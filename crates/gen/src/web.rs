@@ -1,0 +1,143 @@
+//! Copying-model web graph generator.
+//!
+//! Stand-in for the paper's SK2005 and Webgraph crawls (Table I). Web graphs
+//! differ from social graphs in two ways that matter for event processing:
+//! strong *link locality* (pages link within their site) and power-law
+//! in-degree produced by *link copying* (new pages copy outlinks of an
+//! existing page). The Kleinberg/Kumar copying model captures both: a new
+//! vertex picks a random "prototype" and copies each of its outlinks with
+//! probability `copy_prob`, otherwise linking to a vertex in its own
+//! neighbourhood window (host locality).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::VertexId;
+
+/// Configuration for the copying-model generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WebConfig {
+    pub num_vertices: u64,
+    /// Outlinks per page.
+    pub out_degree: u32,
+    /// Probability of copying a prototype's link instead of a local link.
+    pub copy_prob: f64,
+    /// Size of the "same host" id window for local links.
+    pub locality_window: u64,
+    pub seed: u64,
+}
+
+impl WebConfig {
+    /// An SK2005-shaped configuration.
+    pub fn sk_like(num_vertices: u64, seed: u64) -> Self {
+        WebConfig {
+            num_vertices,
+            out_degree: 18,
+            copy_prob: 0.5,
+            locality_window: 64,
+            seed,
+        }
+    }
+
+    /// Number of directed edges generated.
+    pub fn num_edges(&self) -> u64 {
+        self.num_vertices.saturating_sub(1) * self.out_degree as u64
+    }
+}
+
+/// Generates the edge list in page-arrival order.
+pub fn generate(cfg: &WebConfig) -> Vec<(VertexId, VertexId)> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let d = cfg.out_degree as usize;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(cfg.num_edges() as usize);
+    // out[v] lists the first few outlinks of v, used as copy prototypes.
+    let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); cfg.num_vertices as usize];
+
+    for v in 1..cfg.num_vertices {
+        let prototype = rng.gen_range(0..v);
+        for slot in 0..d {
+            let proto_links = &out[prototype as usize];
+            let target = if !proto_links.is_empty() && rng.gen::<f64>() < cfg.copy_prob {
+                proto_links[rng.gen_range(0..proto_links.len())]
+            } else {
+                // Local link within the id window (same "host").
+                let lo = v.saturating_sub(cfg.locality_window);
+                rng.gen_range(lo..v)
+            };
+            if target != v {
+                edges.push((v, target));
+                if out[v as usize].len() < d {
+                    out[v as usize].push(target);
+                }
+            }
+            let _ = slot;
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_close_to_prediction() {
+        let cfg = WebConfig::sk_like(1000, 1);
+        let edges = generate(&cfg);
+        // Self-copy collisions drop a tiny number of edges.
+        assert!(edges.len() as u64 <= cfg.num_edges());
+        assert!(edges.len() as u64 > cfg.num_edges() * 95 / 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WebConfig::sk_like(500, 11);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn locality_dominates_link_targets() {
+        let cfg = WebConfig {
+            num_vertices: 5000,
+            out_degree: 10,
+            copy_prob: 0.3,
+            locality_window: 32,
+            seed: 2,
+        };
+        let edges = generate(&cfg);
+        let local = edges.iter().filter(|&&(s, d)| s.abs_diff(d) <= 32).count();
+        assert!(
+            local * 2 > edges.len(),
+            "expected majority-local links: {local}/{}",
+            edges.len()
+        );
+    }
+
+    #[test]
+    fn copying_creates_indegree_skew() {
+        let cfg = WebConfig {
+            num_vertices: 5000,
+            out_degree: 10,
+            copy_prob: 0.7,
+            locality_window: 1000,
+            seed: 3,
+        };
+        let edges = generate(&cfg);
+        let mut indeg = vec![0u64; 5000];
+        for &(_, d) in &edges {
+            indeg[d as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        let avg = edges.len() as u64 / 5000;
+        assert!(max > avg * 10, "no popular page: max {max} avg {avg}");
+    }
+
+    #[test]
+    fn no_self_loops_or_out_of_range() {
+        let cfg = WebConfig::sk_like(300, 4);
+        for (s, d) in generate(&cfg) {
+            assert_ne!(s, d);
+            assert!(s < 300 && d < 300);
+        }
+    }
+}

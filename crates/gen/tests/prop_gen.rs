@@ -1,0 +1,116 @@
+//! Property tests for the workload generators and stream tools: the
+//! determinism and structural invariants every experiment relies on.
+
+use proptest::prelude::*;
+use remo_gen::{random, rmat, social, stream, web};
+
+proptest! {
+    /// Shuffle is a permutation, deterministic per seed.
+    #[test]
+    fn shuffle_is_deterministic_permutation(
+        n in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let original: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, i + 1)).collect();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        stream::shuffle(&mut a, seed);
+        stream::shuffle(&mut b, seed);
+        prop_assert_eq!(&a, &b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, original);
+    }
+
+    /// Split partitions the stream, preserves per-stream order, and
+    /// round-robin reassembly is the identity.
+    #[test]
+    fn split_partitions_and_preserves_order(
+        n in 0usize..300,
+        k in 1usize..9,
+    ) {
+        let edges: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, i * 2)).collect();
+        let streams = stream::split(&edges, k);
+        prop_assert_eq!(streams.len(), k);
+        prop_assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), n);
+        // Round-robin reassembly reproduces the original order.
+        let mut rebuilt = Vec::with_capacity(n);
+        let mut cursors = vec![0usize; k];
+        for i in 0..n {
+            let s = i % k;
+            rebuilt.push(streams[s][cursors[s]]);
+            cursors[s] += 1;
+        }
+        prop_assert_eq!(rebuilt, edges);
+    }
+
+    /// Weight decoration is deterministic and in range.
+    #[test]
+    fn weights_bounded_and_deterministic(
+        n in 1usize..200,
+        wmax in 1u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let edges: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, i + 7)).collect();
+        let a = stream::with_weights(&edges, wmax, seed);
+        let b = stream::with_weights(&edges, wmax, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&(_, _, w)| (1..=wmax).contains(&w)));
+        prop_assert!(a.iter().zip(edges.iter()).all(|(&(s, d, _), &(es, ed))| s == es && d == ed));
+    }
+
+    /// RMAT output is always in-domain and exactly sized, at any scale.
+    #[test]
+    fn rmat_in_domain(scale in 1u32..12, seed in any::<u64>()) {
+        let cfg = rmat::RmatConfig { seed, ..rmat::RmatConfig::graph500(scale) };
+        let edges = rmat::generate(&cfg);
+        prop_assert_eq!(edges.len() as u64, cfg.num_edges());
+        let n = cfg.num_vertices();
+        prop_assert!(edges.iter().all(|&(s, d)| s < n && d < n));
+    }
+
+    /// Social generator: ids in range, no self loops, deterministic.
+    #[test]
+    fn social_invariants(n in 4u64..400, m in 1u32..6, seed in any::<u64>()) {
+        let cfg = social::SocialConfig { num_vertices: n, edges_per_vertex: m, seed };
+        let a = social::generate(&cfg);
+        prop_assert_eq!(&a, &social::generate(&cfg));
+        prop_assert!(a.iter().all(|&(s, d)| s < n && d < n && s != d));
+    }
+
+    /// Web generator: ids in range, no self loops, deterministic.
+    #[test]
+    fn web_invariants(n in 2u64..300, seed in any::<u64>()) {
+        let cfg = web::WebConfig::sk_like(n, seed);
+        let a = web::generate(&cfg);
+        prop_assert_eq!(&a, &web::generate(&cfg));
+        prop_assert!(a.iter().all(|&(s, d)| s < n && d < n && s != d));
+    }
+
+    /// ER generator hits its exact edge count with valid endpoints.
+    #[test]
+    fn er_invariants(n in 2u64..300, m in 0u64..500, seed in any::<u64>()) {
+        let cfg = random::ErConfig { num_vertices: n, num_edges: m, seed };
+        let a = random::erdos_renyi(&cfg);
+        prop_assert_eq!(a.len() as u64, m);
+        prop_assert!(a.iter().all(|&(s, d)| s < n && d < n && s != d));
+    }
+
+    /// Watts-Strogatz: exact edge count n*k, no self loops.
+    #[test]
+    fn ws_invariants(n in 3u64..200, k in 1u32..4, beta in 0.0f64..1.0, seed in any::<u64>()) {
+        let cfg = random::WsConfig { num_vertices: n, k, beta, seed };
+        let a = random::watts_strogatz(&cfg);
+        prop_assert_eq!(a.len() as u64, n * k as u64);
+        prop_assert!(a.iter().all(|&(s, d)| s < n && d < n && s != d));
+    }
+
+    /// Prefix returns exactly the requested fraction.
+    #[test]
+    fn prefix_fraction(n in 0usize..200, frac in 0.0f64..1.0) {
+        let edges: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, i)).collect();
+        let p = stream::prefix(&edges, frac);
+        prop_assert_eq!(p.len(), ((n as f64) * frac).round() as usize);
+        prop_assert_eq!(p, &edges[..p.len()]);
+    }
+}

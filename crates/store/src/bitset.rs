@@ -1,0 +1,211 @@
+//! Growable bitset used by multi S-T connectivity state.
+//!
+//! The paper's S-T algorithm stores, per vertex, the set of sources the
+//! vertex is connected to, "extended to multi S-T connectivity by using a
+//! bitmap" (§II-B). Up to 64 sources a single `u64` word suffices (the fast
+//! path used by `remo_algos`'s default S-T state); this type covers the
+//! general case and the set algebra (`union`, `is_subset`) the algorithm's
+//! superset/subset/mixed branches need.
+
+/// A compact growable set of small integers.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set pre-sized to hold values `< capacity_bits`.
+    pub fn with_capacity(capacity_bits: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity_bits.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `bit`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let word = bit / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (bit % 64);
+        let was_set = self.words[word] & mask != 0;
+        self.words[word] |= mask;
+        !was_set
+    }
+
+    /// Removes `bit`; returns `true` if it was present.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let word = bit / 64;
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << (bit % 64);
+        let was_set = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        was_set
+    }
+
+    /// True when `bit` is in the set.
+    pub fn contains(&self, bit: usize) -> bool {
+        let word = bit / 64;
+        word < self.words.len() && self.words[word] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Unions `other` into `self`; returns `true` when `self` changed.
+    ///
+    /// This is the monotone join of the multi S-T lattice: state only ever
+    /// gains bits.
+    pub fn union_in_place(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (s, &o) in self.words.iter_mut().zip(other.words.iter()) {
+            let merged = *s | o;
+            changed |= merged != *s;
+            *s = merged;
+        }
+        changed
+    }
+
+    /// True when every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// True when `self` and `other` contain exactly the same elements
+    /// (trailing zero words are insignificant).
+    pub fn same_elements(&self, other: &BitSet) -> bool {
+        let n = self.words.len().max(other.words.len());
+        (0..n).all(|i| {
+            self.words.get(i).copied().unwrap_or(0) == other.words.get(i).copied().unwrap_or(0)
+        })
+    }
+
+    /// Iterates set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Clears all bits, retaining capacity.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for bit in iter {
+            s.insert(bit);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_across_word_boundaries() {
+        let mut s = BitSet::new();
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(1000);
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn union_reports_change_precisely() {
+        let a: BitSet = [1, 2, 3].into_iter().collect();
+        let mut b: BitSet = [2, 3].into_iter().collect();
+        assert!(b.union_in_place(&a));
+        assert!(!b.union_in_place(&a), "second union must be a no-op");
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small: BitSet = [1, 200].into_iter().collect();
+        let big: BitSet = [1, 2, 200, 300].into_iter().collect();
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(small.is_subset(&small));
+        assert!(BitSet::new().is_subset(&small));
+    }
+
+    #[test]
+    fn same_elements_ignores_capacity() {
+        let mut a = BitSet::with_capacity(1024);
+        let mut b = BitSet::new();
+        a.insert(5);
+        b.insert(5);
+        assert!(a.same_elements(&b));
+        b.insert(700);
+        assert!(!a.same_elements(&b));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [700, 0, 64, 5].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 5, 64, 700]);
+    }
+
+    #[test]
+    fn st_branch_logic_mixed_sets() {
+        // The three branches of Algorithm 7: equal, superset, subset, mixed.
+        let ours: BitSet = [1, 2].into_iter().collect();
+        let theirs: BitSet = [2, 3].into_iter().collect();
+        assert!(!ours.same_elements(&theirs));
+        assert!(!theirs.is_subset(&ours));
+        assert!(!ours.is_subset(&theirs)); // mixed: union and broadcast
+        let mut merged = ours.clone();
+        merged.union_in_place(&theirs);
+        assert_eq!(merged.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Compressed Sparse Row (CSR) static graph representation.
+//!
+//! This is the *static* side of the paper's evaluation: "the comparison of
+//! static construction (including compression from input presented as
+//! [src, dst] pairs to Compressed Sparse Row (CSR) format...)" (§V-B).
+//! Construction takes an edge list exactly as the dynamic path does —
+//! `[source, destination]` pairs (optionally weighted) — and compresses it
+//! with a two-pass counting sort, which is how production static frameworks
+//! build CSR. The static baseline algorithms in `remo-baseline` run on this.
+//!
+//! Vertex ids are assumed dense enough that `max_id + 1` offset slots are
+//! acceptable (true for all generated workloads; real datasets are typically
+//! relabelled to dense ids during preprocessing anyway).
+
+use crate::VertexId;
+
+/// An immutable CSR graph with per-edge weights.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets`/`weights` for vertex `v`.
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<u64>,
+}
+
+impl Csr {
+    /// Builds a CSR from unweighted directed edges (weight 1 each).
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        Self::build(
+            num_vertices,
+            edges.len(),
+            edges.iter().map(|&(s, d)| (s, d, 1)),
+        )
+    }
+
+    /// Builds a CSR from weighted directed edges.
+    pub fn from_weighted_edges(num_vertices: usize, edges: &[(VertexId, VertexId, u64)]) -> Self {
+        Self::build(num_vertices, edges.len(), edges.iter().copied())
+    }
+
+    fn build(
+        num_vertices: usize,
+        num_edges: usize,
+        edges: impl Iterator<Item = (VertexId, VertexId, u64)> + Clone,
+    ) -> Self {
+        // Pass 1: out-degree histogram.
+        let mut offsets = vec![0usize; num_vertices + 1];
+        for (src, _, _) in edges.clone() {
+            debug_assert!((src as usize) < num_vertices, "src {src} out of range");
+            offsets[src as usize + 1] += 1;
+        }
+        // Prefix sum.
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        // Pass 2: scatter.
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; num_edges];
+        let mut weights = vec![0u64; num_edges];
+        for (src, dst, w) in edges {
+            let at = cursor[src as usize];
+            targets[at] = dst;
+            weights[at] = w;
+            cursor[src as usize] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices (including isolated ids below the maximum).
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Weights parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn edge_weights(&self, v: VertexId) -> &[u64] {
+        let v = v as usize;
+        &self.weights[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Iterates `(src, dst, weight)` over every edge.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, u64)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |v| {
+            self.neighbors(v)
+                .iter()
+                .zip(self.edge_weights(v))
+                .map(move |(&d, &w)| (v, d, w))
+        })
+    }
+
+    /// Heap footprint in bytes (offsets + targets + weights), for the
+    /// static-vs-dynamic memory comparison.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn neighbors_preserve_input_order_within_vertex() {
+        let g = diamond();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn weighted_build_aligns_weights() {
+        let g = Csr::from_weighted_edges(3, &[(0, 1, 10), (0, 2, 20), (1, 2, 30)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.edge_weights(0), &[10, 20]);
+        assert_eq!(g.edge_weights(1), &[30]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_neighborhoods() {
+        let g = Csr::from_edges(10, &[(0, 9)]);
+        for v in 1..9 {
+            assert_eq!(g.degree(v), 0);
+        }
+        assert_eq!(g.neighbors(0), &[9]);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let input = vec![(0u64, 1u64, 5u64), (2, 0, 7), (1, 2, 9), (0, 2, 11)];
+        let g = Csr::from_weighted_edges(3, &input);
+        let mut out: Vec<_> = g.edges().collect();
+        let mut exp = input.clone();
+        out.sort_unstable();
+        exp.sort_unstable();
+        assert_eq!(out, exp);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        // CSR is a faithful compression: duplicate pairs in the input stay.
+        let g = Csr::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.degree(0), 2);
+    }
+}

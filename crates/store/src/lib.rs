@@ -1,0 +1,41 @@
+//! # remo-store — dynamic and static graph storage
+//!
+//! Storage substrate for the REMO reproduction, built from scratch:
+//!
+//! - [`rhh`]: an open-addressing hash map with Robin Hood hashing and
+//!   backward-shift deletion, the engine behind everything else (the paper's
+//!   DegAwareRHH store, §III-B).
+//! - [`adjacency`]: degree-aware adjacency lists — compact arrays for the
+//!   low-degree majority, Robin Hood tables for heavy hitters.
+//! - [`vertex_table`]: per-shard vertex records (algorithm state + edges).
+//! - [`csr`]: the static Compressed Sparse Row graph the paper's baselines
+//!   run on (§V-B).
+//! - [`spill`]: the cold tier standing in for NVRAM spill.
+//! - [`bitset`]: growable bitsets for multi S-T connectivity state.
+//! - [`hash`]: deterministic 64-bit mixing shared with the partitioner.
+//!
+//! Nothing in this crate is thread-safe by design: each engine shard owns its
+//! tables exclusively (shared-nothing architecture).
+
+pub mod adjacency;
+pub mod bitset;
+pub mod csr;
+pub mod hash;
+pub mod rhh;
+pub mod spill;
+pub mod vertex_table;
+
+/// Vertex identifier. The paper uses opaque integer ids; `u64` covers every
+/// dataset in Table I (the Webgraph has 3.5B vertices).
+pub type VertexId = u64;
+
+/// Edge weight type. `u64::MAX` is reserved as "infinity" by SSSP-style
+/// algorithms.
+pub type Weight = u64;
+
+pub use adjacency::{Adjacency, EdgeMeta, PROMOTE_DEGREE};
+pub use bitset::BitSet;
+pub use csr::Csr;
+pub use rhh::RhhMap;
+pub use spill::{SpillStore, TieredAdjacency};
+pub use vertex_table::{VertexRecord, VertexTable};

@@ -1,0 +1,65 @@
+//! Multiple simultaneous queries on one dynamic graph.
+//!
+//! The paper's vision (§I): "multiple algorithms can be executed
+//! simultaneously (i.e. maintain their state) on the same underlying
+//! dynamic data structure, thus enabling support for multiple queries" — a
+//! capability its prototype listed as future work (§III-F). `Pair` composes
+//! REMO algorithms: here BFS (how far is everything from our hub?) and
+//! Connected Components (what communities exist?) share one topology, one
+//! set of shards, and one message stream — with a trigger over the
+//! *combined* local state.
+//!
+//! Run with: `cargo run --release --example multi_query`
+
+use remo::core::Pair;
+use remo::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let mut edges = Dataset::Sk2005Like.generate(0.2, 99);
+    remo::gen::stream::shuffle(&mut edges, 12);
+    let hub = edges[0].0;
+    println!("workload: {} edge events; hub vertex {hub}", edges.len());
+
+    // One engine, two live algorithms, plus a trigger over the combined
+    // local state: pages that are both close to the hub (BFS level <= 2)
+    // and labelled into the hub's (eventually dominant) community.
+    let hub_label = cc_label(hub);
+    let mut builder = EngineBuilder::new(Pair::new(IncBfs, IncCc), EngineConfig::undirected(4));
+    builder.trigger(
+        "close to hub AND in a big community",
+        move |_, (level, label): &(u64, u64)| *level <= 2 && *level > 0 && *label >= hub_label,
+    );
+    let engine = builder.build();
+    engine.init_vertex(hub);
+    engine.ingest_pairs(&edges);
+    engine.await_quiescence();
+
+    let near_hub_alerts = engine.trigger_events().try_iter().count();
+    println!("trigger: {near_hub_alerts} pages within 2 hops sharing a dominant community");
+
+    // Both answers, live, from the same run.
+    let result = engine.finish();
+    let reached = result
+        .states
+        .iter()
+        .filter(|(_, (l, _))| *l != u64::MAX && *l != 0)
+        .count();
+    let mut communities: HashMap<u64, usize> = HashMap::new();
+    for (_, (_, label)) in result.states.iter() {
+        *communities.entry(*label).or_default() += 1;
+    }
+    let giant = communities.values().max().copied().unwrap_or(0);
+    println!(
+        "BFS query: hub reaches {reached}/{} pages",
+        result.num_vertices
+    );
+    println!(
+        "CC query:  {} communities, giant community {giant} pages",
+        communities.len()
+    );
+    println!(
+        "one topology, one run: {} topology events drove both answers",
+        result.metrics.total().topo_ingested
+    );
+}
