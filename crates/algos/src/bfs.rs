@@ -16,7 +16,7 @@ use remo_core::{AlgoCtx, Algorithm, VertexId, Weight};
 /// Level value for vertices that exist but are not (yet) reached.
 pub const UNREACHED: u64 = u64::MAX;
 
-/// Incremental BFS. Attach with [`remo_core::Engine::init_vertex`] on the
+/// Incremental BFS. Attach with [`remo_core::Engine::try_init_vertex`] on the
 /// source ("can be initiated at any time").
 #[derive(Debug, Default, Clone, Copy)]
 pub struct IncBfs;
@@ -257,9 +257,9 @@ mod tests {
 
     fn run_bfs(edges: &[(u64, u64)], source: u64, shards: usize) -> Vec<(u64, u64)> {
         let engine = Engine::new(IncBfs, EngineConfig::undirected(shards));
-        engine.init_vertex(source);
-        engine.ingest_pairs(edges);
-        engine.finish().states.into_vec()
+        engine.try_init_vertex(source).unwrap();
+        engine.try_ingest_pairs(edges).unwrap();
+        engine.try_finish().unwrap().states.into_vec()
     }
 
     #[test]
@@ -275,10 +275,10 @@ mod tests {
     #[test]
     fn init_after_ingest_still_converges() {
         let engine = Engine::new(IncBfs, EngineConfig::undirected(2));
-        engine.ingest_pairs(&[(0, 1), (1, 2)]);
-        engine.await_quiescence();
-        engine.init_vertex(0); // late initiation (§IV.1)
-        let states = engine.finish().states;
+        engine.try_ingest_pairs(&[(0, 1), (1, 2)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        engine.try_init_vertex(0).unwrap(); // late initiation (§IV.1)
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(2), Some(&3));
     }
 
@@ -286,11 +286,11 @@ mod tests {
     fn shortcut_edge_lowers_levels() {
         // Long path first, then a shortcut from the source.
         let engine = Engine::new(IncBfs, EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.ingest_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        engine.await_quiescence();
-        engine.ingest_pairs(&[(0, 4)]); // case (iii): shorter path appears
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        engine.try_ingest_pairs(&[(0, 4)]).unwrap(); // case (iii): shorter path appears
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(4), Some(&2));
         assert_eq!(states.get(3), Some(&3), "repair must flow backwards too");
     }
@@ -308,9 +308,9 @@ mod tests {
         // Vertex 3 reachable at level 3 via parent 1 or 2; the tie-break
         // clause (§II-D) must choose the lower parent id, 1.
         let engine = Engine::new(IncBfsDeterministic, EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.ingest_pairs(&[(0, 1), (0, 2), (1, 3), (2, 3)]);
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(&[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(3), Some(&(3, 1)));
     }
 
@@ -320,9 +320,9 @@ mod tests {
         // forever (the `MAX <= MAX` livelock). No init: everything stays
         // unreached and the engine must still reach quiescence.
         let engine = Engine::new(IncBfsDeterministic, EngineConfig::undirected(2));
-        engine.ingest_pairs(&[(0, 1), (1, 2), (2, 0)]);
-        engine.await_quiescence();
-        let r = engine.finish();
+        engine.try_ingest_pairs(&[(0, 1), (1, 2), (2, 0)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        let r = engine.try_finish().unwrap();
         for (v, &(l, _)) in r.states.iter() {
             // Raw 0 is the fresh sentinel; both mean "unreached".
             assert!(l == UNREACHED || l == 0, "vertex {v} has level {l}");
@@ -336,12 +336,12 @@ mod tests {
         // already-settled, lower-id vertex 1 (also level 2) must flip the
         // parent to 1 even though 1's state never changes again.
         let engine = Engine::new(IncBfsDeterministic, EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.ingest_pairs(&[(0, 1), (0, 2), (2, 3)]);
-        engine.await_quiescence();
-        assert_eq!(engine.local_state(3), Some((3, 2)));
-        engine.ingest_pairs(&[(1, 3)]); // late edge to the lower-id parent
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(&[(0, 1), (0, 2), (2, 3)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        assert_eq!(engine.try_local_state(3).unwrap(), Some((3, 2)));
+        engine.try_ingest_pairs(&[(1, 3)]).unwrap(); // late edge to the lower-id parent
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(3), Some(&(3, 1)));
     }
 
@@ -350,9 +350,9 @@ mod tests {
         let edges: Vec<(u64, u64)> = (0..50).map(|i| (i, (i * 7 + 1) % 50)).collect();
         let plain = run_bfs(&edges, 0, 2);
         let engine = Engine::new(IncBfsSuppressed, EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.ingest_pairs(&edges);
-        let supp = engine.finish().states.into_vec();
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(&edges).unwrap();
+        let supp = engine.try_finish().unwrap().states.into_vec();
         assert_eq!(plain, supp);
     }
 }

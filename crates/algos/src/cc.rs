@@ -93,8 +93,8 @@ mod tests {
 
     fn run(edges: &[(u64, u64)], shards: usize) -> Vec<(u64, u64)> {
         let engine = Engine::new(IncCc, EngineConfig::undirected(shards));
-        engine.ingest_pairs(edges);
-        engine.finish().states.into_vec()
+        engine.try_ingest_pairs(edges).unwrap();
+        engine.try_finish().unwrap().states.into_vec()
     }
 
     fn label_of(states: &[(u64, u64)], v: u64) -> u64 {
@@ -128,10 +128,10 @@ mod tests {
     #[test]
     fn merging_components_floods_dominator() {
         let engine = Engine::new(IncCc, EngineConfig::undirected(2));
-        engine.ingest_pairs(&[(0, 1), (10, 11)]);
-        engine.await_quiescence();
-        engine.ingest_pairs(&[(1, 10)]); // case (ii): bridge two components
-        let states = engine.finish().states.into_vec();
+        engine.try_ingest_pairs(&[(0, 1), (10, 11)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        engine.try_ingest_pairs(&[(1, 10)]).unwrap(); // case (ii): bridge two components
+        let states = engine.try_finish().unwrap().states.into_vec();
         let dominator = [0u64, 1, 10, 11]
             .iter()
             .map(|&v| cc_label(v))
@@ -146,11 +146,11 @@ mod tests {
     fn internal_edge_is_trivial_no_label_change() {
         // Case (i): an edge within a component must not disturb the label.
         let engine = Engine::new(IncCc, EngineConfig::undirected(2));
-        engine.ingest_pairs(&[(0, 1), (1, 2)]);
-        engine.await_quiescence();
-        let before = engine.collect_live();
-        engine.ingest_pairs(&[(0, 2)]);
-        let after = engine.finish().states;
+        engine.try_ingest_pairs(&[(0, 1), (1, 2)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        let before = engine.try_collect_live().unwrap();
+        engine.try_ingest_pairs(&[(0, 2)]).unwrap();
+        let after = engine.try_finish().unwrap().states;
         for v in 0..3u64 {
             assert_eq!(before.get(v), after.get(v), "vertex {v}");
         }

@@ -60,8 +60,8 @@ mod tests {
     #[test]
     fn undirected_degrees() {
         let engine = Engine::new(DegreeCount, EngineConfig::undirected(2));
-        engine.ingest_pairs(&[(0, 1), (0, 2), (0, 3)]);
-        let states = engine.finish().states;
+        engine.try_ingest_pairs(&[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(0), Some(&3));
         assert_eq!(states.get(1), Some(&1));
     }
@@ -69,8 +69,8 @@ mod tests {
     #[test]
     fn directed_out_degrees() {
         let engine = Engine::new(OutDegreeCount, EngineConfig::directed(2));
-        engine.ingest_pairs(&[(0, 1), (0, 2), (1, 2)]);
-        let states = engine.finish().states;
+        engine.try_ingest_pairs(&[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(0), Some(&2));
         assert_eq!(states.get(1), Some(&1));
         // Vertex 2 never appears as a source: no record, i.e. degree 0.
@@ -82,8 +82,8 @@ mod tests {
         // The degree example counts edge *events* (the paper's callback has
         // no dedup); duplicates in the stream increment again.
         let engine = Engine::new(DegreeCount, EngineConfig::undirected(1));
-        engine.ingest_pairs(&[(0, 1), (0, 1)]);
-        let states = engine.finish().states;
+        engine.try_ingest_pairs(&[(0, 1), (0, 1)]).unwrap();
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(0), Some(&2));
     }
 
@@ -94,12 +94,12 @@ mod tests {
         let mut builder = EngineBuilder::new(DegreeCount, EngineConfig::undirected(2));
         builder.trigger("degree>=3", |_, d: &u64| *d >= 3);
         let engine = builder.build();
-        engine.ingest_pairs(&[(7, 1), (7, 2), (7, 3), (7, 4), (7, 5)]);
-        engine.await_quiescence();
+        engine.try_ingest_pairs(&[(7, 1), (7, 2), (7, 3), (7, 4), (7, 5)]).unwrap();
+        engine.try_await_quiescence().unwrap();
         let fires: Vec<_> = engine.trigger_events().try_iter().collect();
         assert_eq!(fires.len(), 1, "monotone trigger must fire exactly once");
         assert_eq!(fires[0].vertex, 7);
-        let result = engine.finish();
+        let result = engine.try_finish().unwrap();
         assert_eq!(result.metrics.total().triggers_fired, 1);
     }
 }

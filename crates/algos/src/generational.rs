@@ -195,9 +195,9 @@ mod tests {
     fn behaves_like_bfs_without_deletions() {
         let (algo, _gen) = GenBfs::new();
         let engine = Engine::new(algo, EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.ingest_pairs(&[(0, 1), (1, 2), (0, 3)]);
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(&[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(0), Some(&(0, 1)));
         assert_eq!(states.get(1), Some(&(0, 2)));
         assert_eq!(states.get(2), Some(&(0, 3)));
@@ -208,17 +208,17 @@ mod tests {
     fn deletion_then_new_generation_rebuilds() {
         let (algo, gen) = GenBfs::new();
         let engine = Engine::new(algo, EngineConfig::undirected(2));
-        engine.init_vertex(0);
+        engine.try_init_vertex(0).unwrap();
         // Short path 0-1-4 and long path 0-2-3-4.
-        engine.ingest_pairs(&[(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)]);
-        engine.await_quiescence();
+        engine.try_ingest_pairs(&[(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)]).unwrap();
+        engine.try_await_quiescence().unwrap();
 
         // Delete the shortcut, open a new generation, re-seed.
-        engine.delete_pairs(&[(0, 1), (1, 4)]);
-        engine.await_quiescence();
+        engine.try_delete_pairs(&[(0, 1), (1, 4)]).unwrap();
+        engine.try_await_quiescence().unwrap();
         let g = gen.bump();
-        engine.init_vertex(0);
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        let states = engine.try_finish().unwrap().states;
 
         // Vertex 4 now only reachable via the long path: level 4.
         assert_eq!(level_in_generation(*states.get(4).unwrap(), g), 4);
@@ -231,17 +231,17 @@ mod tests {
     fn incremental_adds_after_regeneration_work() {
         let (algo, gen) = GenBfs::new();
         let engine = Engine::new(algo, EngineConfig::undirected(1));
-        engine.init_vertex(0);
-        engine.ingest_pairs(&[(0, 1)]);
-        engine.await_quiescence();
-        engine.delete_pairs(&[(0, 1)]);
-        engine.await_quiescence();
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(&[(0, 1)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        engine.try_delete_pairs(&[(0, 1)]).unwrap();
+        engine.try_await_quiescence().unwrap();
         let g = gen.bump();
-        engine.init_vertex(0);
-        engine.await_quiescence();
+        engine.try_init_vertex(0).unwrap();
+        engine.try_await_quiescence().unwrap();
         // New edge in the new generation propagates normally.
-        engine.ingest_pairs(&[(0, 5)]);
-        let states = engine.finish().states;
+        engine.try_ingest_pairs(&[(0, 5)]).unwrap();
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(level_in_generation(*states.get(5).unwrap(), g), 2);
         assert_eq!(level_in_generation(*states.get(1).unwrap(), g), UNREACHED);
     }

@@ -17,7 +17,7 @@ use remo_core::{AlgoCtx, Algorithm, VertexId, Weight};
 pub const UNREACHED: u64 = u64::MAX;
 
 /// Incremental SSSP. Initiate the source with
-/// [`remo_core::Engine::init_vertex`]; ingest weighted edges.
+/// [`remo_core::Engine::try_init_vertex`]; ingest weighted edges.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct IncSssp;
 
@@ -99,9 +99,9 @@ mod tests {
 
     fn run(edges: &[(u64, u64, u64)], source: u64, shards: usize) -> Vec<(u64, u64)> {
         let engine = Engine::new(IncSssp, EngineConfig::undirected(shards));
-        engine.init_vertex(source);
-        engine.ingest_weighted(edges);
-        engine.finish().states.into_vec()
+        engine.try_init_vertex(source).unwrap();
+        engine.try_ingest_weighted(edges).unwrap();
+        engine.try_finish().unwrap().states.into_vec()
     }
 
     fn get(states: &[(u64, u64)], v: u64) -> Option<u64> {
@@ -126,12 +126,12 @@ mod tests {
     #[test]
     fn late_cheap_edge_repairs_downstream() {
         let engine = Engine::new(IncSssp, EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.ingest_weighted(&[(0, 1, 100), (1, 2, 1)]);
-        engine.await_quiescence();
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_weighted(&[(0, 1, 100), (1, 2, 1)]).unwrap();
+        engine.try_await_quiescence().unwrap();
         // A cheap bypass to vertex 1 must also lower vertex 2.
-        engine.ingest_weighted(&[(0, 1, 2)]);
-        let states = engine.finish().states.into_vec();
+        engine.try_ingest_weighted(&[(0, 1, 2)]).unwrap();
+        let states = engine.try_finish().unwrap().states.into_vec();
         assert_eq!(get(&states, 1), Some(3));
         assert_eq!(get(&states, 2), Some(4));
     }
@@ -141,11 +141,11 @@ mod tests {
         // §II-B: "Similar logic applies for edge updates limited only to
         // reducing edge weight" — re-adding an edge with a lower weight.
         let engine = Engine::new(IncSssp, EngineConfig::undirected(1));
-        engine.init_vertex(0);
-        engine.ingest_weighted(&[(0, 1, 50)]);
-        engine.await_quiescence();
-        engine.ingest_weighted(&[(0, 1, 5)]);
-        let states = engine.finish().states.into_vec();
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_weighted(&[(0, 1, 50)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        engine.try_ingest_weighted(&[(0, 1, 5)]).unwrap();
+        let states = engine.try_finish().unwrap().states.into_vec();
         assert_eq!(get(&states, 1), Some(6));
     }
 

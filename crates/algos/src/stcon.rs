@@ -18,7 +18,7 @@ use remo_store::BitSet;
 /// Multi S-T connectivity over at most 64 sources (u64 bitmask state).
 ///
 /// The source list fixes each source's bit index. Call
-/// [`remo_core::Engine::init_vertex`] for each source to start its flow.
+/// [`remo_core::Engine::try_init_vertex`] for each source to start its flow.
 #[derive(Debug, Clone)]
 pub struct IncStCon {
     sources: Vec<VertexId>,
@@ -169,10 +169,10 @@ mod tests {
             EngineConfig::undirected(shards),
         );
         for &s in sources {
-            engine.init_vertex(s);
+            engine.try_init_vertex(s).unwrap();
         }
-        engine.ingest_pairs(edges);
-        engine.finish().states.into_vec()
+        engine.try_ingest_pairs(edges).unwrap();
+        engine.try_finish().unwrap().states.into_vec()
     }
 
     fn mask(states: &[(u64, u64)], v: u64) -> u64 {
@@ -204,12 +204,12 @@ mod tests {
     #[test]
     fn late_bridge_merges_flows() {
         let engine = Engine::new(IncStCon::new(vec![0, 10]), EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.init_vertex(10);
-        engine.ingest_pairs(&[(0, 1), (10, 11)]);
-        engine.await_quiescence();
-        engine.ingest_pairs(&[(1, 11)]);
-        let states = engine.finish().states.into_vec();
+        engine.try_init_vertex(0).unwrap();
+        engine.try_init_vertex(10).unwrap();
+        engine.try_ingest_pairs(&[(0, 1), (10, 11)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        engine.try_ingest_pairs(&[(1, 11)]).unwrap();
+        let states = engine.try_finish().unwrap().states.into_vec();
         for v in [0u64, 1, 10, 11] {
             assert_eq!(mask(&states, v), 0b11, "vertex {v}");
         }
@@ -218,10 +218,10 @@ mod tests {
     #[test]
     fn init_before_edges_is_fine() {
         let engine = Engine::new(IncStCon::new(vec![7]), EngineConfig::undirected(1));
-        engine.init_vertex(7); // source exists before any topology
-        engine.await_quiescence();
-        engine.ingest_pairs(&[(7, 8)]);
-        let states = engine.finish().states.into_vec();
+        engine.try_init_vertex(7).unwrap(); // source exists before any topology
+        engine.try_await_quiescence().unwrap();
+        engine.try_ingest_pairs(&[(7, 8)]).unwrap();
+        let states = engine.try_finish().unwrap().states.into_vec();
         assert_eq!(mask(&states, 8), 1);
     }
 
@@ -236,10 +236,10 @@ mod tests {
             EngineConfig::undirected(2),
         );
         for &s in &sources {
-            engine.init_vertex(s);
+            engine.try_init_vertex(s).unwrap();
         }
-        engine.ingest_pairs(&edges);
-        let wide = engine.finish().states.into_vec();
+        engine.try_ingest_pairs(&edges).unwrap();
+        let wide = engine.try_finish().unwrap().states.into_vec();
         for &(v, m) in &narrow {
             let w: &BitSet = &wide.iter().find(|&&(id, _)| id == v).unwrap().1;
             let as_mask: u64 = w.iter().map(|b| 1u64 << b).sum();

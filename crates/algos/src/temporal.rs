@@ -28,7 +28,7 @@ pub const UNREACHED: u64 = u64::MAX;
 pub const SOURCE_ARRIVAL: u64 = 1;
 
 /// Incremental earliest-arrival reachability. Initiate the source with
-/// [`remo_core::Engine::init_vertex`]; ingest edges whose weights are
+/// [`remo_core::Engine::try_init_vertex`]; ingest edges whose weights are
 /// interaction timestamps (`>= 2`).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct IncTemporal;
@@ -111,9 +111,9 @@ mod tests {
 
     fn run(edges: &[(u64, u64, u64)], source: u64, shards: usize) -> Vec<(u64, u64)> {
         let engine = Engine::new(IncTemporal, EngineConfig::undirected(shards));
-        engine.init_vertex(source);
-        engine.ingest_weighted(edges);
-        engine.finish().states.into_vec()
+        engine.try_init_vertex(source).unwrap();
+        engine.try_ingest_weighted(edges).unwrap();
+        engine.try_finish().unwrap().states.into_vec()
     }
 
     fn get(states: &[(u64, u64)], v: u64) -> Option<u64> {
@@ -151,12 +151,12 @@ mod tests {
         // After an early interaction appears, a previously time-blocked
         // path becomes traversable — the incremental repair case.
         let engine = Engine::new(IncTemporal, EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.ingest_weighted(&[(0, 1, 9), (1, 2, 5)]);
-        engine.await_quiescence();
-        assert_eq!(engine.local_state(2), Some(UNREACHED));
-        engine.ingest_weighted(&[(0, 1, 2)]); // earlier interaction surfaces
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_weighted(&[(0, 1, 9), (1, 2, 5)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        assert_eq!(engine.try_local_state(2).unwrap(), Some(UNREACHED));
+        engine.try_ingest_weighted(&[(0, 1, 2)]).unwrap(); // earlier interaction surfaces
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(1), Some(&2));
         assert_eq!(states.get(2), Some(&5), "1-2 at t=5 is now usable");
     }

@@ -19,7 +19,7 @@ pub const SOURCE_CAPACITY: u64 = u64::MAX;
 pub const UNREACHED: u64 = 0;
 
 /// Incremental widest path. Initiate the source with
-/// [`remo_core::Engine::init_vertex`]; ingest weighted edges (weights =
+/// [`remo_core::Engine::try_init_vertex`]; ingest weighted edges (weights =
 /// capacities).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct IncWidest;
@@ -86,9 +86,9 @@ mod tests {
 
     fn run(edges: &[(u64, u64, u64)], source: u64, shards: usize) -> Vec<(u64, u64)> {
         let engine = Engine::new(IncWidest, EngineConfig::undirected(shards));
-        engine.init_vertex(source);
-        engine.ingest_weighted(edges);
-        engine.finish().states.into_vec()
+        engine.try_init_vertex(source).unwrap();
+        engine.try_ingest_weighted(edges).unwrap();
+        engine.try_finish().unwrap().states.into_vec()
     }
 
     fn get(states: &[(u64, u64)], v: u64) -> Option<u64> {
@@ -120,13 +120,13 @@ mod tests {
     #[test]
     fn late_fat_edge_raises_downstream() {
         let engine = Engine::new(IncWidest, EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.ingest_weighted(&[(0, 1, 2), (1, 2, 9)]);
-        engine.await_quiescence();
-        let before = engine.collect_live();
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_weighted(&[(0, 1, 2), (1, 2, 9)]).unwrap();
+        engine.try_await_quiescence().unwrap();
+        let before = engine.try_collect_live().unwrap();
         assert_eq!(before.get(2), Some(&2));
-        engine.ingest_weighted(&[(0, 1, 20)]); // a fatter pipe appears
-        let states = engine.finish().states;
+        engine.try_ingest_weighted(&[(0, 1, 20)]).unwrap(); // a fatter pipe appears
+        let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(1), Some(&20));
         assert_eq!(states.get(2), Some(&9), "downstream bottleneck re-widens");
     }

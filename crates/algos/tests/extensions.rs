@@ -26,10 +26,10 @@ fn wide_stcon_handles_more_than_64_sources() {
         EngineConfig::undirected(3),
     );
     for &s in &sources {
-        engine.init_vertex(s);
+        engine.try_init_vertex(s).unwrap();
     }
-    engine.ingest_pairs(&edges);
-    let states = engine.finish().states;
+    engine.try_ingest_pairs(&edges).unwrap();
+    let states = engine.try_finish().unwrap().states;
 
     let full: BitSet = (0..80usize).collect();
     for (v, set) in states.iter() {
@@ -50,10 +50,10 @@ fn wide_stcon_respects_components() {
         EngineConfig::undirected(2),
     );
     for &s in &sources {
-        engine.init_vertex(s);
+        engine.try_init_vertex(s).unwrap();
     }
-    engine.ingest_pairs(&edges);
-    let states = engine.finish().states;
+    engine.try_ingest_pairs(&edges).unwrap();
+    let states = engine.try_finish().unwrap().states;
 
     let left: BitSet = [0usize, 2].into_iter().collect(); // sources 0 and 2
     let right: BitSet = [1usize].into_iter().collect(); // source 10
@@ -79,9 +79,9 @@ fn deterministic_bfs_tree_is_valid() {
         .collect();
 
     let engine = Engine::new(IncBfsDeterministic, EngineConfig::undirected(3));
-    engine.init_vertex(0);
-    engine.ingest_pairs(&edges);
-    let states = engine.finish().states;
+    engine.try_init_vertex(0).unwrap();
+    engine.try_ingest_pairs(&edges).unwrap();
+    let states = engine.try_finish().unwrap().states;
 
     let mut nbrs: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
         Default::default();
@@ -132,14 +132,14 @@ proptest! {
 
         let (algo, generation) = GenBfs::new();
         let engine = Engine::new(algo, EngineConfig::undirected(shards));
-        engine.init_vertex(0);
-        engine.ingest_pairs(&edges);
-        engine.await_quiescence();
-        engine.delete_pairs(&deletions);
-        engine.await_quiescence();
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(&edges).unwrap();
+        engine.try_await_quiescence().unwrap();
+        engine.try_delete_pairs(&deletions).unwrap();
+        engine.try_await_quiescence().unwrap();
         let g = generation.bump();
-        engine.init_vertex(0);
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        let states = engine.try_finish().unwrap().states;
 
         let deleted: std::collections::HashSet<(u64, u64)> = deletions
             .iter()
@@ -168,13 +168,13 @@ fn gen_cc_without_deletes_matches_plain_cc() {
 
     let plain = {
         let e = Engine::new(IncCc, EngineConfig::undirected(3));
-        e.ingest_pairs(&edges);
-        e.finish().states.into_vec()
+        e.try_ingest_pairs(&edges).unwrap();
+        e.try_finish().unwrap().states.into_vec()
     };
     let gen = {
         let e = Engine::new(GenCc, EngineConfig::undirected(3));
-        e.ingest_pairs(&edges);
-        e.finish().states.into_vec()
+        e.try_ingest_pairs(&edges).unwrap();
+        e.try_finish().unwrap().states.into_vec()
     };
     for ((v1, label), (v2, (g, glabel))) in plain.iter().zip(gen.iter()) {
         assert_eq!(v1, v2);
@@ -190,17 +190,17 @@ fn gen_cc_bridge_deletion_splits_component() {
     // Two triangles joined by the bridge 2-3.
     let edges = vec![(0u64, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)];
     let engine = Engine::new(GenCc, EngineConfig::undirected(2));
-    engine.ingest_pairs(&edges);
-    engine.await_quiescence();
+    engine.try_ingest_pairs(&edges).unwrap();
+    engine.try_await_quiescence().unwrap();
     // One component: all states equal.
-    let before = engine.collect_live();
+    let before = engine.try_collect_live().unwrap();
     let first = *before.get(0).unwrap();
     for v in 0..6u64 {
         assert_eq!(before.get(v), Some(&first), "vertex {v} before the cut");
     }
 
-    engine.delete_pairs(&[(2, 3)]);
-    let states = engine.finish().states;
+    engine.try_delete_pairs(&[(2, 3)]).unwrap();
+    let states = engine.try_finish().unwrap().states;
     // Self-healing: both halves re-labelled in a newer generation.
     let left = *states.get(0).unwrap();
     let right = *states.get(3).unwrap();
@@ -220,10 +220,10 @@ fn gen_cc_non_bridge_deletion_keeps_component_together() {
     // A 4-cycle: deleting one edge keeps it connected.
     let edges = vec![(0u64, 1), (1, 2), (2, 3), (3, 0)];
     let engine = Engine::new(GenCc, EngineConfig::undirected(2));
-    engine.ingest_pairs(&edges);
-    engine.await_quiescence();
-    engine.delete_pairs(&[(1, 2)]);
-    let states = engine.finish().states;
+    engine.try_ingest_pairs(&edges).unwrap();
+    engine.try_await_quiescence().unwrap();
+    engine.try_delete_pairs(&[(1, 2)]).unwrap();
+    let states = engine.try_finish().unwrap().states;
     let first = *states.get(0).unwrap();
     assert!(first.0 >= 1);
     for v in 0..4u64 {
@@ -254,13 +254,13 @@ proptest! {
             .collect();
 
         let engine = Engine::new(GenCc, EngineConfig::undirected(shards));
-        engine.ingest_pairs(&edges);
-        engine.await_quiescence();
+        engine.try_ingest_pairs(&edges).unwrap();
+        engine.try_await_quiescence().unwrap();
         for &d in &deletions {
-            engine.delete_pairs(&[d]);
-            engine.await_quiescence();
+            engine.try_delete_pairs(&[d]).unwrap();
+            engine.try_await_quiescence().unwrap();
         }
-        let states = engine.finish().states;
+        let states = engine.try_finish().unwrap().states;
 
         // Remaining topology after removing each deleted pair entirely.
         let deleted: std::collections::HashSet<(u64, u64)> = deletions
@@ -316,10 +316,10 @@ proptest! {
             .collect();
 
         let engine = Engine::new(GenCc, EngineConfig::undirected(shards));
-        engine.ingest_pairs(&edges);
-        engine.await_quiescence();
-        engine.delete_pairs(&deletions); // all at once, fully concurrent
-        let states = engine.finish().states;
+        engine.try_ingest_pairs(&edges).unwrap();
+        engine.try_await_quiescence().unwrap();
+        engine.try_delete_pairs(&deletions).unwrap(); // all at once, fully concurrent
+        let states = engine.try_finish().unwrap().states;
 
         let deleted: std::collections::HashSet<(u64, u64)> = deletions
             .iter()

@@ -42,9 +42,9 @@ proptest! {
         remo_gen::stream::shuffle(&mut stream, seed);
 
         let engine = Engine::new(IncBfs, EngineConfig::undirected(shards));
-        engine.init_vertex(0);
-        engine.ingest_pairs(&stream);
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(&stream).unwrap();
+        let states = engine.try_finish().unwrap().states;
 
         let csr = undirected_csr(&edges, 24);
         let want = oracle::bfs_levels(&csr, 0);
@@ -76,9 +76,9 @@ proptest! {
         }
 
         let engine = Engine::new(IncSssp, EngineConfig::undirected(shards));
-        engine.init_vertex(0);
-        engine.ingest_weighted(&stream);
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_weighted(&stream).unwrap();
+        let states = engine.try_finish().unwrap().states;
 
         // Re-adding an undirected edge with a different weight makes the
         // stored weight (and thus late re-relaxations) depend on event
@@ -110,8 +110,8 @@ proptest! {
         remo_gen::stream::shuffle(&mut stream, seed);
 
         let engine = Engine::new(IncCc, EngineConfig::undirected(shards));
-        engine.ingest_pairs(&stream);
-        let states = engine.finish().states;
+        engine.try_ingest_pairs(&stream).unwrap();
+        let states = engine.try_finish().unwrap().states;
 
         let csr = undirected_csr(&edges, 24);
         let want = oracle::components_dominator_label(&csr, cc_label);
@@ -137,10 +137,10 @@ proptest! {
             EngineConfig::undirected(shards),
         );
         for &s in &sources {
-            engine.init_vertex(s);
+            engine.try_init_vertex(s).unwrap();
         }
-        engine.ingest_pairs(&stream);
-        let states = engine.finish().states;
+        engine.try_ingest_pairs(&stream).unwrap();
+        let states = engine.try_finish().unwrap().states;
 
         let csr = undirected_csr(&edges, 24);
         let want = oracle::st_masks(&csr, &sources);
@@ -164,14 +164,14 @@ proptest! {
         remo_gen::stream::shuffle(&mut b, seed_b);
 
         let ea = Engine::new(IncBfs, EngineConfig::undirected(3));
-        ea.init_vertex(0);
-        ea.ingest_pairs(&a);
-        let ra = ea.finish().states.into_vec();
+        ea.try_init_vertex(0).unwrap();
+        ea.try_ingest_pairs(&a).unwrap();
+        let ra = ea.try_finish().unwrap().states.into_vec();
 
         let eb = Engine::new(IncBfs, EngineConfig::undirected(3));
-        eb.init_vertex(0);
-        eb.ingest_pairs(&b);
-        let rb = eb.finish().states.into_vec();
+        eb.try_init_vertex(0).unwrap();
+        eb.try_ingest_pairs(&b).unwrap();
+        let rb = eb.try_finish().unwrap().states.into_vec();
 
         prop_assert_eq!(ra, rb);
     }
@@ -187,11 +187,11 @@ proptest! {
         let (first, second) = edges.split_at(split_at);
 
         let engine = Engine::new(IncBfs, EngineConfig::undirected(2));
-        engine.init_vertex(0);
-        engine.ingest_pairs(first);
-        let before = engine.collect_live();
-        engine.ingest_pairs(second);
-        let after = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(first).unwrap();
+        let before = engine.try_collect_live().unwrap();
+        engine.try_ingest_pairs(second).unwrap();
+        let after = engine.try_finish().unwrap().states;
 
         for (v, &lvl_before) in before.iter() {
             if let Some(&lvl_after) = after.get(v) {
@@ -226,9 +226,9 @@ proptest! {
         let weighted = remo_gen::stream::with_weights(&unique, wmax, seed ^ 0x717);
 
         let engine = Engine::new(remo_algos::IncWidest, EngineConfig::undirected(shards));
-        engine.init_vertex(0);
-        engine.ingest_weighted(&weighted);
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_weighted(&weighted).unwrap();
+        let states = engine.try_finish().unwrap().states;
 
         let csr = weighted_csr(&weighted, 24);
         let want = oracle::widest_paths(&csr, 0);
@@ -264,9 +264,9 @@ proptest! {
             .collect();
 
         let engine = Engine::new(remo_algos::IncTemporal, EngineConfig::undirected(shards));
-        engine.init_vertex(0);
-        engine.ingest_weighted(&stamped);
-        let states = engine.finish().states;
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_weighted(&stamped).unwrap();
+        let states = engine.try_finish().unwrap().states;
 
         let csr = weighted_csr(&stamped, 24);
         let want = oracle::earliest_arrivals(&csr, 0);

@@ -6,6 +6,11 @@
 //!   none — the price of continuous global state collection (§III-D).
 //! - Shard count on a fixed workload — the engine's strong-scaling knee at
 //!   micro scale.
+//! - Supervision overhead: a fault-free run under the supervised
+//!   `Result`-returning API, with and without deadlines armed — the happy
+//!   path must not pay for the failure machinery.
+
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -36,10 +41,10 @@ fn bench_termination(c: &mut Criterion) {
                     ..EngineConfig::undirected(4)
                 };
                 let engine = Engine::new(IncBfs, config);
-                engine.init_vertex(source);
-                engine.ingest_pairs(&edges);
-                engine.await_quiescence();
-                engine.finish().num_edges
+                engine.try_init_vertex(source).unwrap();
+                engine.try_ingest_pairs(&edges).unwrap();
+                engine.try_await_quiescence().unwrap();
+                engine.try_finish().unwrap().num_edges
             })
         });
     }
@@ -53,8 +58,8 @@ fn bench_snapshot_overhead(c: &mut Criterion) {
     g.bench_function("no_snapshots", |b| {
         b.iter(|| {
             let engine = Engine::new(IncCc, EngineConfig::undirected(4));
-            engine.ingest_pairs(&edges);
-            engine.finish().num_edges
+            engine.try_ingest_pairs(&edges).unwrap();
+            engine.try_finish().unwrap().num_edges
         })
     });
     g.bench_function("snapshot_every_quarter", |b| {
@@ -62,10 +67,10 @@ fn bench_snapshot_overhead(c: &mut Criterion) {
             let mut engine = Engine::new(IncCc, EngineConfig::undirected(4));
             let chunk = edges.len() / 4;
             for part in edges.chunks(chunk) {
-                engine.ingest_pairs(part);
-                let _ = engine.snapshot();
+                engine.try_ingest_pairs(part).unwrap();
+                let _ = engine.try_snapshot().unwrap();
             }
-            engine.finish().num_edges
+            engine.try_finish().unwrap().num_edges
         })
     });
     g.finish();
@@ -102,9 +107,43 @@ fn bench_sequential_vs_concurrent(c: &mut Criterion) {
     g.bench_function("concurrent_4_shards", |b| {
         b.iter(|| {
             let engine = Engine::new(IncBfs, EngineConfig::undirected(4));
-            engine.init_vertex(source);
-            engine.ingest_pairs(&edges);
-            engine.finish().num_edges
+            engine.try_init_vertex(source).unwrap();
+            engine.try_ingest_pairs(&edges).unwrap();
+            engine.try_finish().unwrap().num_edges
+        })
+    });
+    g.finish();
+}
+
+fn bench_supervision_overhead(c: &mut Criterion) {
+    // The supervised API's happy path: every shard runs under
+    // catch_unwind, every wait loop polls the failure board, and (in the
+    // "deadlined" variant) checks a deadline. None of that may cost
+    // anything observable on a healthy run — compare against each other
+    // and against snapshot_overhead/no_snapshots above, which runs the
+    // identical workload.
+    let edges = workload();
+    let mut g = c.benchmark_group("supervision_overhead");
+    g.sample_size(10);
+    g.bench_function("fault_free_no_deadlines", |b| {
+        b.iter(|| {
+            let engine = Engine::new(IncCc, EngineConfig::undirected(4));
+            engine.try_ingest_pairs(&edges).unwrap();
+            engine.try_await_quiescence().unwrap();
+            engine.try_finish().unwrap().num_edges
+        })
+    });
+    g.bench_function("fault_free_with_deadlines", |b| {
+        b.iter(|| {
+            let config = EngineConfig {
+                quiescence_deadline: Some(Duration::from_secs(60)),
+                query_deadline: Some(Duration::from_secs(60)),
+                ..EngineConfig::undirected(4)
+            };
+            let engine = Engine::new(IncCc, config);
+            engine.try_ingest_pairs(&edges).unwrap();
+            engine.try_await_quiescence().unwrap();
+            engine.try_finish().unwrap().num_edges
         })
     });
     g.finish();
@@ -115,6 +154,7 @@ criterion_group!(
     bench_termination,
     bench_snapshot_overhead,
     bench_shard_scaling,
-    bench_sequential_vs_concurrent
+    bench_sequential_vs_concurrent,
+    bench_supervision_overhead
 );
 criterion_main!(benches);

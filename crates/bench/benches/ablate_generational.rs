@@ -41,27 +41,27 @@ fn main() {
         // Generational BFS: delete, bump, re-seed, reconverge.
         let (algo, generation) = GenBfs::new();
         let engine = Engine::new(algo, EngineConfig::undirected(shards));
-        engine.init_vertex(source);
-        engine.ingest_pairs(&edges);
-        engine.await_quiescence();
+        engine.try_init_vertex(source).unwrap();
+        engine.try_ingest_pairs(&edges).unwrap();
+        engine.try_await_quiescence().unwrap();
         let t0 = Instant::now();
-        engine.delete_pairs(&deletions);
-        engine.await_quiescence();
+        engine.try_delete_pairs(&deletions).unwrap();
+        engine.try_await_quiescence().unwrap();
         generation.bump();
-        engine.init_vertex(source);
-        engine.await_quiescence();
+        engine.try_init_vertex(source).unwrap();
+        engine.try_await_quiescence().unwrap();
         let bfs_repair = t0.elapsed();
-        drop(engine.finish());
+        drop(engine.try_finish().unwrap());
 
         // Generational CC: delete; the flood repairs itself.
         let engine = Engine::new(GenCc, EngineConfig::undirected(shards));
-        engine.ingest_pairs(&edges);
-        engine.await_quiescence();
+        engine.try_ingest_pairs(&edges).unwrap();
+        engine.try_await_quiescence().unwrap();
         let t0 = Instant::now();
-        engine.delete_pairs(&deletions);
-        engine.await_quiescence();
+        engine.try_delete_pairs(&deletions).unwrap();
+        engine.try_await_quiescence().unwrap();
         let cc_repair = t0.elapsed();
-        drop(engine.finish());
+        drop(engine.try_finish().unwrap());
 
         // Static alternative: recompute BFS + CC over the remaining graph.
         let deleted: std::collections::HashSet<(u64, u64)> = deletions

@@ -50,16 +50,16 @@ fn main() {
         // --- Continuous solution: same stream, live BFS, B snapshots ---
         let t0 = Instant::now();
         let mut engine = Engine::new(IncBfs, EngineConfig::undirected(shards));
-        engine.init_vertex(source);
+        engine.try_init_vertex(source).unwrap();
         for b in 1..=batches {
             let lo = (b - 1) * chunk;
             let hi = if b == batches { edges.len() } else { b * chunk };
-            engine.ingest_pairs(&edges[lo..hi]);
-            let _snap = engine.snapshot();
+            engine.try_ingest_pairs(&edges[lo..hi]).unwrap();
+            let _snap = engine.try_snapshot().unwrap();
         }
-        engine.await_quiescence();
+        engine.try_await_quiescence().unwrap();
         let continuous_total = t0.elapsed();
-        let _ = engine.finish();
+        let _ = engine.try_finish().unwrap();
 
         rows.push(vec![
             batches.to_string(),

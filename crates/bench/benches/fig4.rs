@@ -43,7 +43,7 @@ fn main() {
     let intervals = 8usize;
     let chunk = edges.len() / intervals;
     let mut engine = Engine::new(IncBfs, EngineConfig::undirected(shards));
-    engine.init_vertex(source);
+    engine.try_init_vertex(source).unwrap();
 
     let mut rows = Vec::new();
     for i in 0..intervals {
@@ -53,17 +53,17 @@ fn main() {
         } else {
             lo + chunk
         };
-        engine.ingest_pairs(&edges[lo..hi]);
+        engine.try_ingest_pairs(&edges[lo..hi]).unwrap();
 
         // (1) Mid-flight snapshot: the interval's events are still flowing.
         let t0 = Instant::now();
-        let _snap_mid = engine.snapshot();
+        let _snap_mid = engine.try_snapshot().unwrap();
         let lat_mid = t0.elapsed();
 
         // (2) Quiescent snapshot: pure collection cost at the boundary.
-        engine.await_quiescence();
+        engine.try_await_quiescence().unwrap();
         let t0 = Instant::now();
-        let snap = engine.snapshot();
+        let snap = engine.try_snapshot().unwrap();
         let lat_quiet = t0.elapsed();
 
         // (3) Static recompute on the same topology from scratch.
@@ -93,7 +93,7 @@ fn main() {
             ),
         ]);
     }
-    let _ = engine.finish();
+    let _ = engine.try_finish().unwrap();
 
     print_table(
         "Figure 4: snapshot latency vs static recompute, per interval",

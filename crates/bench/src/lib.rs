@@ -50,14 +50,14 @@ pub fn timed_run<A: Algorithm>(
 ) -> TimedRun<A::State> {
     let engine = Engine::new(algo, EngineConfig::undirected(shards));
     for &v in inits {
-        engine.init_vertex(v);
+        engine.try_init_vertex(v).unwrap();
     }
     let start = Instant::now();
-    engine.ingest_pairs(edges);
-    engine.await_quiescence();
+    engine.try_ingest_pairs(edges).unwrap();
+    engine.try_await_quiescence().unwrap();
     let elapsed = start.elapsed();
     TimedRun {
-        result: engine.finish(),
+        result: engine.try_finish().unwrap(),
         elapsed,
     }
 }
@@ -71,14 +71,14 @@ pub fn timed_run_weighted<A: Algorithm>(
 ) -> TimedRun<A::State> {
     let engine = Engine::new(algo, EngineConfig::undirected(shards));
     for &v in inits {
-        engine.init_vertex(v);
+        engine.try_init_vertex(v).unwrap();
     }
     let start = Instant::now();
-    engine.ingest_weighted(edges);
-    engine.await_quiescence();
+    engine.try_ingest_weighted(edges).unwrap();
+    engine.try_await_quiescence().unwrap();
     let elapsed = start.elapsed();
     TimedRun {
-        result: engine.finish(),
+        result: engine.try_finish().unwrap(),
         elapsed,
     }
 }

@@ -336,18 +336,18 @@ mod tests {
 
         let solo_touch = {
             let e = Engine::new(Touch, EngineConfig::undirected(3));
-            e.ingest_pairs(&es);
-            e.finish().states.into_vec()
+            e.try_ingest_pairs(&es).unwrap();
+            e.try_finish().unwrap().states.into_vec()
         };
         let solo_flood = {
             let e = Engine::new(MinFlood, EngineConfig::undirected(3));
-            e.ingest_pairs(&es);
-            e.finish().states.into_vec()
+            e.try_ingest_pairs(&es).unwrap();
+            e.try_finish().unwrap().states.into_vec()
         };
 
         let e = Engine::new(Pair::new(Touch, MinFlood), EngineConfig::undirected(3));
-        e.ingest_pairs(&es);
-        let both = e.finish().states.into_vec();
+        e.try_ingest_pairs(&es).unwrap();
+        let both = e.try_finish().unwrap().states.into_vec();
 
         let firsts: Vec<(u64, u64)> = both.iter().map(|&(v, (a, _))| (v, a)).collect();
         let seconds: Vec<(u64, u64)> = both.iter().map(|&(v, (_, b))| (v, b)).collect();
@@ -363,8 +363,8 @@ mod tests {
             Pair::new(Pair::new(Touch, MinFlood), Touch),
             EngineConfig::undirected(2),
         );
-        e.ingest_pairs(&es);
-        let states = e.finish().states;
+        e.try_ingest_pairs(&es).unwrap();
+        let states = e.try_finish().unwrap().states;
         for (v, ((touch1, flood), touch2)) in states.iter() {
             assert_eq!(touch1, touch2, "vertex {v}: the two Touch copies diverged");
             assert_eq!(*flood, 1, "vertex {v}: flood must reach min id + 1");
@@ -385,8 +385,8 @@ mod tests {
             }
         }
         let e = Engine::new(Pair::new(InitMark, InitMark), EngineConfig::undirected(2));
-        e.init_vertex(3);
-        let states = e.finish().states;
+        e.try_init_vertex(3).unwrap();
+        let states = e.try_finish().unwrap().states;
         assert_eq!(states.get(3), Some(&(7, 7)));
     }
 }

@@ -7,13 +7,28 @@
 //! *not* on the data path — shards exchange visitor messages directly over
 //! their FIFO channels — it only injects streams, requests global state
 //! collections, and harvests results.
+//!
+//! ## Supervision
+//!
+//! Every shard runs under `catch_unwind`: a panicking shard publishes a
+//! structured [`ShardFailure`] to the engine's [`FailureBoard`] instead of
+//! silently dying. The `try_*` methods form the supervised API: they return
+//! `Result<_, EngineError>`, poll the failure board inside every wait loop
+//! (so a dead shard surfaces as [`EngineError::ShardPanicked`] rather than
+//! a hang), and honour the deadlines in [`EngineConfig`]
+//! (`quiescence_deadline`, `query_deadline`, `shutdown_deadline`).
+//! [`Engine::try_finish`] degrades gracefully: it harvests state, metrics,
+//! and tables from surviving shards and reports the dead ones in
+//! [`RunResult::failures`] instead of losing the whole run. The original
+//! infallible methods remain as thin deprecated wrappers that panic on
+//! failure, so callers can migrate incrementally.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use remo_store::{VertexId, Weight};
 
 use crate::algorithm::Algorithm;
@@ -21,8 +36,12 @@ use crate::event::{Envelope, EventKind, TopoEvent};
 use crate::metrics::RunMetrics;
 use crate::shard::{EngineConfig, Message, ShardReport, ShardWorker};
 use crate::snapshot::Snapshot;
-use crate::termination::{SharedCounters, TerminationMode};
+use crate::supervision::{EngineError, FailureBoard, ShardFailure};
+use crate::termination::{Deadline, SharedCounters, TerminationMode};
 use crate::trigger::{TriggerDef, TriggerFire, MAX_TRIGGERS};
+
+/// How long wait loops sleep between probes of the shared counters.
+const PROBE_PAUSE: Duration = Duration::from_micros(50);
 
 /// Builds an [`Engine`], registering triggers before the shards start.
 pub struct EngineBuilder<A: Algorithm> {
@@ -61,12 +80,16 @@ impl<A: Algorithm> EngineBuilder<A> {
     }
 
     /// Spawns the shard threads and returns the running engine.
+    // Thread-spawn failure is unrecoverable resource exhaustion at startup,
+    // before any run state exists — aborting via expect is the right call.
+    #[allow(clippy::expect_used)]
     pub fn build(self) -> Engine<A> {
         let config = self.config;
         let shards = config.num_shards;
         assert!(shards > 0, "need at least one shard");
 
         let shared = Arc::new(SharedCounters::new(shards));
+        let board = Arc::new(FailureBoard::new());
         let algo = Arc::new(self.algo);
         let triggers = Arc::new(self.triggers);
         let (trigger_tx, trigger_rx) = unbounded();
@@ -87,19 +110,21 @@ impl<A: Algorithm> EngineBuilder<A> {
                 rx,
                 senders.clone(),
                 Arc::clone(&shared),
+                Arc::clone(&board),
                 Arc::clone(&triggers),
                 trigger_tx.clone(),
                 quiesce_tx.clone(),
             );
             let handle = std::thread::Builder::new()
                 .name(format!("remo-shard-{id}"))
-                .spawn(move || worker.run())
+                .spawn(move || worker.run_supervised())
                 .expect("failed to spawn shard thread");
             handles.push(handle);
         }
 
         Engine {
             shared,
+            board,
             senders,
             handles,
             trigger_rx,
@@ -111,27 +136,43 @@ impl<A: Algorithm> EngineBuilder<A> {
 
 /// Final results of a run.
 pub struct RunResult<S> {
-    /// Live algorithm state of every vertex (sorted by id).
+    /// Live algorithm state of every vertex (sorted by id). On a degraded
+    /// run, only vertices owned by surviving shards appear.
     pub states: Snapshot<S>,
-    /// Aggregated per-shard metrics.
+    /// Aggregated per-shard metrics (`lost_shards` names the shards whose
+    /// counters died with them).
     pub metrics: RunMetrics,
-    /// Vertices materialized across all shards.
+    /// Vertices materialized across surviving shards.
     pub num_vertices: usize,
-    /// Distinct directed edges stored.
+    /// Distinct directed edges stored on surviving shards.
     pub num_edges: u64,
     /// Approximate heap footprint of adjacency storage.
     pub adjacency_bytes: usize,
     /// The per-shard dynamic stores (vertex tables), indexed by shard id.
     /// Lets callers run *static* algorithms over the dynamically built
     /// structure — the paper's Fig. 3 centre bar — or inspect topology.
+    /// A failed shard's slot holds an empty table.
     pub tables: Vec<remo_store::VertexTable<crate::vertex_state::VertexState<S>>>,
+    /// Failure report: one entry per shard that died during the run.
+    /// Empty on a clean run. Monotone REMO states harvested from surviving
+    /// shards remain valid bounds (§IV) even when this is non-empty.
+    pub failures: Vec<ShardFailure>,
+}
+
+impl<S> RunResult<S> {
+    /// True when at least one shard was lost and the result covers only
+    /// the survivors.
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
 }
 
 /// A running dynamic-graph engine (shards are live threads).
 pub struct Engine<A: Algorithm> {
     shared: Arc<SharedCounters>,
+    board: Arc<FailureBoard>,
     senders: Vec<Sender<Message<A::State>>>,
-    handles: Vec<JoinHandle<ShardReport<A::State>>>,
+    handles: Vec<JoinHandle<Option<ShardReport<A::State>>>>,
     trigger_rx: Receiver<TriggerFire>,
     quiesce_rx: Receiver<()>,
     config: EngineConfig,
@@ -153,92 +194,156 @@ impl<A: Algorithm> Engine<A> {
         &self.trigger_rx
     }
 
+    /// Failures recorded so far (empty while every shard is healthy).
+    pub fn failures(&self) -> Vec<ShardFailure> {
+        self.board.snapshot()
+    }
+
+    /// True once any shard has died; the engine keeps serving the
+    /// survivors' partitions.
+    pub fn is_degraded(&self) -> bool {
+        self.board.any_failed()
+    }
+
+    /// Classifies a failed send to `shard`.
+    fn send_error(&self, shard: usize) -> EngineError {
+        if self.board.is_failed(shard) {
+            EngineError::ShardPanicked {
+                failures: self.board.snapshot(),
+            }
+        } else {
+            EngineError::ChannelClosed { shard }
+        }
+    }
+
+    fn send_to(&self, shard: usize, msg: Message<A::State>) -> Result<(), EngineError> {
+        self.senders[shard]
+            .send(msg)
+            .map_err(|_| self.send_error(shard))
+    }
+
     /// Injects pre-split event streams: stream `i` becomes shard
     /// `i % P`'s in-order input. Streams may be injected at any time,
-    /// including while previous streams are still draining.
-    pub fn ingest(&self, streams: Vec<Vec<TopoEvent>>) {
-        let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
-        // Count *before* sending so quiescence cannot be observed between
-        // the send and the shard's receipt.
-        self.shared.injected.fetch_add(total, Ordering::SeqCst);
+    /// including while previous streams are still draining. Fails fast if
+    /// a destination shard is dead; streams before the dead one were
+    /// delivered.
+    pub fn try_ingest(&self, streams: Vec<Vec<TopoEvent>>) -> Result<(), EngineError> {
         for (i, stream) in streams.into_iter().enumerate() {
             let shard = i % self.config.num_shards;
-            self.senders[shard]
-                .send(Message::Stream(stream))
-                .expect("shard channel closed");
+            let n = stream.len() as u64;
+            // Count *before* sending so quiescence cannot be observed
+            // between the send and the shard's receipt; uncount on failure
+            // so a degraded engine can still quiesce over the survivors.
+            self.shared.injected.fetch_add(n, Ordering::SeqCst);
+            if let Err(e) = self.send_to(shard, Message::Stream(stream)) {
+                self.shared.injected.fetch_sub(n, Ordering::SeqCst);
+                return Err(e);
+            }
         }
+        Ok(())
     }
 
     /// Convenience: split an unweighted pair list into one stream per shard
     /// and ingest (the paper's evaluation methodology, §V-A).
-    pub fn ingest_pairs(&self, pairs: &[(VertexId, VertexId)]) {
+    pub fn try_ingest_pairs(&self, pairs: &[(VertexId, VertexId)]) -> Result<(), EngineError> {
         let k = self.config.num_shards;
         let mut streams: Vec<Vec<TopoEvent>> = (0..k).map(|_| Vec::new()).collect();
         for (i, &(s, d)) in pairs.iter().enumerate() {
             streams[i % k].push(TopoEvent::new(s, d));
         }
-        self.ingest(streams);
+        self.try_ingest(streams)
     }
 
     /// Convenience: stream edge **removals** (§VI-B extension).
-    pub fn delete_pairs(&self, pairs: &[(VertexId, VertexId)]) {
+    pub fn try_delete_pairs(&self, pairs: &[(VertexId, VertexId)]) -> Result<(), EngineError> {
         let k = self.config.num_shards;
         let mut streams: Vec<Vec<TopoEvent>> = (0..k).map(|_| Vec::new()).collect();
         for (i, &(s, d)) in pairs.iter().enumerate() {
             streams[i % k].push(TopoEvent::removal(s, d));
         }
-        self.ingest(streams);
+        self.try_ingest(streams)
     }
 
-    /// Convenience: weighted variant of [`Self::ingest_pairs`].
-    pub fn ingest_weighted(&self, triples: &[(VertexId, VertexId, Weight)]) {
+    /// Convenience: weighted variant of [`Self::try_ingest_pairs`].
+    pub fn try_ingest_weighted(
+        &self,
+        triples: &[(VertexId, VertexId, Weight)],
+    ) -> Result<(), EngineError> {
         let k = self.config.num_shards;
         let mut streams: Vec<Vec<TopoEvent>> = (0..k).map(|_| Vec::new()).collect();
         for (i, &(s, d, w)) in triples.iter().enumerate() {
             streams[i % k].push(TopoEvent::weighted(s, d, w));
         }
-        self.ingest(streams);
+        self.try_ingest(streams)
     }
 
     /// Sends an `Init` event to `v` — e.g. designate the BFS/SSSP source or
     /// an S-T connectivity source. "Can be initiated at any time" (§IV.1):
     /// before, during, or after ingestion.
-    pub fn init_vertex(&self, v: VertexId) {
+    pub fn try_init_vertex(&self, v: VertexId) -> Result<(), EngineError> {
         let epoch = self.shared.epoch.load(Ordering::SeqCst);
+        let parity = (epoch & 1) as usize;
         // The controller publishes its own sent counter (extra slot).
         let ctl = self.shared.controller_slot();
-        self.shared.slot(ctl).sent[(epoch & 1) as usize].fetch_add(1, Ordering::SeqCst);
+        self.shared.slot(ctl).sent[parity].fetch_add(1, Ordering::SeqCst);
         let owner_shard = self.owner(v);
-        self.senders[owner_shard]
-            .send(Message::Event(Envelope {
+        let sent = self.send_to(
+            owner_shard,
+            Message::Event(Envelope {
                 target: v,
                 visitor: v,
                 value: A::State::default(),
                 weight: 1,
                 kind: EventKind::Init,
                 epoch,
-            }))
-            .expect("shard channel closed");
+            }),
+        );
+        if sent.is_err() {
+            // Uncount: the envelope never became receivable.
+            self.shared.slot(ctl).sent[parity].fetch_sub(1, Ordering::SeqCst);
+        }
+        sent
     }
 
     fn owner(&self, v: VertexId) -> usize {
         crate::partition::Partitioner::new(self.config.num_shards).owner(v)
     }
 
+    /// One supervised wait step: failure first (a dead shard must surface
+    /// even with no deadline configured), then the deadline.
+    fn check_liveness(&self, deadline: &Deadline) -> Result<(), EngineError> {
+        if self.board.any_failed() {
+            return Err(EngineError::ShardPanicked {
+                failures: self.board.snapshot(),
+            });
+        }
+        if deadline.expired() {
+            return Err(EngineError::QuiescenceTimeout {
+                waited: deadline.waited(),
+            });
+        }
+        Ok(())
+    }
+
     /// Blocks until every injected stream is drained and no algorithmic
-    /// event is in flight.
-    pub fn await_quiescence(&self) {
+    /// event is in flight — or until a shard failure or the configured
+    /// `quiescence_deadline` cuts the wait short.
+    pub fn try_await_quiescence(&self) -> Result<(), EngineError> {
+        let deadline = Deadline::new(self.config.quiescence_deadline);
         match self.config.termination {
-            TerminationMode::Counter => {
-                while !self.shared.quiescent_probe() {
-                    std::thread::sleep(Duration::from_micros(50));
+            TerminationMode::Counter => loop {
+                self.check_liveness(&deadline)?;
+                if self.shared.quiescent_probe() {
+                    return Ok(());
                 }
-            }
+                std::thread::sleep(PROBE_PAUSE);
+            },
             TerminationMode::Safra => loop {
+                self.check_liveness(&deadline)?;
                 if self.shared.quiescent_probe() {
                     // Drain any announcements for this quiet period.
                     while self.quiesce_rx.try_recv().is_ok() {}
-                    return;
+                    return Ok(());
                 }
                 let _ = self.quiesce_rx.recv_timeout(Duration::from_millis(1));
             },
@@ -251,111 +356,270 @@ impl<A: Algorithm> Engine<A> {
         &self.quiesce_rx
     }
 
+    /// Receives one collection fragment under the `query_deadline`.
+    fn recv_fragment<T>(
+        &self,
+        rx: &Receiver<T>,
+        answered: usize,
+        expected: usize,
+    ) -> Result<T, EngineError> {
+        let degraded = |answered| EngineError::Degraded {
+            failures: self.board.snapshot(),
+            answered,
+            expected,
+        };
+        match self.config.query_deadline {
+            None => rx.recv().map_err(|_| degraded(answered)),
+            Some(d) => rx.recv_timeout(d).map_err(|e| match e {
+                // Disconnected: a replier died — the board will say which.
+                RecvTimeoutError::Disconnected => degraded(answered),
+                RecvTimeoutError::Timeout => {
+                    if self.board.any_failed() {
+                        degraded(answered)
+                    } else {
+                        EngineError::QuiescenceTimeout { waited: d }
+                    }
+                }
+            }),
+        }
+    }
+
     /// Collects a global snapshot **without pausing ingestion** (§III-D):
     /// opens a new epoch, waits for every shard to start tagging with it,
     /// waits for the old epoch's events to drain (they keep draining while
     /// new-epoch events are processed concurrently), then gathers each
-    /// vertex's previous-epoch state.
-    pub fn snapshot(&mut self) -> Snapshot<A::State> {
+    /// vertex's previous-epoch state. A dead shard or an expired
+    /// `quiescence_deadline` aborts the collection with an error instead of
+    /// hanging at the barrier.
+    pub fn try_snapshot(&mut self) -> Result<Snapshot<A::State>, EngineError> {
+        let deadline = Deadline::new(self.config.quiescence_deadline);
+        self.check_liveness(&deadline)?;
         let old = self.shared.epoch.fetch_add(1, Ordering::SeqCst);
         let new = old + 1;
         // Barrier: every shard must have observed the new epoch, so no
         // further old-epoch stream events can be born.
         for id in 0..self.config.num_shards {
             while self.shared.slot(id).epoch_ack.load(Ordering::SeqCst) < new {
+                self.check_liveness(&deadline)?;
                 std::thread::yield_now();
             }
         }
         // Drain the old epoch (its cascades inherit its parity).
         while !self.shared.drained_probe(old) {
-            std::thread::sleep(Duration::from_micros(50));
+            self.check_liveness(&deadline)?;
+            std::thread::sleep(PROBE_PAUSE);
         }
         // Gather fragments.
-        let (reply_tx, reply_rx) = bounded(self.config.num_shards);
-        for s in &self.senders {
-            s.send(Message::Collect {
-                old_epoch: old,
-                live: false,
-                reply: reply_tx.clone(),
-            })
-            .expect("shard channel closed");
+        let expected = self.config.num_shards;
+        let (reply_tx, reply_rx) = bounded(expected);
+        for id in 0..expected {
+            self.send_to(
+                id,
+                Message::Collect {
+                    old_epoch: old,
+                    live: false,
+                    reply: reply_tx.clone(),
+                },
+            )?;
         }
         drop(reply_tx);
         let mut states = Vec::new();
-        for _ in 0..self.config.num_shards {
-            states.extend(reply_rx.recv().expect("shard died during collect"));
+        for answered in 0..expected {
+            states.extend(self.recv_fragment(&reply_rx, answered, expected)?);
         }
-        Snapshot::from_fragments(old, states)
+        Ok(Snapshot::from_fragments(old, states))
     }
 
     /// Observes one vertex's **live local state** right now (§III-E,
     /// §VI-A): an O(1) read on the owning shard, answered in queue order
-    /// with the events currently ahead of it. Returns `None` for vertices
-    /// no event has touched. Does not wait for quiescence — the answer is
-    /// the current monotone bound, exactly what local-state queries mean in
-    /// this model.
-    pub fn local_state(&self, v: VertexId) -> Option<A::State> {
-        let (reply_tx, reply_rx) = bounded(1);
+    /// with the events currently ahead of it. Returns `Ok(None)` for
+    /// vertices no event has touched. Does not wait for quiescence — the
+    /// answer is the current monotone bound, exactly what local-state
+    /// queries mean in this model. If the owning shard is dead the query
+    /// fails with [`EngineError::ShardPanicked`] instead of blocking
+    /// forever on a reply that can never come.
+    pub fn try_local_state(&self, v: VertexId) -> Result<Option<A::State>, EngineError> {
         let owner_shard = self.owner(v);
-        self.senders[owner_shard]
-            .send(Message::Query {
+        if self.board.is_failed(owner_shard) {
+            return Err(EngineError::ShardPanicked {
+                failures: self.board.snapshot(),
+            });
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.send_to(
+            owner_shard,
+            Message::Query {
                 vertex: v,
                 reply: reply_tx,
-            })
-            .expect("shard channel closed");
-        reply_rx.recv().expect("shard died during query")
+            },
+        )?;
+        // Even with no deadline this cannot hang: if the owner dies, its
+        // queue (holding our reply sender) is dropped and recv disconnects.
+        match self.config.query_deadline {
+            None => reply_rx.recv().map_err(|_| self.send_error(owner_shard)),
+            Some(d) => reply_rx.recv_timeout(d).map_err(|e| match e {
+                RecvTimeoutError::Disconnected => self.send_error(owner_shard),
+                RecvTimeoutError::Timeout => {
+                    if self.board.is_failed(owner_shard) {
+                        EngineError::ShardPanicked {
+                            failures: self.board.snapshot(),
+                        }
+                    } else {
+                        EngineError::QuiescenceTimeout { waited: d }
+                    }
+                }
+            }),
+        }
     }
 
     /// Waits for quiescence, then collects every vertex's live state
     /// (equivalent to a snapshot at the end of all injected work).
-    pub fn collect_live(&self) -> Snapshot<A::State> {
-        self.await_quiescence();
-        let (reply_tx, reply_rx) = bounded(self.config.num_shards);
+    pub fn try_collect_live(&self) -> Result<Snapshot<A::State>, EngineError> {
+        self.try_await_quiescence()?;
+        let expected = self.config.num_shards;
+        let (reply_tx, reply_rx) = bounded(expected);
         let epoch = self.shared.epoch.load(Ordering::SeqCst);
-        for s in &self.senders {
-            s.send(Message::Collect {
-                old_epoch: epoch,
-                live: true,
-                reply: reply_tx.clone(),
-            })
-            .expect("shard channel closed");
+        for id in 0..expected {
+            self.send_to(
+                id,
+                Message::Collect {
+                    old_epoch: epoch,
+                    live: true,
+                    reply: reply_tx.clone(),
+                },
+            )?;
         }
         drop(reply_tx);
         let mut states = Vec::new();
-        for _ in 0..self.config.num_shards {
-            states.extend(reply_rx.recv().expect("shard died during collect"));
+        for answered in 0..expected {
+            states.extend(self.recv_fragment(&reply_rx, answered, expected)?);
         }
-        Snapshot::from_fragments(epoch, states)
+        Ok(Snapshot::from_fragments(epoch, states))
     }
 
-    /// Waits for quiescence, stops the shards, and returns final state plus
-    /// metrics.
-    pub fn finish(mut self) -> RunResult<A::State> {
-        self.await_quiescence();
+    /// One reading of every progress counter (injected, epoch, and each
+    /// slot's sent/processed/ingested including the controller's).
+    fn counter_fingerprint(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(self.config.num_shards * 5 + 7);
+        v.push(self.shared.injected.load(Ordering::SeqCst));
+        v.push(u64::from(self.shared.epoch.load(Ordering::SeqCst)));
+        for id in 0..=self.config.num_shards {
+            let s = self.shared.slot(id);
+            v.push(s.sent[0].load(Ordering::SeqCst));
+            v.push(s.sent[1].load(Ordering::SeqCst));
+            v.push(s.processed[0].load(Ordering::SeqCst));
+            v.push(s.processed[1].load(Ordering::SeqCst));
+            v.push(s.ingested.load(Ordering::SeqCst));
+        }
+        v
+    }
+
+    /// After a shard failure, true quiescence is unreachable (the dead
+    /// shard's in-flight events can never be processed), but the survivors
+    /// still have useful work queued. Wait — bounded by
+    /// `shutdown_deadline` — until their progress counters hold still, so
+    /// the degraded harvest reflects everything the survivors could
+    /// compute, not a snapshot of wherever they happened to be when the
+    /// failure was noticed.
+    fn settle_survivors(&self) {
+        let deadline = Deadline::new(Some(self.config.shutdown_deadline));
+        let mut last = self.counter_fingerprint();
+        let mut stable = 0;
+        while stable < 5 && !deadline.expired() {
+            std::thread::sleep(Duration::from_millis(1));
+            let now = self.counter_fingerprint();
+            if now == last {
+                stable += 1;
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+    }
+
+    /// Supervised finish: waits for quiescence (under the configured
+    /// deadline), stops the shards, and harvests final state plus metrics.
+    ///
+    /// Degrades gracefully: if shards died, the run is **not** lost — the
+    /// survivors' states, metrics, and tables are returned with
+    /// [`RunResult::failures`] describing the dead shards (their vertices
+    /// are simply absent, and their monotone states on survivors remain
+    /// valid bounds per §IV). Returns `Err` only when nothing useful can be
+    /// harvested — today that is [`EngineError::QuiescenceTimeout`] with
+    /// every shard still alive but the system not quiescent (e.g. lost
+    /// messages), where partial state would be silently wrong rather than
+    /// merely partial.
+    pub fn try_finish(mut self) -> Result<RunResult<A::State>, EngineError> {
+        match self.try_await_quiescence() {
+            Ok(()) => {}
+            // Shards died: harvest what survives.
+            Err(EngineError::ShardPanicked { .. }) => {}
+            Err(e @ EngineError::QuiescenceTimeout { .. }) => {
+                if !self.board.any_failed() {
+                    return Err(e); // Drop will tear the shards down.
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        if self.board.any_failed() {
+            self.settle_survivors();
+        }
         for s in &self.senders {
             let _ = s.send(Message::Shutdown);
         }
+
+        let shards = self.config.num_shards;
         let mut states = Vec::new();
         let mut metrics = RunMetrics::default();
-        metrics
-            .per_shard
-            .resize(self.config.num_shards, Default::default());
+        metrics.per_shard.resize(shards, Default::default());
         let mut num_vertices = 0;
         let mut num_edges = 0;
         let mut adjacency_bytes = 0;
         let mut tables: Vec<Option<remo_store::VertexTable<_>>> =
-            (0..self.config.num_shards).map(|_| None).collect();
-        for h in self.handles.drain(..) {
-            let report = h.join().expect("shard thread panicked");
-            states.extend(report.states);
-            metrics.per_shard[report.id] = report.metrics;
-            num_vertices += report.num_vertices;
-            num_edges += report.num_edges;
-            adjacency_bytes += report.adjacency_bytes;
-            tables[report.id] = Some(report.table);
+            (0..shards).map(|_| None).collect();
+
+        // Join with a deadline: a healthy shard exits promptly after
+        // Shutdown, a panicked shard's thread is already gone, and a wedged
+        // shard (e.g. chaos delay) is detached and reported, never joined
+        // unboundedly.
+        let deadline = Deadline::new(Some(self.config.shutdown_deadline));
+        for (id, h) in self.handles.drain(..).enumerate() {
+            while !h.is_finished() && !deadline.expired() {
+                std::thread::sleep(PROBE_PAUSE);
+            }
+            if !h.is_finished() {
+                self.board.record(ShardFailure {
+                    id,
+                    payload: "shard did not stop within shutdown_deadline".to_string(),
+                    last_epoch: self.shared.slot(id).epoch_ack.load(Ordering::SeqCst),
+                });
+                continue; // detach: the thread ends (or not) on its own
+            }
+            match h.join() {
+                Ok(Some(report)) => {
+                    states.extend(report.states);
+                    metrics.per_shard[report.id] = report.metrics;
+                    num_vertices += report.num_vertices;
+                    num_edges += report.num_edges;
+                    adjacency_bytes += report.adjacency_bytes;
+                    tables[report.id] = Some(report.table);
+                }
+                // A panicked shard recorded its failure on the board
+                // before returning None from run_supervised.
+                Ok(None) => {}
+                // Panic outside catch_unwind (e.g. in a Drop during
+                // unwind): synthesize the record the wrapper could not.
+                Err(payload) => self.board.record(ShardFailure {
+                    id,
+                    payload: crate::supervision::panic_payload_string(payload),
+                    last_epoch: self.shared.slot(id).epoch_ack.load(Ordering::SeqCst),
+                }),
+            }
         }
+        let failures = self.board.snapshot();
+        metrics.lost_shards = failures.iter().map(|f| f.id).collect();
         let epoch = self.shared.epoch.load(Ordering::SeqCst);
-        RunResult {
+        Ok(RunResult {
             states: Snapshot::from_fragments(epoch, states),
             metrics,
             num_vertices,
@@ -363,22 +627,129 @@ impl<A: Algorithm> Engine<A> {
             adjacency_bytes,
             tables: tables
                 .into_iter()
-                .map(|t| t.expect("shard reported"))
+                .map(|t| t.unwrap_or_default())
                 .collect(),
+            failures,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy infallible API: thin wrappers over the supervised methods,
+    // kept so call sites can migrate incrementally. Each panics where the
+    // seed engine panicked (or hung).
+    // ------------------------------------------------------------------
+
+    /// See [`Self::try_ingest`].
+    #[deprecated(note = "use try_ingest; this wrapper panics if a shard died")]
+    pub fn ingest(&self, streams: Vec<Vec<TopoEvent>>) {
+        if let Err(e) = self.try_ingest(streams) {
+            panic!("shard channel closed: {e}");
+        }
+    }
+
+    /// See [`Self::try_ingest_pairs`].
+    #[deprecated(note = "use try_ingest_pairs; this wrapper panics if a shard died")]
+    pub fn ingest_pairs(&self, pairs: &[(VertexId, VertexId)]) {
+        if let Err(e) = self.try_ingest_pairs(pairs) {
+            panic!("shard channel closed: {e}");
+        }
+    }
+
+    /// See [`Self::try_delete_pairs`].
+    #[deprecated(note = "use try_delete_pairs; this wrapper panics if a shard died")]
+    pub fn delete_pairs(&self, pairs: &[(VertexId, VertexId)]) {
+        if let Err(e) = self.try_delete_pairs(pairs) {
+            panic!("shard channel closed: {e}");
+        }
+    }
+
+    /// See [`Self::try_ingest_weighted`].
+    #[deprecated(note = "use try_ingest_weighted; this wrapper panics if a shard died")]
+    pub fn ingest_weighted(&self, triples: &[(VertexId, VertexId, Weight)]) {
+        if let Err(e) = self.try_ingest_weighted(triples) {
+            panic!("shard channel closed: {e}");
+        }
+    }
+
+    /// See [`Self::try_init_vertex`].
+    #[deprecated(note = "use try_init_vertex; this wrapper panics if a shard died")]
+    pub fn init_vertex(&self, v: VertexId) {
+        if let Err(e) = self.try_init_vertex(v) {
+            panic!("shard channel closed: {e}");
+        }
+    }
+
+    /// See [`Self::try_await_quiescence`].
+    #[deprecated(note = "use try_await_quiescence; this wrapper panics on failure or deadline")]
+    pub fn await_quiescence(&self) {
+        if let Err(e) = self.try_await_quiescence() {
+            panic!("quiescence wait failed: {e}");
+        }
+    }
+
+    /// See [`Self::try_snapshot`].
+    #[deprecated(note = "use try_snapshot; this wrapper panics if a shard died")]
+    pub fn snapshot(&mut self) -> Snapshot<A::State> {
+        match self.try_snapshot() {
+            Ok(s) => s,
+            Err(e) => panic!("shard died during collect: {e}"),
+        }
+    }
+
+    /// See [`Self::try_local_state`].
+    #[deprecated(note = "use try_local_state; this wrapper panics if the owner died")]
+    pub fn local_state(&self, v: VertexId) -> Option<A::State> {
+        match self.try_local_state(v) {
+            Ok(s) => s,
+            Err(e) => panic!("shard died during query: {e}"),
+        }
+    }
+
+    /// See [`Self::try_collect_live`].
+    #[deprecated(note = "use try_collect_live; this wrapper panics if a shard died")]
+    pub fn collect_live(&self) -> Snapshot<A::State> {
+        match self.try_collect_live() {
+            Ok(s) => s,
+            Err(e) => panic!("shard died during collect: {e}"),
+        }
+    }
+
+    /// See [`Self::try_finish`].
+    #[deprecated(note = "use try_finish; this wrapper panics if any shard died")]
+    pub fn finish(self) -> RunResult<A::State> {
+        match self.try_finish() {
+            Ok(r) => {
+                if r.is_degraded() {
+                    panic!("shard thread panicked: {:?}", r.failures);
+                }
+                r
+            }
+            Err(e) => panic!("engine finish failed: {e}"),
         }
     }
 }
 
 impl<A: Algorithm> Drop for Engine<A> {
     fn drop(&mut self) {
-        // finish() drains handles; an un-finished engine tears down here.
-        if !self.handles.is_empty() {
-            for s in &self.senders {
-                let _ = s.send(Message::Shutdown);
+        // try_finish drains handles; an un-finished engine tears down here.
+        // Best-effort with a deadline: a shard that died before receiving
+        // Shutdown, or one wedged mid-event, must not block drop forever —
+        // stragglers are detached instead of joined.
+        if self.handles.is_empty() {
+            return;
+        }
+        for s in &self.senders {
+            let _ = s.send(Message::Shutdown);
+        }
+        let deadline = Deadline::new(Some(self.config.shutdown_deadline));
+        for h in self.handles.drain(..) {
+            while !h.is_finished() && !deadline.expired() {
+                std::thread::sleep(PROBE_PAUSE);
             }
-            for h in self.handles.drain(..) {
+            if h.is_finished() {
                 let _ = h.join();
             }
+            // else: detached — the OS reaps it when the process exits.
         }
     }
 }

@@ -1,3 +1,5 @@
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! # remo-core — event-centric engine for incremental graph analytics
 //!
 //! A from-scratch Rust reproduction of the infrastructure in *Incremental
@@ -23,6 +25,12 @@
 //!   paper's Chandy–Lamport variant (§III-D).
 //! - Local-state "When" queries fire user callbacks at most once per vertex
 //!   ([`trigger`]).
+//! - Shards run under supervision ([`supervision`]): a panicking shard is
+//!   contained by `catch_unwind` and reported as a structured
+//!   [`ShardFailure`]; the engine's `try_*` API returns
+//!   `Result<_, EngineError>` under configurable deadlines instead of
+//!   panicking or blocking forever, and [`engine::Engine::try_finish`]
+//!   harvests surviving shards on degraded runs.
 //!
 //! ## Quick example
 //!
@@ -43,8 +51,9 @@
 //! }
 //!
 //! let engine = Engine::new(Degree, EngineConfig::undirected(2));
-//! engine.ingest_pairs(&[(0, 1), (1, 2)]);
-//! let result = engine.finish();
+//! engine.try_ingest_pairs(&[(0, 1), (1, 2)]).unwrap();
+//! let result = engine.try_finish().unwrap();
+//! assert!(!result.is_degraded());
 //! assert_eq!(result.states.get(1), Some(&2)); // vertex 1 has degree 2
 //! ```
 
@@ -57,6 +66,7 @@ pub mod partition;
 pub mod sequential;
 pub mod shard;
 pub mod snapshot;
+pub mod supervision;
 pub mod termination;
 pub mod trigger;
 pub mod vertex_state;
@@ -72,7 +82,8 @@ pub use partition::Partitioner;
 pub use sequential::SequentialEngine;
 pub use shard::EngineConfig;
 pub use snapshot::Snapshot;
-pub use termination::TerminationMode;
+pub use supervision::{EngineError, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER};
+pub use termination::{Deadline, TerminationMode};
 pub use trigger::{TriggerFire, MAX_TRIGGERS};
 pub use vertex_state::VertexState;
 

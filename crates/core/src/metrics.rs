@@ -31,6 +31,14 @@ pub struct ShardMetrics {
     pub snapshot_forks: u64,
     /// Safra tokens forwarded (0 in counter mode).
     pub safra_tokens: u64,
+    /// Faults injected on this shard by the configured
+    /// [`FaultPlan`](crate::FaultPlan) (0 outside chaos runs).
+    pub faults_injected: u64,
+    /// Outbound envelopes deliberately lost by fault injection.
+    pub envelopes_dropped: u64,
+    /// Envelopes retired because their destination channel was already
+    /// closed (engine teardown, or the destination shard died).
+    pub envelopes_undeliverable: u64,
 }
 
 impl ShardMetrics {
@@ -58,14 +66,22 @@ impl ShardMetrics {
         self.triggers_fired += other.triggers_fired;
         self.snapshot_forks += other.snapshot_forks;
         self.safra_tokens += other.safra_tokens;
+        self.faults_injected += other.faults_injected;
+        self.envelopes_dropped += other.envelopes_dropped;
+        self.envelopes_undeliverable += other.envelopes_undeliverable;
     }
 }
 
 /// Aggregated metrics for a whole run.
 #[derive(Debug, Default, Clone)]
 pub struct RunMetrics {
-    /// Per-shard breakdown, indexed by shard id.
+    /// Per-shard breakdown, indexed by shard id. Shards listed in
+    /// `lost_shards` hold default (zero) metrics: their counters died with
+    /// them.
     pub per_shard: Vec<ShardMetrics>,
+    /// Shards whose metrics could not be harvested because the shard
+    /// failed before shutdown (failure accounting for degraded runs).
+    pub lost_shards: Vec<usize>,
 }
 
 impl RunMetrics {
@@ -128,6 +144,7 @@ mod tests {
     fn amplification_guards_division() {
         let r = RunMetrics {
             per_shard: vec![ShardMetrics::default()],
+            ..Default::default()
         };
         assert_eq!(r.amplification(), 0.0);
         let r = RunMetrics {
@@ -136,6 +153,7 @@ mod tests {
                 update_events: 30,
                 ..Default::default()
             }],
+            ..Default::default()
         };
         assert!((r.amplification() - 3.0).abs() < 1e-9);
     }

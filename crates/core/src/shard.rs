@@ -31,6 +31,9 @@ use crate::algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
 use crate::event::{Envelope, Epoch, EventKind, TopoEvent};
 use crate::metrics::ShardMetrics;
 use crate::partition::Partitioner;
+use crate::supervision::{
+    panic_payload_string, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER,
+};
 use crate::termination::{SafraState, SharedCounters, TerminationMode, Token, TokenAction};
 use crate::trigger::{TriggerDef, TriggerFire};
 use crate::vertex_state::VertexState;
@@ -77,6 +80,24 @@ pub struct EngineConfig {
     pub termination: TerminationMode,
     /// How long an idle shard parks on its channel per wait.
     pub idle_park: Duration,
+    /// Maximum time a supervised call waits for quiescence or for a
+    /// snapshot barrier before returning
+    /// [`EngineError::QuiescenceTimeout`](crate::EngineError). `None`
+    /// (the default) waits indefinitely — but even then supervised calls
+    /// still return promptly if a shard *panics*, because every wait loop
+    /// also polls the failure board.
+    pub quiescence_deadline: Option<Duration>,
+    /// Maximum time a supervised call waits for one shard's reply to a
+    /// point query or a state collection. `None` (the default) waits until
+    /// the reply channel disconnects.
+    pub query_deadline: Option<Duration>,
+    /// Best-effort budget for joining shard threads during `Drop` and at
+    /// the end of `try_finish`; threads still running afterwards are
+    /// detached rather than blocking teardown.
+    pub shutdown_deadline: Duration,
+    /// Chaos-injection hook for the fault-tolerance test-suite. The
+    /// default plan injects nothing and costs one cached branch per shard.
+    pub fault_plan: FaultPlan,
 }
 
 impl EngineConfig {
@@ -87,6 +108,10 @@ impl EngineConfig {
             undirected: true,
             termination: TerminationMode::Counter,
             idle_park: Duration::from_micros(200),
+            quiescence_deadline: None,
+            query_deadline: None,
+            shutdown_deadline: Duration::from_secs(2),
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -120,10 +145,14 @@ pub(crate) struct ShardWorker<A: Algorithm> {
     rx: Receiver<Message<A::State>>,
     senders: Vec<Sender<Message<A::State>>>,
     shared: Arc<SharedCounters>,
+    board: Arc<FailureBoard>,
     triggers: Arc<Vec<TriggerDef<A::State>>>,
     trigger_tx: Sender<TriggerFire>,
     quiesce_tx: Sender<()>,
 
+    /// True iff `config.fault_plan` targets this shard — precomputed so the
+    /// fault-free data path pays one predictable branch, not a plan scan.
+    fault_armed: bool,
     table: VertexTable<VertexState<A::State>>,
     /// Envelopes this shard sent to itself: bypass the channel, preserve
     /// FIFO (a local queue is trivially in-order per sender).
@@ -152,12 +181,14 @@ impl<A: Algorithm> ShardWorker<A> {
         rx: Receiver<Message<A::State>>,
         senders: Vec<Sender<Message<A::State>>>,
         shared: Arc<SharedCounters>,
+        board: Arc<FailureBoard>,
         triggers: Arc<Vec<TriggerDef<A::State>>>,
         trigger_tx: Sender<TriggerFire>,
         quiesce_tx: Sender<()>,
     ) -> Self {
         let part = Partitioner::new(config.num_shards);
         let num_shards = config.num_shards;
+        let fault_armed = config.fault_plan.targets(id);
         ShardWorker {
             id,
             algo,
@@ -166,9 +197,11 @@ impl<A: Algorithm> ShardWorker<A> {
             rx,
             senders,
             shared,
+            board,
             triggers,
             trigger_tx,
             quiesce_tx,
+            fault_armed,
             table: VertexTable::new(),
             local_q: VecDeque::new(),
             streams: VecDeque::new(),
@@ -182,6 +215,55 @@ impl<A: Algorithm> ShardWorker<A> {
             safra: SafraState::default(),
             edges: 0,
             seq: 0,
+        }
+    }
+
+    /// Supervised entry point: runs the worker loop under `catch_unwind`.
+    /// A panicking shard publishes a structured [`ShardFailure`] to the
+    /// engine's failure board instead of silently dying (and taking the
+    /// whole run's liveness with it). Returns `None` on panic.
+    pub(crate) fn run_supervised(self) -> Option<ShardReport<A::State>> {
+        let id = self.id;
+        let shared = Arc::clone(&self.shared);
+        let board = Arc::clone(&self.board);
+        // The worker owns its whole world (table, queues, channels); a
+        // panic aborts this shard only, so observing no state across the
+        // unwind boundary is exactly right — hence AssertUnwindSafe.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run())) {
+            Ok(report) => Some(report),
+            Err(payload) => {
+                use std::sync::atomic::Ordering;
+                board.record(ShardFailure {
+                    id,
+                    payload: panic_payload_string(payload),
+                    last_epoch: shared.slot(id).epoch_ack.load(Ordering::SeqCst),
+                });
+                None
+            }
+        }
+    }
+
+    /// Injects the configured faults for this shard ahead of processing one
+    /// algorithmic event. Only called when `fault_armed` is set.
+    #[cold]
+    fn inject_faults(&mut self) {
+        let plan = self.config.fault_plan.clone();
+        if let Some((shard, delay)) = plan.delay {
+            if shard == self.id {
+                self.metrics.faults_injected += 1;
+                std::thread::sleep(delay);
+            }
+        }
+        if let Some((shard, nth)) = plan.panic_at {
+            // `seq` was incremented at the top of `process`, so it is the
+            // 1-based index of the event being processed right now.
+            if shard == self.id && self.seq >= nth {
+                self.metrics.faults_injected += 1;
+                panic!(
+                    "{CHAOS_PANIC_MARKER}: shard {} at event {}",
+                    self.id, self.seq
+                );
+            }
         }
     }
 
@@ -295,6 +377,9 @@ impl<A: Algorithm> ShardWorker<A> {
     /// Processes one algorithmic envelope.
     fn process(&mut self, env: Envelope<A::State>) {
         self.seq += 1;
+        if self.fault_armed {
+            self.inject_faults();
+        }
         let target = env.target;
         let (rec, _) = self.table.ensure(target);
         if rec.state.fork_for(env.epoch) {
@@ -485,6 +570,19 @@ impl<A: Algorithm> ShardWorker<A> {
         self.note_sent(env.epoch);
         self.safra.on_send();
         self.metrics.envelopes_sent += 1;
+        // Chaos: lose this envelope "in transit" — after the sent counter
+        // was published, exactly like a message a real network ate. The
+        // imbalance is what the controller's deadline machinery must catch.
+        if self.fault_armed
+            && self
+                .config
+                .fault_plan
+                .should_drop(self.id, self.metrics.envelopes_sent)
+        {
+            self.metrics.faults_injected += 1;
+            self.metrics.envelopes_dropped += 1;
+            return;
+        }
         let owner = self.part.owner(env.target);
         if owner == self.id {
             self.local_q.push_back(env);
@@ -503,9 +601,11 @@ impl<A: Algorithm> ShardWorker<A> {
         }
         let batch = std::mem::take(&mut self.outboxes[owner]);
         if let Err(e) = self.senders[owner].send(Message::Batch(batch)) {
-            // Receiver shut down mid-run (engine teardown): retire the
-            // envelopes so counters stay balanced.
+            // Receiver shut down mid-run (engine teardown, or the
+            // destination shard died): retire the envelopes so counters
+            // stay balanced, and account for the loss.
             if let Message::Batch(batch) = e.into_inner() {
+                self.metrics.envelopes_undeliverable += batch.len() as u64;
                 for env in batch {
                     self.safra.count -= 1;
                     self.note_processed(env.epoch);

@@ -28,6 +28,41 @@
 use crate::event::Epoch;
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A soft deadline for supervised waits. `None` never expires — the
+/// seed's original block-forever behaviour, kept as the default so
+/// existing callers are unaffected until they opt into deadlines via
+/// [`EngineConfig`](crate::EngineConfig).
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    limit: Option<Duration>,
+}
+
+impl Deadline {
+    /// Starts a deadline clock now; `limit: None` never expires.
+    pub fn new(limit: Option<Duration>) -> Self {
+        Deadline {
+            start: Instant::now(),
+            limit,
+        }
+    }
+
+    /// True once the limit has elapsed (never, for `None`).
+    #[inline]
+    pub fn expired(&self) -> bool {
+        match self.limit {
+            Some(d) => self.start.elapsed() >= d,
+            None => false,
+        }
+    }
+
+    /// Time spent waiting so far.
+    pub fn waited(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
 
 /// Which detector the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -257,6 +292,17 @@ mod tests {
             self.processed[p] += 1;
             self.c.slot(self.id).processed[p].store(self.processed[p], Ordering::SeqCst);
         }
+    }
+
+    #[test]
+    fn deadline_none_never_expires() {
+        let d = Deadline::new(None);
+        assert!(!d.expired());
+        let d = Deadline::new(Some(Duration::ZERO));
+        assert!(d.expired());
+        let d = Deadline::new(Some(Duration::from_secs(3600)));
+        assert!(!d.expired());
+        assert!(d.waited() < Duration::from_secs(3600));
     }
 
     #[test]

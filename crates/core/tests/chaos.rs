@@ -1,0 +1,310 @@
+//! Chaos-injection suite: drives the engine through shard panics, delayed
+//! shards, and in-transit message loss via [`FaultPlan`], and asserts the
+//! supervised API's contract — errors within deadlines, never hangs, never
+//! aborts the process, and degraded harvests from surviving shards.
+//!
+//! Every test is written against wall-clock bounds well under the CI job's
+//! hard `timeout`, so a regression to the old block-forever behavior fails
+//! fast instead of wedging the suite.
+
+use std::time::{Duration, Instant};
+
+use remo_core::{
+    AlgoCtx, Algorithm, Engine, EngineConfig, EngineError, FaultPlan, Partitioner, VertexId,
+    CHAOS_PANIC_MARKER,
+};
+
+/// The paper's §II-A example: count each vertex's degree. Enough to make
+/// every topology event fan out an envelope per endpoint.
+struct Degree;
+
+impl Algorithm for Degree {
+    type State = u64;
+    fn on_add(&self, ctx: &mut impl AlgoCtx<u64>, _v: VertexId, _val: &u64, _w: u64) {
+        ctx.apply(|d| {
+            *d += 1;
+            true
+        });
+    }
+    fn on_reverse_add(&self, ctx: &mut impl AlgoCtx<u64>, _v: VertexId, _val: &u64, _w: u64) {
+        ctx.apply(|d| {
+            *d += 1;
+            true
+        });
+    }
+}
+
+/// First few vertex ids owned by `shard` under a `shards`-way partition.
+fn owned_by(shard: usize, shards: usize) -> Vec<VertexId> {
+    let p = Partitioner::new(shards);
+    (0..10_000u64)
+        .filter(|&v| p.owner(v) == shard)
+        .take(8)
+        .collect()
+}
+
+/// A workload that guarantees both shards of a 2-way engine process
+/// events and exchange cross-shard envelopes.
+fn cross_shard_pairs() -> Vec<(VertexId, VertexId)> {
+    let s0 = owned_by(0, 2);
+    let s1 = owned_by(1, 2);
+    vec![
+        (s0[0], s1[0]),
+        (s1[1], s0[1]),
+        (s0[2], s0[3]),
+        (s1[2], s1[3]),
+        (s0[4], s1[4]),
+    ]
+}
+
+fn chaos_config(plan: FaultPlan) -> EngineConfig {
+    EngineConfig {
+        quiescence_deadline: Some(Duration::from_secs(5)),
+        query_deadline: Some(Duration::from_secs(5)),
+        fault_plan: plan,
+        ..EngineConfig::undirected(2)
+    }
+}
+
+/// Acceptance: with a FaultPlan that panics shard 1 at its first event,
+/// `try_await_quiescence` returns an error within the deadline — no hang,
+/// no process abort — and the failure report names shard 1 with the
+/// injected payload.
+#[test]
+fn await_quiescence_surfaces_shard_panic_within_deadline() {
+    let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
+    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+
+    let start = Instant::now();
+    let err = engine
+        .try_await_quiescence()
+        .expect_err("a panicked shard must fail the quiescence wait");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "error must surface before the deadline, took {:?}",
+        start.elapsed()
+    );
+    match err {
+        EngineError::ShardPanicked { failures } => {
+            assert!(failures.iter().any(|f| f.id == 1), "shard 1 must be reported");
+            let f = failures.iter().find(|f| f.id == 1).unwrap();
+            assert!(
+                f.payload.contains(CHAOS_PANIC_MARKER),
+                "panic payload must carry the injected marker, got: {}",
+                f.payload
+            );
+        }
+        EngineError::QuiescenceTimeout { .. } => {
+            panic!("panic should be detected via the failure board, not the deadline")
+        }
+        other => panic!("unexpected error variant: {other}"),
+    }
+    assert!(engine.is_degraded());
+}
+
+/// Acceptance: `try_finish` on a run with a dead shard returns `Ok` with
+/// the surviving shard's states plus a `ShardFailure` report for shard 1 —
+/// the run is degraded, not lost.
+#[test]
+fn finish_degrades_to_surviving_shards() {
+    let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
+    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+
+    let start = Instant::now();
+    let result = engine
+        .try_finish()
+        .expect("degraded finish must still harvest survivors");
+    assert!(start.elapsed() < Duration::from_secs(10), "no hang on finish");
+
+    assert!(result.is_degraded());
+    assert_eq!(result.failures.len(), 1, "exactly one shard died");
+    assert_eq!(result.failures[0].id, 1);
+    assert!(result.failures[0].payload.contains(CHAOS_PANIC_MARKER));
+    assert_eq!(result.metrics.lost_shards, vec![1]);
+
+    // Every harvested state belongs to the surviving shard, and the
+    // survivor did contribute state (its local pair was processed).
+    let p = Partitioner::new(2);
+    assert!(result.states.iter().all(|(v, _)| p.owner(v) == 0));
+    assert!(!result.states.is_empty(), "survivor states must be harvested");
+
+    // The dead shard's table slot is an empty placeholder.
+    assert_eq!(result.tables.len(), 2);
+    assert!(result.tables[0].num_vertices() > 0);
+    assert_eq!(result.tables[1].num_vertices(), 0);
+}
+
+/// Satellite (c): a local-state query against a vertex owned by a failed
+/// shard returns `Err(ShardPanicked)` promptly instead of blocking, while
+/// the surviving shard keeps answering queries.
+#[test]
+fn local_state_on_dead_shard_fails_fast() {
+    let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
+    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+
+    // Wait (bounded) for the failure to land on the board.
+    let start = Instant::now();
+    while !engine.is_degraded() && start.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(engine.is_degraded(), "shard 1 should have panicked by now");
+
+    let dead_vertex = owned_by(1, 2)[0];
+    let start = Instant::now();
+    let err = engine.try_local_state(dead_vertex).unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "query against a dead shard must not block"
+    );
+    assert!(
+        matches!(err, EngineError::ShardPanicked { .. }),
+        "expected ShardPanicked, got: {err}"
+    );
+
+    // Degraded service: the survivor still answers.
+    let live_vertex = owned_by(0, 2)[0];
+    let _state = engine.try_local_state(live_vertex).unwrap();
+}
+
+/// A snapshot attempt on a degraded engine errors immediately at the
+/// liveness check instead of wedging at the epoch barrier.
+#[test]
+fn snapshot_on_degraded_engine_errors_not_hangs() {
+    let mut engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
+    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+
+    let start = Instant::now();
+    while !engine.is_degraded() && start.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let start = Instant::now();
+    let err = engine.try_snapshot().unwrap_err();
+    assert!(start.elapsed() < Duration::from_secs(5));
+    assert!(matches!(err, EngineError::ShardPanicked { .. }));
+}
+
+/// In-transit message loss (no shard dies): the four-counter imbalance is
+/// permanent, so the wait must end with `QuiescenceTimeout` once the
+/// configured deadline expires — the seed engine looped forever here.
+#[test]
+fn dropped_envelopes_hit_quiescence_deadline() {
+    let deadline = Duration::from_millis(300);
+    let config = EngineConfig {
+        quiescence_deadline: Some(deadline),
+        fault_plan: FaultPlan::drop_on_shard(0, 1.0),
+        ..EngineConfig::undirected(2)
+    };
+    let engine = Engine::new(Degree, config);
+    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+
+    let start = Instant::now();
+    let err = engine.try_await_quiescence().unwrap_err();
+    let elapsed = start.elapsed();
+    match err {
+        EngineError::QuiescenceTimeout { waited } => {
+            assert!(waited >= deadline, "deadline honoured, waited {waited:?}");
+        }
+        other => panic!("expected QuiescenceTimeout, got: {other}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "timeout must fire near the deadline, took {elapsed:?}"
+    );
+    assert!(
+        engine.failures().is_empty(),
+        "message loss is not a shard failure"
+    );
+    // Teardown of a non-quiescent engine must still complete (Drop path).
+}
+
+/// Delay injection slows a shard without killing it: the run completes
+/// cleanly and the injected faults are visible in the metrics.
+#[test]
+fn delayed_shard_completes_and_reports_fault_metrics() {
+    let config = EngineConfig {
+        fault_plan: FaultPlan::delay_shard(1, Duration::from_millis(1)),
+        ..EngineConfig::undirected(2)
+    };
+    let engine = Engine::new(Degree, config);
+    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+    let result = engine.try_finish().unwrap();
+    assert!(!result.is_degraded());
+    let total = result.metrics.total();
+    assert!(total.faults_injected >= 1, "delay faults must be counted");
+    // The workload itself is fully processed despite the delays.
+    assert_eq!(total.topo_ingested, 5);
+}
+
+/// Satellite (a): dropping an engine whose shard panicked (without calling
+/// finish) returns within the shutdown deadline instead of hanging on
+/// join.
+#[test]
+fn drop_without_finish_does_not_hang_on_dead_shard() {
+    let start = Instant::now();
+    {
+        let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
+        engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+        let probe = Instant::now();
+        while !engine.is_degraded() && probe.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Engine dropped here with shard 1 dead and shard 0 alive.
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "Drop must be best-effort bounded, took {:?}",
+        start.elapsed()
+    );
+}
+
+/// Failure accounting composes: `engine.failures()` mirrors what
+/// `try_finish` later reports, so callers can poll mid-run.
+#[test]
+fn failures_accessor_matches_finish_report() {
+    let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(0, 1)));
+    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+    let start = Instant::now();
+    while !engine.is_degraded() && start.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mid_run = engine.failures();
+    assert_eq!(mid_run.len(), 1);
+    assert_eq!(mid_run[0].id, 0);
+
+    let result = engine.try_finish().unwrap();
+    assert_eq!(result.failures.len(), mid_run.len());
+    assert_eq!(result.failures[0].id, 0);
+    assert_eq!(result.metrics.lost_shards, vec![0]);
+}
+
+/// A fault-free run through the supervised API behaves exactly like the
+/// legacy path: clean quiescence, full harvest, empty failure report.
+#[test]
+fn fault_free_run_is_clean_under_supervised_api() {
+    let engine = Engine::new(Degree, EngineConfig::undirected(2));
+    engine.try_ingest_pairs(&[(0, 1), (1, 2)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    assert!(!engine.is_degraded());
+    let bound = engine.try_local_state(1).unwrap();
+    assert_eq!(bound, Some(2));
+    let result = engine.try_finish().unwrap();
+    assert!(!result.is_degraded());
+    assert!(result.failures.is_empty());
+    assert!(result.metrics.lost_shards.is_empty());
+    assert_eq!(result.states.get(1), Some(&2));
+    let total = result.metrics.total();
+    assert_eq!(total.faults_injected, 0);
+    assert_eq!(total.envelopes_dropped, 0);
+}
+
+/// The deprecated infallible wrappers still work for fault-free runs.
+#[allow(deprecated)]
+#[test]
+fn legacy_infallible_wrappers_still_work() {
+    let engine = Engine::new(Degree, EngineConfig::undirected(2));
+    engine.ingest_pairs(&[(0, 1), (1, 2)]);
+    engine.await_quiescence();
+    assert_eq!(engine.local_state(1), Some(2));
+    let result = engine.finish();
+    assert_eq!(result.states.get(1), Some(&2));
+}

@@ -28,8 +28,8 @@ impl Algorithm for Touch {
 #[test]
 fn self_loops_terminate_and_count_once_per_side() {
     let engine = Engine::new(Touch, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(5, 5), (5, 5)]);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(5, 5), (5, 5)]).unwrap();
+    let r = engine.try_finish().unwrap();
     // Each self-loop event: one Add at 5, one ReverseAdd at 5.
     assert_eq!(r.states.get(5), Some(&4));
     // The self-edge is stored once (dedup on the second event).
@@ -39,16 +39,16 @@ fn self_loops_terminate_and_count_once_per_side() {
 #[test]
 fn empty_streams_quiesce_immediately() {
     let engine = Engine::new(Touch, EngineConfig::undirected(3));
-    engine.ingest(vec![Vec::new(), Vec::new(), Vec::new()]);
-    engine.await_quiescence();
-    let r = engine.finish();
+    engine.try_ingest(vec![Vec::new(), Vec::new(), Vec::new()]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.num_vertices, 0);
 }
 
 #[test]
 fn engine_with_no_work_finishes() {
     let engine = Engine::new(Touch, EngineConfig::undirected(1));
-    let r = engine.finish();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.num_edges, 0);
     assert!(r.states.is_empty());
 }
@@ -57,41 +57,41 @@ fn engine_with_no_work_finishes() {
 fn drop_without_finish_does_not_hang() {
     let engine = Engine::new(Touch, EngineConfig::undirected(4));
     let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (i, i + 1)).collect();
-    engine.ingest_pairs(&pairs);
+    engine.try_ingest_pairs(&pairs).unwrap();
     drop(engine); // teardown mid-stream must terminate promptly
 }
 
 #[test]
 fn snapshot_twice_with_no_traffic() {
     let mut engine = Engine::new(Touch, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(0, 1)]);
-    engine.await_quiescence();
-    let s1 = engine.snapshot();
-    let s2 = engine.snapshot();
+    engine.try_ingest_pairs(&[(0, 1)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let s1 = engine.try_snapshot().unwrap();
+    let s2 = engine.try_snapshot().unwrap();
     assert_eq!(s1.len(), s2.len());
     assert_eq!(s1.get(0), s2.get(0));
     assert!(s2.epoch > s1.epoch);
-    let _ = engine.finish();
+    let _ = engine.try_finish().unwrap();
 }
 
 #[test]
 fn snapshot_on_fresh_engine_is_empty() {
     let mut engine = Engine::new(Touch, EngineConfig::undirected(2));
-    let snap = engine.snapshot();
+    let snap = engine.try_snapshot().unwrap();
     assert!(snap.is_empty());
-    let _ = engine.finish();
+    let _ = engine.try_finish().unwrap();
 }
 
 #[test]
 fn collect_live_mid_session_then_more_work() {
     let engine = Engine::new(Touch, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(0, 1)]);
-    let live1 = engine.collect_live();
+    engine.try_ingest_pairs(&[(0, 1)]).unwrap();
+    let live1 = engine.try_collect_live().unwrap();
     assert_eq!(live1.get(0), Some(&1));
-    engine.ingest_pairs(&[(0, 2)]);
-    let live2 = engine.collect_live();
+    engine.try_ingest_pairs(&[(0, 2)]).unwrap();
+    let live2 = engine.try_collect_live().unwrap();
     assert_eq!(live2.get(0), Some(&2));
-    let _ = engine.finish();
+    let _ = engine.try_finish().unwrap();
 }
 
 #[test]
@@ -101,9 +101,9 @@ fn single_shard_safra_detects() {
         ..EngineConfig::undirected(1)
     };
     let engine = Engine::new(Touch, config);
-    engine.ingest_pairs(&[(0, 1), (1, 2)]);
-    engine.await_quiescence();
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(0, 1), (1, 2)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.states.get(1), Some(&2));
 }
 
@@ -114,39 +114,39 @@ fn safra_mode_snapshot_works() {
         ..EngineConfig::undirected(3)
     };
     let mut engine = Engine::new(Touch, config);
-    engine.ingest_pairs(&[(0, 1), (1, 2), (2, 3)]);
-    engine.await_quiescence();
-    let snap = engine.snapshot();
+    engine.try_ingest_pairs(&[(0, 1), (1, 2), (2, 3)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let snap = engine.try_snapshot().unwrap();
     assert_eq!(snap.get(1), Some(&2));
-    let _ = engine.finish();
+    let _ = engine.try_finish().unwrap();
 }
 
 #[test]
 fn huge_vertex_ids_are_fine() {
     // Ids are hashed, never used as indices.
     let engine = Engine::new(Touch, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(u64::MAX - 1, u64::MAX), (0, u64::MAX)]);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(u64::MAX - 1, u64::MAX), (0, u64::MAX)]).unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.states.get(u64::MAX), Some(&2));
 }
 
 #[test]
 fn weighted_and_unweighted_batches_interleave() {
     let engine = Engine::new(Touch, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(0, 1)]);
-    engine.ingest_weighted(&[(1, 2, 50)]);
-    engine.ingest(vec![vec![TopoEvent::weighted(2, 3, 7)]]);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(0, 1)]).unwrap();
+    engine.try_ingest_weighted(&[(1, 2, 50)]).unwrap();
+    engine.try_ingest(vec![vec![TopoEvent::weighted(2, 3, 7)]]).unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.num_edges, 6);
 }
 
 #[test]
 fn removal_of_missing_edge_is_harmless() {
     let engine = Engine::new(Touch, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(0, 1)]);
-    engine.await_quiescence();
-    engine.delete_pairs(&[(5, 6), (0, 9)]); // never existed
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(0, 1)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    engine.try_delete_pairs(&[(5, 6), (0, 9)]).unwrap(); // never existed
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.num_edges, 2);
     assert_eq!(r.metrics.total().edges_removed, 0);
 }
@@ -155,9 +155,9 @@ fn removal_of_missing_edge_is_harmless() {
 fn many_small_ingests_accumulate() {
     let engine = Engine::new(Touch, EngineConfig::undirected(2));
     for i in 0..100u64 {
-        engine.ingest_pairs(&[(i, i + 1)]);
+        engine.try_ingest_pairs(&[(i, i + 1)]).unwrap();
     }
-    let r = engine.finish();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.metrics.total().topo_ingested, 100);
     assert_eq!(r.num_edges, 200);
 }

@@ -80,8 +80,8 @@ fn ring_edges(n: u64) -> Vec<(u64, u64)> {
 #[test]
 fn undirected_add_produces_symmetric_touches() {
     let engine = Engine::new(TouchCount, EngineConfig::undirected(3));
-    engine.ingest_pairs(&[(1, 2)]);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(1, 2)]).unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.states.get(1), Some(&1));
     assert_eq!(r.states.get(2), Some(&1));
     assert_eq!(r.num_edges, 2, "undirected edge stored in both directions");
@@ -90,8 +90,8 @@ fn undirected_add_produces_symmetric_touches() {
 #[test]
 fn directed_add_touches_only_source() {
     let engine = Engine::new(TouchCount, EngineConfig::directed(3));
-    engine.ingest_pairs(&[(1, 2)]);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(1, 2)]).unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.states.get(1), Some(&1));
     assert_eq!(r.states.get(2), None, "no reverse-add in directed mode");
     assert_eq!(r.num_edges, 1);
@@ -103,8 +103,8 @@ fn min_label_converges_on_every_shard_count() {
     let mut reference: Option<Vec<(u64, u64)>> = None;
     for shards in [1usize, 2, 3, 4, 8] {
         let engine = Engine::new(MinLabel, EngineConfig::undirected(shards));
-        engine.ingest_pairs(&edges);
-        let states = engine.finish().states.into_vec();
+        engine.try_ingest_pairs(&edges).unwrap();
+        let states = engine.try_finish().unwrap().states.into_vec();
         for &(_, label) in &states {
             assert_eq!(label, 1, "ring must flood to min id + 1 at P={shards}");
         }
@@ -119,8 +119,8 @@ fn min_label_converges_on_every_shard_count() {
 fn multi_stream_splits_converge_identically() {
     let edges = ring_edges(50);
     let engine_a = Engine::new(MinLabel, EngineConfig::undirected(4));
-    engine_a.ingest_pairs(&edges);
-    let a = engine_a.finish().states.into_vec();
+    engine_a.try_ingest_pairs(&edges).unwrap();
+    let a = engine_a.try_finish().unwrap().states.into_vec();
 
     // Same edges, adversarial split: all edges in one stream, then reversed
     // order in many tiny streams.
@@ -129,8 +129,8 @@ fn multi_stream_splits_converge_identically() {
     for (i, &(s, d)) in edges.iter().rev().enumerate() {
         streams[(i / 5) % 4].push(TopoEvent::new(s, d));
     }
-    engine_b.ingest(streams);
-    let b = engine_b.finish().states.into_vec();
+    engine_b.try_ingest(streams).unwrap();
+    let b = engine_b.try_finish().unwrap().states.into_vec();
     assert_eq!(a, b);
 }
 
@@ -142,9 +142,9 @@ fn safra_mode_reaches_same_fixpoint_and_announces() {
         ..EngineConfig::undirected(3)
     };
     let engine = Engine::new(MinLabel, config);
-    engine.ingest_pairs(&edges);
-    engine.await_quiescence();
-    let r = engine.finish();
+    engine.try_ingest_pairs(&edges).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let r = engine.try_finish().unwrap();
     for (_, label) in r.states.iter() {
         assert_eq!(*label, 1);
     }
@@ -157,11 +157,11 @@ fn safra_mode_reaches_same_fixpoint_and_announces() {
 #[test]
 fn quiescence_then_more_work_then_quiescence() {
     let engine = Engine::new(TouchCount, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(0, 1)]);
-    engine.await_quiescence();
-    engine.ingest_pairs(&[(0, 2), (2, 3)]);
-    engine.await_quiescence();
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(0, 1)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    engine.try_ingest_pairs(&[(0, 2), (2, 3)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.states.get(0), Some(&2));
     assert_eq!(r.states.get(3), Some(&1));
 }
@@ -171,14 +171,14 @@ fn snapshot_mid_ingest_excludes_later_epoch() {
     // Ingest one batch; snapshot; ingest a second batch. The snapshot must
     // reflect only the first batch even though collection overlaps batch 2.
     let mut engine = Engine::new(TouchCount, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(0, 1), (0, 2)]);
-    engine.await_quiescence();
+    engine.try_ingest_pairs(&[(0, 1), (0, 2)]).unwrap();
+    engine.try_await_quiescence().unwrap();
 
     // Start the second batch *before* snapshotting so its (new-epoch) events
     // interleave with collection.
-    engine.ingest_pairs(&[(0, 3), (0, 4), (0, 5)]);
-    let snap = engine.snapshot();
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(0, 3), (0, 4), (0, 5)]).unwrap();
+    let snap = engine.try_snapshot().unwrap();
+    let r = engine.try_finish().unwrap();
 
     // Snapshot: vertex 0 had exactly 2 touches at the boundary... except the
     // second batch may have partially landed in the old epoch: shards tag
@@ -198,11 +198,11 @@ fn snapshot_boundary_is_exact_when_quiesced() {
     // With the engine quiescent, a snapshot is exactly the state so far and
     // later events don't leak in.
     let mut engine = Engine::new(TouchCount, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(0, 1), (0, 2)]);
-    engine.await_quiescence();
-    let snap = engine.snapshot();
-    engine.ingest_pairs(&[(0, 3), (0, 4)]);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(0, 1), (0, 2)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let snap = engine.try_snapshot().unwrap();
+    engine.try_ingest_pairs(&[(0, 3), (0, 4)]).unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(snap.get(0), Some(&2));
     assert_eq!(snap.get(3), None, "vertex 3 did not exist at the boundary");
     assert_eq!(r.states.get(0), Some(&4));
@@ -214,13 +214,13 @@ fn consecutive_snapshots_are_monotone() {
     let mut last = 0u64;
     for batch in 0..4u64 {
         let pairs: Vec<(u64, u64)> = (0..50).map(|i| (7, 1000 + batch * 50 + i)).collect();
-        engine.ingest_pairs(&pairs);
-        let snap = engine.snapshot();
+        engine.try_ingest_pairs(&pairs).unwrap();
+        let snap = engine.try_snapshot().unwrap();
         let now = snap.get(7).copied().unwrap_or(0);
         assert!(now >= last, "vertex 7 went backwards: {last} -> {now}");
         last = now;
     }
-    let r = engine.finish();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.states.get(7), Some(&200));
 }
 
@@ -230,8 +230,8 @@ fn triggers_fire_exactly_once_with_causal_seq() {
     let t0 = builder.trigger("t>=1", |_, s: &u64| *s >= 1);
     let t1 = builder.trigger("t>=3", |_, s: &u64| *s >= 3);
     let engine = builder.build();
-    engine.ingest_pairs(&[(9, 1), (9, 2), (9, 3), (9, 4)]);
-    engine.await_quiescence();
+    engine.try_ingest_pairs(&[(9, 1), (9, 2), (9, 3), (9, 4)]).unwrap();
+    engine.try_await_quiescence().unwrap();
     let fires: Vec<_> = engine.trigger_events().try_iter().collect();
     // t0 fires for every touched vertex (5 of them), t1 only for vertex 9.
     let t0_fires: Vec<_> = fires.iter().filter(|f| f.trigger == t0).collect();
@@ -245,10 +245,10 @@ fn triggers_fire_exactly_once_with_causal_seq() {
 #[test]
 fn removal_events_update_topology() {
     let engine = Engine::new(TouchCount, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(0, 1), (0, 2)]);
-    engine.await_quiescence();
-    engine.delete_pairs(&[(0, 1)]);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(0, 1), (0, 2)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    engine.try_delete_pairs(&[(0, 1)]).unwrap();
+    let r = engine.try_finish().unwrap();
     // 4 directed edges added, 2 removed.
     assert_eq!(r.num_edges, 2);
     assert_eq!(r.metrics.total().edges_removed, 2);
@@ -257,8 +257,8 @@ fn removal_events_update_topology() {
 #[test]
 fn duplicate_edges_are_deduped_in_topology() {
     let engine = Engine::new(TouchCount, EngineConfig::undirected(1));
-    engine.ingest_pairs(&[(0, 1), (0, 1), (1, 0)]);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&[(0, 1), (0, 1), (1, 0)]).unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.num_edges, 2, "one undirected edge = two directed records");
     assert!(r.metrics.total().duplicate_edges > 0);
 }
@@ -270,8 +270,8 @@ fn heavy_fanout_stress_with_many_shards() {
     let n: u64 = 5_000;
     let pairs: Vec<(u64, u64)> = (1..=n).map(|i| (0, i)).collect();
     let engine = Engine::new(TouchCount, EngineConfig::undirected(8));
-    engine.ingest_pairs(&pairs);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&pairs).unwrap();
+    let r = engine.try_finish().unwrap();
     assert_eq!(r.states.get(0), Some(&n));
     assert_eq!(r.metrics.total().topo_ingested, n);
     assert_eq!(r.num_vertices as u64, n + 1);
@@ -292,9 +292,9 @@ fn init_routes_to_owning_shard() {
     }
     let engine = Engine::new(InitMark, EngineConfig::undirected(4));
     for v in 0..16u64 {
-        engine.init_vertex(v);
+        engine.try_init_vertex(v).unwrap();
     }
-    let r = engine.finish();
+    let r = engine.try_finish().unwrap();
     for v in 0..16u64 {
         assert_eq!(r.states.get(v), Some(&42), "vertex {v}");
     }

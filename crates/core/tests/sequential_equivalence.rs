@@ -68,8 +68,8 @@ fn sequential_and_concurrent_agree() {
 
         for shards in [1usize, 4] {
             let engine = Engine::new(MinFlood, EngineConfig::undirected(shards));
-            engine.ingest_pairs(&edges);
-            let concurrent = engine.finish().states.into_vec();
+            engine.try_ingest_pairs(&edges).unwrap();
+            let concurrent = engine.try_finish().unwrap().states.into_vec();
             assert_eq!(sequential, concurrent, "seed {seed}, P={shards}");
         }
     }
@@ -82,8 +82,8 @@ fn sequential_event_counts_match_concurrent_topology() {
     seq.apply_pairs(&edges);
 
     let engine = Engine::new(MinFlood, EngineConfig::undirected(3));
-    engine.ingest_pairs(&edges);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&edges).unwrap();
+    let r = engine.try_finish().unwrap();
 
     assert_eq!(seq.num_edges(), r.num_edges);
     assert_eq!(seq.metrics().topo_ingested, r.metrics.total().topo_ingested);
@@ -96,27 +96,27 @@ fn sequential_event_counts_match_concurrent_topology() {
 #[test]
 fn point_query_returns_live_state() {
     let engine = Engine::new(MinFlood, EngineConfig::undirected(3));
-    engine.ingest_pairs(&[(5, 6), (6, 7)]);
-    engine.await_quiescence();
-    assert_eq!(engine.local_state(6), Some(6)); // min id 5 -> label 6
-    assert_eq!(engine.local_state(999), None, "untouched vertex");
+    engine.try_ingest_pairs(&[(5, 6), (6, 7)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    assert_eq!(engine.try_local_state(6).unwrap(), Some(6)); // min id 5 -> label 6
+    assert_eq!(engine.try_local_state(999).unwrap(), None, "untouched vertex");
     // Query mid-stream: must return the current monotone bound, never
     // something above it.
-    engine.ingest_pairs(&[(0, 5)]);
-    let bound = engine.local_state(6).unwrap();
+    engine.try_ingest_pairs(&[(0, 5)]).unwrap();
+    let bound = engine.try_local_state(6).unwrap().unwrap();
     assert!(bound == 6 || bound == 1, "monotone bound, got {bound}");
-    engine.await_quiescence();
-    assert_eq!(engine.local_state(6), Some(1));
-    let _ = engine.finish();
+    engine.try_await_quiescence().unwrap();
+    assert_eq!(engine.try_local_state(6).unwrap(), Some(1));
+    let _ = engine.try_finish().unwrap();
 }
 
 #[test]
 fn point_queries_during_heavy_ingest_do_not_deadlock() {
     let edges = random_edges(200, 5_000, 4);
     let engine = Engine::new(MinFlood, EngineConfig::undirected(4));
-    engine.ingest_pairs(&edges);
+    engine.try_ingest_pairs(&edges).unwrap();
     for v in 0..50u64 {
-        let _ = engine.local_state(v);
+        let _ = engine.try_local_state(v).unwrap();
     }
-    let _ = engine.finish();
+    let _ = engine.try_finish().unwrap();
 }

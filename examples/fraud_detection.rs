@@ -42,15 +42,15 @@ fn main() {
     );
     let engine = builder.build();
     for &f in &flagged {
-        engine.init_vertex(f);
+        engine.try_init_vertex(f).unwrap();
     }
 
     // Stream transactions in batches, reacting to alerts between batches —
     // in production the trigger channel would be consumed concurrently.
     let batch = payments.len() / 10;
     for (i, chunk) in payments.chunks(batch).enumerate() {
-        engine.ingest_pairs(chunk);
-        engine.await_quiescence();
+        engine.try_ingest_pairs(chunk).unwrap();
+        engine.try_await_quiescence().unwrap();
         for fire in engine.trigger_events().try_iter() {
             println!(
                 "ALERT (batch {i}): account {} now connected to flagged funds \
@@ -61,14 +61,14 @@ fn main() {
     }
 
     // Drain late alerts after the stream settles, then shut down.
-    engine.await_quiescence();
+    engine.try_await_quiescence().unwrap();
     for fire in engine.trigger_events().try_iter() {
         println!(
             "ALERT (final): account {} now connected to flagged funds",
             fire.vertex
         );
     }
-    let result = engine.finish();
+    let result = engine.try_finish().unwrap();
     let tainted = result.states.iter().filter(|(_, &m)| m != 0).count();
     println!(
         "final: {tainted}/{} accounts transitively connected to flagged funds",

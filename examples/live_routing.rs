@@ -35,16 +35,16 @@ fn main() {
     // ---- Part 1: live SSSP while roads open ----
     let depot = 0u64;
     let engine = Engine::new(IncSssp, EngineConfig::undirected(4));
-    engine.init_vertex(depot);
+    engine.try_init_vertex(depot).unwrap();
 
     let (phase1, phase2) = weighted.split_at(weighted.len() / 2);
-    engine.ingest_weighted(phase1);
-    engine.await_quiescence();
+    engine.try_ingest_weighted(phase1).unwrap();
+    engine.try_await_quiescence().unwrap();
     let probe = junctions / 2;
-    let before = engine.collect_live().get(probe).copied();
+    let before = engine.try_collect_live().unwrap().get(probe).copied();
 
-    engine.ingest_weighted(phase2);
-    let result = engine.finish();
+    engine.try_ingest_weighted(phase2).unwrap();
+    let result = engine.try_finish().unwrap();
     let after = result.states.get(probe).copied();
     println!(
         "junction {probe}: route cost with half the roads {:?} -> all roads {:?}",
@@ -64,9 +64,9 @@ fn main() {
     println!("\n-- road closure (generational rebuild, §VI-B) --");
     let (algo, generation) = GenBfs::new();
     let engine = Engine::new(algo, EngineConfig::undirected(4));
-    engine.init_vertex(depot);
+    engine.try_init_vertex(depot).unwrap();
     // A corridor 0-1-2-3-4 plus a detour 0-10-11-12-4.
-    engine.ingest_pairs(&[
+    engine.try_ingest_pairs(&[
         (0, 1),
         (1, 2),
         (2, 3),
@@ -75,22 +75,22 @@ fn main() {
         (10, 11),
         (11, 12),
         (12, 4),
-    ]);
-    engine.await_quiescence();
+    ]).unwrap();
+    engine.try_await_quiescence().unwrap();
     let g0 = generation.current();
     let hops = |s: Option<&remo::algos::GenLevel>, g: u32| {
         s.map(|&st| level_in_generation(st, g))
             .unwrap_or(remo::algos::UNREACHED)
     };
-    let live = engine.collect_live();
+    let live = engine.try_collect_live().unwrap();
     println!("junction 4 before closure: {} hops", hops(live.get(4), g0));
 
     // Close segment 1-2; bump the generation; re-flood from the depot.
-    engine.delete_pairs(&[(1, 2)]);
-    engine.await_quiescence();
+    engine.try_delete_pairs(&[(1, 2)]).unwrap();
+    engine.try_await_quiescence().unwrap();
     let g1 = generation.bump();
-    engine.init_vertex(depot);
-    let result = engine.finish();
+    engine.try_init_vertex(depot).unwrap();
+    let result = engine.try_finish().unwrap();
     let after_closure = hops(result.states.get(4), g1);
     println!("junction 4 after closure:  {after_closure} hops (via the detour)");
     assert_eq!(after_closure, 5, "detour is 0-10-11-12-4: five levels");

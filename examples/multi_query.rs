@@ -31,15 +31,15 @@ fn main() {
         move |_, (level, label): &(u64, u64)| *level <= 2 && *level > 0 && *label >= hub_label,
     );
     let engine = builder.build();
-    engine.init_vertex(hub);
-    engine.ingest_pairs(&edges);
-    engine.await_quiescence();
+    engine.try_init_vertex(hub).unwrap();
+    engine.try_ingest_pairs(&edges).unwrap();
+    engine.try_await_quiescence().unwrap();
 
     let near_hub_alerts = engine.trigger_events().try_iter().count();
     println!("trigger: {near_hub_alerts} pages within 2 hops sharing a dominant community");
 
     // Both answers, live, from the same run.
-    let result = engine.finish();
+    let result = engine.try_finish().unwrap();
     let reached = result
         .states
         .iter()

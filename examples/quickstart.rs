@@ -23,16 +23,16 @@ fn main() {
     // Engine: 4 shared-nothing shards, undirected edges, live BFS hooked in.
     let mut engine = Engine::new(IncBfs, EngineConfig::undirected(4));
     let source = edges[0].0;
-    engine.init_vertex(source);
+    engine.try_init_vertex(source).unwrap();
     println!("BFS source: vertex {source}");
 
     // Stream the first half, let it settle, then snapshot on the fly while
     // the second half is already flowing — ingestion is never paused.
     let (first, second) = edges.split_at(edges.len() / 2);
-    engine.ingest_pairs(first);
-    engine.await_quiescence();
-    engine.ingest_pairs(second);
-    let snap = engine.snapshot();
+    engine.try_ingest_pairs(first).unwrap();
+    engine.try_await_quiescence().unwrap();
+    engine.try_ingest_pairs(second).unwrap();
+    let snap = engine.try_snapshot().unwrap();
     println!(
         "mid-stream snapshot (epoch {}): {} vertices captured, no pause",
         snap.epoch,
@@ -41,14 +41,14 @@ fn main() {
 
     // Query local state at any time: how far is some vertex right now?
     let probe = edges[42].1;
-    let live = engine.collect_live();
+    let live = engine.try_collect_live().unwrap();
     println!(
         "live query: vertex {probe} is currently at BFS level {:?}",
         live.get(probe)
     );
 
     // Drain and inspect.
-    let result = engine.finish();
+    let result = engine.try_finish().unwrap();
     let reached = result
         .states
         .iter()

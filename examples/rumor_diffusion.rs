@@ -39,16 +39,16 @@ fn main() {
         *arrival != u64::MAX && *arrival > 0 && wl.contains(&v)
     });
     let engine = builder.build();
-    engine.init_vertex(patient_zero);
+    engine.try_init_vertex(patient_zero).unwrap();
     println!("rumour seeded at account {patient_zero}");
 
-    engine.ingest_weighted(&interactions);
-    engine.await_quiescence();
+    engine.try_ingest_weighted(&interactions).unwrap();
+    engine.try_await_quiescence().unwrap();
     for fire in engine.trigger_events().try_iter() {
         println!("ALERT: watchlisted account {} exposed", fire.vertex);
     }
 
-    let result = engine.finish();
+    let result = engine.try_finish().unwrap();
     let exposed: Vec<u64> = result
         .states
         .iter()

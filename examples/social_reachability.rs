@@ -38,11 +38,11 @@ fn main() {
         } else {
             lo + chunk
         };
-        engine.ingest_pairs(&friendships[lo..hi]);
-        engine.await_quiescence(); // settle this interval for a crisp row
+        engine.try_ingest_pairs(&friendships[lo..hi]).unwrap();
+        engine.try_await_quiescence().unwrap(); // settle this interval for a crisp row
                                    // Continuous global-state collection (would also work mid-flight,
                                    // as the quickstart example shows).
-        let snap = engine.snapshot();
+        let snap = engine.try_snapshot().unwrap();
         let mut sizes: HashMap<u64, usize> = HashMap::new();
         for (_, &label) in snap.iter() {
             *sizes.entry(label).or_default() += 1;
@@ -59,7 +59,7 @@ fn main() {
     }
 
     // Final answer and a point query: are two arbitrary people connected?
-    let result = engine.finish();
+    let result = engine.try_finish().unwrap();
     let (a, b) = (100u64, 29_000u64);
     let connected = match (result.states.get(a), result.states.get(b)) {
         (Some(la), Some(lb)) => la == lb,

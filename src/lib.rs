@@ -26,9 +26,9 @@
 //!
 //! // Live BFS over a growing graph, 4 shard threads.
 //! let engine = Engine::new(IncBfs, EngineConfig::undirected(4));
-//! engine.init_vertex(0);                       // the BFS source
-//! engine.ingest_pairs(&[(0, 1), (1, 2), (0, 3)]);
-//! let result = engine.finish();
+//! engine.try_init_vertex(0).unwrap();                       // the BFS source
+//! engine.try_ingest_pairs(&[(0, 1), (1, 2), (0, 3)]).unwrap();
+//! let result = engine.try_finish().unwrap();
 //! assert_eq!(result.states.get(2), Some(&3));  // two hops from the source
 //! ```
 //!

@@ -29,9 +29,9 @@ fn live_bfs_equals_static_on_social_graph() {
     let source = edges[0].0;
 
     let engine = Engine::new(IncBfs, EngineConfig::undirected(4));
-    engine.init_vertex(source);
-    engine.ingest_pairs(&edges);
-    let dynamic = engine.finish().states;
+    engine.try_init_vertex(source).unwrap();
+    engine.try_ingest_pairs(&edges).unwrap();
+    let dynamic = engine.try_finish().unwrap().states;
 
     let csr = undirected_csr(&edges);
     let want = oracle::bfs_levels(&csr, source);
@@ -55,8 +55,8 @@ fn live_cc_equals_union_find_on_every_dataset() {
     ] {
         let edges = dataset_edges(ds, 0.02, 23);
         let engine = Engine::new(IncCc, EngineConfig::undirected(4));
-        engine.ingest_pairs(&edges);
-        let dynamic = engine.finish().states;
+        engine.try_ingest_pairs(&edges).unwrap();
+        let dynamic = engine.try_finish().unwrap().states;
 
         let csr = undirected_csr(&edges);
         let want = oracle::components_dominator_label(&csr, cc_label);
@@ -77,12 +77,12 @@ fn snapshot_equals_static_run_on_prefix() {
     let cut = edges.len() / 2;
 
     let mut engine = Engine::new(IncBfs, EngineConfig::undirected(4));
-    engine.init_vertex(source);
-    engine.ingest_pairs(&edges[..cut]);
-    engine.await_quiescence();
-    let snap = engine.snapshot();
-    engine.ingest_pairs(&edges[cut..]); // keep going; snapshot must not care
-    let _ = engine.finish();
+    engine.try_init_vertex(source).unwrap();
+    engine.try_ingest_pairs(&edges[..cut]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let snap = engine.try_snapshot().unwrap();
+    engine.try_ingest_pairs(&edges[cut..]).unwrap(); // keep going; snapshot must not care
+    let _ = engine.try_finish().unwrap();
 
     let csr = undirected_csr(&edges[..cut]);
     let want = oracle::bfs_levels(&csr, source);
@@ -113,9 +113,9 @@ fn termination_detectors_agree() {
             ..EngineConfig::undirected(3)
         };
         let engine = Engine::new(IncBfs, config);
-        engine.init_vertex(source);
-        engine.ingest_pairs(&edges);
-        engine.finish()
+        engine.try_init_vertex(source).unwrap();
+        engine.try_ingest_pairs(&edges).unwrap();
+        engine.try_finish().unwrap()
     };
     let counter = run(TerminationMode::Counter);
     let safra = run(TerminationMode::Safra);
@@ -142,9 +142,9 @@ fn live_sssp_equals_dijkstra_across_shard_counts() {
 
     for shards in [1usize, 4, 8] {
         let engine = Engine::new(IncSssp, EngineConfig::undirected(shards));
-        engine.init_vertex(source);
-        engine.ingest_weighted(&weighted);
-        let dynamic = engine.finish().states;
+        engine.try_init_vertex(source).unwrap();
+        engine.try_ingest_weighted(&weighted).unwrap();
+        let dynamic = engine.try_finish().unwrap().states;
         for (v, &cost) in dynamic.iter() {
             assert_eq!(cost, want[v as usize], "vertex {v} at P={shards}");
         }
@@ -160,10 +160,10 @@ fn multi_st_64_sources_matches_oracle() {
 
     let engine = Engine::new(IncStCon::new(sources.clone()), EngineConfig::undirected(4));
     for &s in &sources {
-        engine.init_vertex(s);
+        engine.try_init_vertex(s).unwrap();
     }
-    engine.ingest_pairs(&edges);
-    let dynamic = engine.finish().states;
+    engine.try_ingest_pairs(&edges).unwrap();
+    let dynamic = engine.try_finish().unwrap().states;
 
     let csr = undirected_csr(&edges);
     let want = oracle::st_masks(&csr, &sources);
@@ -184,16 +184,16 @@ fn st_trigger_fires_exactly_for_connected_vertices() {
     let mut builder = EngineBuilder::new(IncStCon::new(vec![source]), EngineConfig::undirected(4));
     builder.trigger("connected to S", |_, mask: &u64| *mask != 0);
     let engine = builder.build();
-    engine.init_vertex(source);
-    engine.ingest_pairs(&edges);
-    engine.await_quiescence();
+    engine.try_init_vertex(source).unwrap();
+    engine.try_ingest_pairs(&edges).unwrap();
+    engine.try_await_quiescence().unwrap();
 
     let fired: Vec<u64> = engine
         .trigger_events()
         .try_iter()
         .map(|f| f.vertex)
         .collect();
-    let result = engine.finish();
+    let result = engine.try_finish().unwrap();
 
     let mut fired_sorted = fired.clone();
     fired_sorted.sort_unstable();
@@ -221,14 +221,14 @@ fn generational_delete_matches_recompute() {
 
     let (algo, generation) = GenBfs::new();
     let engine = Engine::new(algo, EngineConfig::undirected(4));
-    engine.init_vertex(source);
-    engine.ingest_pairs(&edges);
-    engine.await_quiescence();
-    engine.delete_pairs(&deletions);
-    engine.await_quiescence();
+    engine.try_init_vertex(source).unwrap();
+    engine.try_ingest_pairs(&edges).unwrap();
+    engine.try_await_quiescence().unwrap();
+    engine.try_delete_pairs(&deletions).unwrap();
+    engine.try_await_quiescence().unwrap();
     let g = generation.bump();
-    engine.init_vertex(source);
-    let states = engine.finish().states;
+    engine.try_init_vertex(source).unwrap();
+    let states = engine.try_finish().unwrap().states;
 
     // Static oracle over the remaining edges. Note deletions remove the
     // edge regardless of how many duplicate adds occurred (store dedupes).
@@ -287,8 +287,8 @@ fn spill_tier_preserves_engine_topology() {
 fn metrics_account_for_every_event() {
     let edges = dataset_edges(Dataset::ErdosRenyi, 0.01, 55);
     let engine = Engine::new(DegreeCount, EngineConfig::undirected(4));
-    engine.ingest_pairs(&edges);
-    let r = engine.finish();
+    engine.try_ingest_pairs(&edges).unwrap();
+    let r = engine.try_finish().unwrap();
     let t = r.metrics.total();
     assert_eq!(t.topo_ingested as usize, edges.len());
     assert_eq!(t.add_events as usize, edges.len());
@@ -310,9 +310,9 @@ fn paired_bfs_and_cc_match_solo_and_oracles() {
     let source = edges[0].0;
 
     let engine = Engine::new(Pair::new(IncBfs, IncCc), EngineConfig::undirected(4));
-    engine.init_vertex(source);
-    engine.ingest_pairs(&edges);
-    let both = engine.finish().states;
+    engine.try_init_vertex(source).unwrap();
+    engine.try_ingest_pairs(&edges).unwrap();
+    let both = engine.try_finish().unwrap().states;
 
     let csr = undirected_csr(&edges);
     let bfs_want = oracle::bfs_levels(&csr, source);
