@@ -96,6 +96,22 @@ impl Algorithm for IncBfs {
     fn encode_cache(state: &u64) -> u64 {
         *state
     }
+
+    /// Levels form a min-lattice under `effective`: two pending updates
+    /// for the same target merge to the lower (better) level. Always
+    /// mergeable, so a burst of corrections ships as one envelope.
+    fn join(into: &mut u64, from: &u64) -> bool {
+        if effective(*from) < effective(*into) {
+            *into = *from;
+        }
+        true
+    }
+
+    /// Lower level = closer to the lower bound: drain best-first, which is
+    /// the incremental analogue of Dijkstra's priority queue.
+    fn priority(state: &u64) -> Option<u64> {
+        Some(effective(*state))
+    }
 }
 
 /// Cache-suppressing BFS: identical semantics to [`IncBfs`], but when
@@ -343,6 +359,19 @@ mod tests {
         engine.try_ingest_pairs(&[(1, 3)]).unwrap(); // late edge to the lower-id parent
         let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(3), Some(&(3, 1)));
+    }
+
+    #[test]
+    fn lattice_run_matches_fifo() {
+        // Coalescing + dominance + priority draining must not change the
+        // fixpoint — only how much work it takes to get there.
+        let edges: Vec<(u64, u64)> = (0..80).map(|i| (i, (i * 13 + 3) % 80)).collect();
+        let fifo = run_bfs(&edges, 0, 4);
+        let engine = Engine::new(IncBfs, EngineConfig::undirected(4).with_lattice());
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_pairs(&edges).unwrap();
+        let result = engine.try_finish().unwrap();
+        assert_eq!(fifo, result.states.into_vec());
     }
 
     #[test]

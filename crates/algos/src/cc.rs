@@ -84,6 +84,21 @@ impl Algorithm for IncCc {
     fn encode_cache(state: &u64) -> u64 {
         *state
     }
+
+    /// Labels form a max-lattice (smaller adopts larger, 0 = unlabelled):
+    /// pending updates for the same target merge to the dominating label.
+    fn join(into: &mut u64, from: &u64) -> bool {
+        if *from > *into {
+            *into = *from;
+        }
+        true
+    }
+
+    /// Larger label = closer to the component's fixpoint (the upper bound),
+    /// so invert for the min-heap.
+    fn priority(state: &u64) -> Option<u64> {
+        Some(u64::MAX - *state)
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +169,16 @@ mod tests {
         for v in 0..3u64 {
             assert_eq!(before.get(v), after.get(v), "vertex {v}");
         }
+    }
+
+    #[test]
+    fn lattice_run_matches_fifo() {
+        let edges: Vec<(u64, u64)> = (0..100).map(|i| (i % 40, (i * 7 + 1) % 40)).collect();
+        let fifo = run(&edges, 4);
+        let engine = Engine::new(IncCc, EngineConfig::undirected(4).with_lattice());
+        engine.try_ingest_pairs(&edges).unwrap();
+        let result = engine.try_finish().unwrap();
+        assert_eq!(fifo, result.states.into_vec());
     }
 
     #[test]

@@ -90,6 +90,20 @@ impl Algorithm for IncSssp {
     fn encode_cache(state: &u64) -> u64 {
         *state
     }
+
+    /// Costs form a min-lattice under `effective`: pending updates for
+    /// the same target over the same edge merge to the cheaper cost.
+    fn join(into: &mut u64, from: &u64) -> bool {
+        if effective(*from) < effective(*into) {
+            *into = *from;
+        }
+        true
+    }
+
+    /// Cheaper cost = closer to the lower bound: drain best-first.
+    fn priority(state: &u64) -> Option<u64> {
+        Some(effective(*state))
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +161,19 @@ mod tests {
         engine.try_ingest_weighted(&[(0, 1, 5)]).unwrap();
         let states = engine.try_finish().unwrap().states.into_vec();
         assert_eq!(get(&states, 1), Some(6));
+    }
+
+    #[test]
+    fn lattice_run_matches_fifo() {
+        let edges: Vec<(u64, u64, u64)> = (0..80u64)
+            .map(|i| (i, (i * 13 + 3) % 80, (i % 9) + 1))
+            .collect();
+        let fifo = run(&edges, 0, 4);
+        let engine = Engine::new(IncSssp, EngineConfig::undirected(4).with_lattice());
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_weighted(&edges).unwrap();
+        let result = engine.try_finish().unwrap();
+        assert_eq!(fifo, result.states.into_vec());
     }
 
     #[test]

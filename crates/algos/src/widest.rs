@@ -77,6 +77,20 @@ impl Algorithm for IncWidest {
     fn encode_cache(state: &u64) -> u64 {
         *state
     }
+
+    /// Bottlenecks form a max-lattice (0 = unreached bottom): pending
+    /// updates for the same target merge to the wider bandwidth.
+    fn join(into: &mut u64, from: &u64) -> bool {
+        if *from > *into {
+            *into = *from;
+        }
+        true
+    }
+
+    /// Wider bottleneck = closer to the upper bound, so invert.
+    fn priority(state: &u64) -> Option<u64> {
+        Some(u64::MAX - *state)
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +143,23 @@ mod tests {
         let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(1), Some(&20));
         assert_eq!(states.get(2), Some(&9), "downstream bottleneck re-widens");
+    }
+
+    #[test]
+    fn lattice_run_matches_fifo() {
+        // Weight depends only on the endpoints so duplicate edges in the
+        // stream agree — differing weights would make the fixpoint
+        // order-dependent regardless of coalescing.
+        let edges: Vec<(u64, u64, u64)> = (0..80u64)
+            .map(|i| (i % 30, (i * 11 + 2) % 30))
+            .map(|(a, b)| (a, b, ((a + b) % 13) + 1))
+            .collect();
+        let fifo = run(&edges, 0, 4);
+        let engine = Engine::new(IncWidest, EngineConfig::undirected(4).with_lattice());
+        engine.try_init_vertex(0).unwrap();
+        engine.try_ingest_weighted(&edges).unwrap();
+        let result = engine.try_finish().unwrap();
+        assert_eq!(fifo, result.states.into_vec());
     }
 
     #[test]

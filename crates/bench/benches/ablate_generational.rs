@@ -88,7 +88,8 @@ fn main() {
         ]);
     }
 
-    print_table(
+    report(
+        "ablate_generational",
         "Ablation: generational delete repair vs static recompute",
         &[
             "Deleted",

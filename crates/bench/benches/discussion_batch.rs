@@ -76,7 +76,8 @@ fn main() {
         ]);
     }
 
-    print_table(
+    report(
+        "discussion_batch",
         "Discussion (VI-A): batching/snapshotting vs continuous",
         &[
             "Batches",

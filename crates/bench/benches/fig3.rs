@@ -63,7 +63,8 @@ fn main() {
         .filter(|(_, &l)| l != u64::MAX && l != 0)
         .count();
 
-    print_table(
+    report(
+        "fig3",
         "Figure 3: static vs dynamic strategies (time to completion)",
         &["Strategy", "Construction", "BFS", "Total"],
         &[

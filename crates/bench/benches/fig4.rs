@@ -95,7 +95,8 @@ fn main() {
     }
     let _ = engine.try_finish().unwrap();
 
-    print_table(
+    report(
+        "fig4",
         "Figure 4: snapshot latency vs static recompute, per interval",
         &[
             "Interval",

@@ -49,7 +49,8 @@ fn main() {
     let mut header: Vec<String> = vec!["Dataset".into(), "Algorithm".into()];
     header.extend(shard_list.iter().map(|p| format!("{p} shard(s)")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    print_table(
+    report(
+        "fig5",
         "Figure 5: events/sec per dataset x algorithm x shard count",
         &header_refs,
         &rows,

@@ -42,7 +42,8 @@ fn main() {
     let mut header: Vec<String> = vec!["Graph".into(), "#Edges".into()];
     header.extend(shard_list.iter().map(|p| format!("{p} shard(s)")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    print_table(
+    report(
+        "fig6",
         "Figure 6: RMAT scaling grid (events/sec, live BFS maintained)",
         &header_refs,
         &rows,

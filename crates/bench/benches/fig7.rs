@@ -46,7 +46,8 @@ fn main() {
     let mut header: Vec<String> = vec!["Configuration".into()];
     header.extend(shard_list.iter().map(|p| format!("{p} shard(s)")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    print_table(
+    report(
+        "fig7",
         "Figure 7: multi S-T connectivity, events/sec vs source count",
         &header_refs,
         &rows,

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo bench -p remo-bench --bench table1`
 
-use remo_bench::{bench_scale, print_table};
+use remo_bench::{bench_scale, report};
 use remo_gen::{table_row, Dataset};
 
 fn human_bytes(b: u64) -> String {
@@ -45,7 +45,8 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    report(
+        "table1",
         &format!("Table I stand-ins (scale x{scale})"),
         &["Name", "#Vertices", "#Edges", "OnDiskSpace"],
         &rows,

@@ -62,6 +62,49 @@ pub fn timed_run<A: Algorithm>(
     }
 }
 
+/// [`timed_run`] with a caller-supplied engine config, for ablations that
+/// flip `EngineConfig` switches rather than shard counts.
+pub fn timed_run_with<A: Algorithm>(
+    algo: A,
+    config: EngineConfig,
+    edges: &[(VertexId, VertexId)],
+    inits: &[VertexId],
+) -> TimedRun<A::State> {
+    let engine = Engine::new(algo, config);
+    for &v in inits {
+        engine.try_init_vertex(v).unwrap();
+    }
+    let start = Instant::now();
+    engine.try_ingest_pairs(edges).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let elapsed = start.elapsed();
+    TimedRun {
+        result: engine.try_finish().unwrap(),
+        elapsed,
+    }
+}
+
+/// Weighted variant of [`timed_run_with`].
+pub fn timed_run_weighted_with<A: Algorithm>(
+    algo: A,
+    config: EngineConfig,
+    edges: &[(VertexId, VertexId, Weight)],
+    inits: &[VertexId],
+) -> TimedRun<A::State> {
+    let engine = Engine::new(algo, config);
+    for &v in inits {
+        engine.try_init_vertex(v).unwrap();
+    }
+    let start = Instant::now();
+    engine.try_ingest_weighted(edges).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let elapsed = start.elapsed();
+    TimedRun {
+        result: engine.try_finish().unwrap(),
+        elapsed,
+    }
+}
+
 /// Weighted variant of [`timed_run`].
 pub fn timed_run_weighted<A: Algorithm>(
     algo: A,
@@ -126,6 +169,17 @@ pub fn bench_scale() -> f64 {
         .unwrap_or(1.0)
 }
 
+/// Repetitions per measured cell from `REMO_BENCH_REPS` (default 5). Benches
+/// that compare wall-clock across configurations keep the minimum across
+/// reps, which discards scheduler noise on loaded/single-core boxes.
+pub fn bench_reps() -> usize {
+    std::env::var("REMO_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(5)
+}
+
 /// Shard counts from `REMO_BENCH_SHARDS` (default "1,2,4,8", capped at the
 /// machine's available parallelism).
 pub fn shard_counts() -> Vec<usize> {
@@ -166,9 +220,11 @@ pub fn fmt_dur(d: Duration) -> String {
     }
 }
 
-/// Prints a markdown-style table (header + rows) to stdout.
-pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    println!("\n## {title}\n");
+/// Renders a markdown-style table (header + rows) to a string.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## {title}\n");
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -177,16 +233,17 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line = |cells: &[String]| {
+    let line = |out: &mut String, cells: &[String]| {
         let padded: Vec<String> = cells
             .iter()
             .enumerate()
             .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(4)))
             .collect();
-        println!("| {} |", padded.join(" | "));
+        let _ = writeln!(out, "| {} |", padded.join(" | "));
     };
-    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!(
+    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let _ = writeln!(
+        out,
         "|{}|",
         widths
             .iter()
@@ -195,7 +252,92 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .join("|")
     );
     for row in rows {
-        line(row);
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Prints a markdown-style table (header + rows) to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(title, header, rows));
+}
+
+/// Where bench artifacts land: `REMO_BENCH_OUT`, default `bench_results/`.
+pub fn bench_out_dir() -> std::path::PathBuf {
+    std::env::var("REMO_BENCH_OUT")
+        .unwrap_or_else(|_| "bench_results".to_string())
+        .into()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a table as `{"name", "scale", "header", "rows": [{col: cell}]}`.
+/// Hand-rolled (the workspace has no serde); cells stay the exact strings
+/// the printed table shows, so the two artifacts can never disagree.
+pub fn json_table(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(name)));
+    out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
+    out.push_str("  \"rows\": [\n");
+    for (r, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let key = header.get(i).copied().unwrap_or("col");
+            out.push_str(&format!(
+                "\"{}\": \"{}\"",
+                json_escape(key),
+                json_escape(cell)
+            ));
+        }
+        out.push('}');
+        if r + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints the table AND persists both artifacts: the rendered table as
+/// `<dir>/<name>.txt` and machine-readable `<dir>/BENCH_<name>.json`.
+/// Filesystem problems are reported, never fatal — a bench run's numbers
+/// still land on stdout.
+pub fn report(name: &str, title: &str, header: &[&str], rows: &[Vec<String>]) {
+    let rendered = render_table(title, header, rows);
+    print!("{rendered}");
+    let dir = bench_out_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("bench report: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let txt = dir.join(format!("{name}.txt"));
+    if let Err(e) = std::fs::write(&txt, &rendered) {
+        eprintln!("bench report: cannot write {}: {e}", txt.display());
+    }
+    let json = dir.join(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::write(&json, json_table(name, header, rows)) {
+        eprintln!("bench report: cannot write {}: {e}", json.display());
     }
 }
 
@@ -241,5 +383,34 @@ mod tests {
     fn scale_default_is_one() {
         std::env::remove_var("REMO_BENCH_SCALE");
         assert_eq!(bench_scale(), 1.0);
+    }
+
+    #[test]
+    fn json_table_is_wellformed_and_escaped() {
+        let rows = vec![
+            vec!["a\"b".to_string(), "1.50M".to_string()],
+            vec!["plain".to_string(), "2".to_string()],
+        ];
+        let j = json_table("t1", &["name", "rate"], &rows);
+        assert!(j.contains("\"name\": \"t1\""));
+        assert!(j.contains("\"name\": \"a\\\"b\", \"rate\": \"1.50M\""));
+        assert!(j.contains("\"rows\": ["));
+        // Balanced braces/brackets — a cheap well-formedness proxy given no
+        // JSON parser in the workspace.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j.matches(open).count(),
+                j.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let rows = vec![vec!["x".to_string(), "123456".to_string()]];
+        let t = render_table("T", &["col", "value"], &rows);
+        assert!(t.contains("## T"));
+        assert!(t.contains("| x   | 123456 |"));
     }
 }

@@ -106,6 +106,36 @@ pub trait Algorithm: Send + Sync + 'static {
     {
         0
     }
+
+    /// Monotone lattice merge of two pending `Update` values bound for the
+    /// same target over the same edge: fold `from` into `into` so that one
+    /// envelope carries the information of both, and return `true`. The
+    /// default returns `false` ("no merge performed"), which keeps the
+    /// engine's exact FIFO behaviour for this algorithm.
+    ///
+    /// Soundness contract: processing the merged value must drive the
+    /// target's state at least as far toward its bound as processing both
+    /// originals would — which holds exactly when `join` is the lattice
+    /// join of the REMO state (§II-B) and the `on_update` callback is
+    /// monotone in `value` (all the core algorithms are).
+    fn join(_into: &mut Self::State, _from: &Self::State) -> bool
+    where
+        Self: Sized,
+    {
+        false
+    }
+
+    /// Priority of a pending `Update` value: lower = closer to the bound,
+    /// i.e. more likely to dominate downstream work when processed first.
+    /// `None` (the default) keeps FIFO draining for this algorithm. Safe to
+    /// reorder on only because REMO convergence is order-independent for
+    /// `Update` events; the engine never reorders `Add`/`ReverseAdd`.
+    fn priority(_state: &Self::State) -> Option<u64>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// Callback context: the visited vertex's state, adjacency, and propagation

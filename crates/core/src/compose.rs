@@ -245,6 +245,32 @@ impl<A: Algorithm, B: Algorithm> Algorithm for Pair<A, B> {
     ) {
         forward_both!(self, ctx, on_reverse_remove, visitor, value, weight)
     }
+
+    /// All-or-nothing: the merged tuple must dominate both originals in
+    /// *both* components, so the pair coalesces only when each side's
+    /// `join` accepts. Tentative copies avoid half-applied merges when one
+    /// side lacks the hook.
+    fn join(into: &mut Self::State, from: &Self::State) -> bool {
+        let mut a = into.0.clone();
+        let mut b = into.1.clone();
+        if A::join(&mut a, &from.0) && B::join(&mut b, &from.1) {
+            into.0 = a;
+            into.1 = b;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Best-first for the pair means best for either side: take the min of
+    /// the component priorities. `None` from either side disables
+    /// reordering for the pair (that side needs FIFO).
+    fn priority(state: &Self::State) -> Option<u64> {
+        match (A::priority(&state.0), B::priority(&state.1)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +350,17 @@ mod tests {
                 ctx.update_single_nbr(visitor, &mine);
             }
         }
+
+        fn join(into: &mut u64, from: &u64) -> bool {
+            if *from != 0 && (*into == 0 || *from < *into) {
+                *into = *from;
+            }
+            true
+        }
+
+        fn priority(state: &u64) -> Option<u64> {
+            Some(if *state == 0 { u64::MAX } else { *state })
+        }
     }
 
     fn edges() -> Vec<(u64, u64)> {
@@ -369,6 +406,41 @@ mod tests {
             assert_eq!(touch1, touch2, "vertex {v}: the two Touch copies diverged");
             assert_eq!(*flood, 1, "vertex {v}: flood must reach min id + 1");
         }
+    }
+
+    #[test]
+    fn pair_join_is_all_or_nothing() {
+        // Touch has no join: the pair must decline and leave `into` alone.
+        let mut into = (1u64, 5u64);
+        assert!(!<Pair<Touch, MinFlood> as Algorithm>::join(&mut into, &(2, 3)));
+        assert_eq!(into, (1, 5));
+        let mut into = (5u64, 5u64);
+        assert!(<Pair<MinFlood, MinFlood> as Algorithm>::join(&mut into, &(3, 7)));
+        assert_eq!(into, (3, 5));
+        assert_eq!(
+            <Pair<MinFlood, MinFlood> as Algorithm>::priority(&(4, 9)),
+            Some(4)
+        );
+        assert_eq!(<Pair<Touch, MinFlood> as Algorithm>::priority(&(4, 9)), None);
+    }
+
+    #[test]
+    fn pair_with_lattice_matches_fifo() {
+        let es = edges();
+        let fifo = {
+            let e = Engine::new(Pair::new(MinFlood, MinFlood), EngineConfig::undirected(3));
+            e.try_ingest_pairs(&es).unwrap();
+            e.try_finish().unwrap().states.into_vec()
+        };
+        let lat = {
+            let e = Engine::new(
+                Pair::new(MinFlood, MinFlood),
+                EngineConfig::undirected(3).with_lattice(),
+            );
+            e.try_ingest_pairs(&es).unwrap();
+            e.try_finish().unwrap().states.into_vec()
+        };
+        assert_eq!(fifo, lat, "lattice layers changed the pair's fixpoint");
     }
 
     #[test]

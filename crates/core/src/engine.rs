@@ -37,11 +37,8 @@ use crate::metrics::RunMetrics;
 use crate::shard::{EngineConfig, Message, ShardReport, ShardWorker};
 use crate::snapshot::Snapshot;
 use crate::supervision::{EngineError, FailureBoard, ShardFailure};
-use crate::termination::{Deadline, SharedCounters, TerminationMode};
+use crate::termination::{Backoff, Deadline, SharedCounters};
 use crate::trigger::{TriggerDef, TriggerFire, MAX_TRIGGERS};
-
-/// How long wait loops sleep between probes of the shared counters.
-const PROBE_PAUSE: Duration = Duration::from_micros(50);
 
 /// Builds an [`Engine`], registering triggers before the shards start.
 pub struct EngineBuilder<A: Algorithm> {
@@ -330,23 +327,20 @@ impl<A: Algorithm> Engine<A> {
     /// `quiescence_deadline` cuts the wait short.
     pub fn try_await_quiescence(&self) -> Result<(), EngineError> {
         let deadline = Deadline::new(self.config.quiescence_deadline);
-        match self.config.termination {
-            TerminationMode::Counter => loop {
-                self.check_liveness(&deadline)?;
-                if self.shared.quiescent_probe() {
-                    return Ok(());
-                }
-                std::thread::sleep(PROBE_PAUSE);
-            },
-            TerminationMode::Safra => loop {
-                self.check_liveness(&deadline)?;
-                if self.shared.quiescent_probe() {
-                    // Drain any announcements for this quiet period.
-                    while self.quiesce_rx.try_recv().is_ok() {}
-                    return Ok(());
-                }
-                let _ = self.quiesce_rx.recv_timeout(Duration::from_millis(1));
-            },
+        let mut backoff = Backoff::probe();
+        loop {
+            self.check_liveness(&deadline)?;
+            if self.shared.quiescent_probe() {
+                // Drain any stale announcements for this quiet period.
+                while self.quiesce_rx.try_recv().is_ok() {}
+                return Ok(());
+            }
+            // Sleep with ears open: a Safra announcement lands on
+            // `quiesce_rx` and cuts the wait short; in counter mode no
+            // shard ever sends here, so this degrades to a plain
+            // capped-exponential-backoff sleep instead of the old
+            // fixed-interval spin.
+            let _ = self.quiesce_rx.recv_timeout(backoff.next_wait());
         }
     }
 
@@ -354,6 +348,15 @@ impl<A: Algorithm> Engine<A> {
     /// and the termination ablation).
     pub fn quiescence_announcements(&self) -> &Receiver<()> {
         &self.quiesce_rx
+    }
+
+    /// One four-counter reading: true when every sent envelope has been
+    /// processed and every injected stream event ingested. Exposed so tests
+    /// can assert the termination books balance once a run has quiesced —
+    /// in particular that lattice coalescing absorbed envelopes without
+    /// leaking `sent` or `processed` counts.
+    pub fn counters_balanced(&self) -> bool {
+        self.shared.quiescent_probe()
     }
 
     /// Receives one collection fragment under the `query_deadline`.
@@ -405,9 +408,10 @@ impl<A: Algorithm> Engine<A> {
             }
         }
         // Drain the old epoch (its cascades inherit its parity).
+        let mut backoff = Backoff::probe();
         while !self.shared.drained_probe(old) {
             self.check_liveness(&deadline)?;
-            std::thread::sleep(PROBE_PAUSE);
+            std::thread::sleep(backoff.next_wait());
         }
         // Gather fragments.
         let expected = self.config.num_shards;
@@ -584,8 +588,9 @@ impl<A: Algorithm> Engine<A> {
         // unboundedly.
         let deadline = Deadline::new(Some(self.config.shutdown_deadline));
         for (id, h) in self.handles.drain(..).enumerate() {
+            let mut backoff = Backoff::probe();
             while !h.is_finished() && !deadline.expired() {
-                std::thread::sleep(PROBE_PAUSE);
+                std::thread::sleep(backoff.next_wait());
             }
             if !h.is_finished() {
                 self.board.record(ShardFailure {
@@ -743,8 +748,9 @@ impl<A: Algorithm> Drop for Engine<A> {
         }
         let deadline = Deadline::new(Some(self.config.shutdown_deadline));
         for h in self.handles.drain(..) {
+            let mut backoff = Backoff::probe();
             while !h.is_finished() && !deadline.expired() {
-                std::thread::sleep(PROBE_PAUSE);
+                std::thread::sleep(backoff.next_wait());
             }
             if h.is_finished() {
                 let _ = h.join();

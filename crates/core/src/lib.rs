@@ -80,10 +80,10 @@ pub use event::{
 pub use metrics::{RunMetrics, ShardMetrics};
 pub use partition::Partitioner;
 pub use sequential::SequentialEngine;
-pub use shard::EngineConfig;
+pub use shard::{EngineConfig, LatticeConfig};
 pub use snapshot::Snapshot;
 pub use supervision::{EngineError, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER};
-pub use termination::{Deadline, TerminationMode};
+pub use termination::{Backoff, Deadline, TerminationMode};
 pub use trigger::{TriggerFire, MAX_TRIGGERS};
 pub use vertex_state::VertexState;
 

@@ -39,6 +39,19 @@ pub struct ShardMetrics {
     /// Envelopes retired because their destination channel was already
     /// closed (engine teardown, or the destination shard died).
     pub envelopes_undeliverable: u64,
+    /// `Update` envelopes absorbed into an already-pending envelope for the
+    /// same (target, visitor, weight, epoch) via [`Algorithm::join`]
+    /// (lattice coalescing; never counted as sent).
+    ///
+    /// [`Algorithm::join`]: crate::Algorithm::join
+    pub envelopes_coalesced: u64,
+    /// Incoming `Update` envelopes retired without running the callback
+    /// because their value could not improve the target's live state
+    /// (lattice dominance filtering).
+    pub updates_dominated: u64,
+    /// Pending `Update` envelopes the priority heap drained ahead of an
+    /// earlier-staged envelope — how often best-first actually reordered.
+    pub heap_reorders: u64,
 }
 
 impl ShardMetrics {
@@ -69,6 +82,9 @@ impl ShardMetrics {
         self.faults_injected += other.faults_injected;
         self.envelopes_dropped += other.envelopes_dropped;
         self.envelopes_undeliverable += other.envelopes_undeliverable;
+        self.envelopes_coalesced += other.envelopes_coalesced;
+        self.updates_dominated += other.updates_dominated;
+        self.heap_reorders += other.heap_reorders;
     }
 }
 
@@ -126,6 +142,21 @@ mod tests {
         assert_eq!(a.add_events, 7);
         assert_eq!(a.update_events, 3);
         assert_eq!(a.triggers_fired, 1);
+    }
+
+    #[test]
+    fn merge_adds_lattice_counters() {
+        let mut a = ShardMetrics {
+            envelopes_coalesced: 2,
+            updates_dominated: 3,
+            heap_reorders: 5,
+            ..Default::default()
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.envelopes_coalesced, 4);
+        assert_eq!(a.updates_dominated, 6);
+        assert_eq!(a.heap_reorders, 10);
     }
 
     #[test]

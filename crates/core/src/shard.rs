@@ -20,7 +20,7 @@
 //! reverse-add for `[b, a]` to `owner(b)` over the FIFO channel, ensuring
 //! the edge exists before either side uses it.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,10 +38,119 @@ use crate::termination::{SafraState, SharedCounters, TerminationMode, Token, Tok
 use crate::trigger::{TriggerDef, TriggerFire};
 use crate::vertex_state::VertexState;
 
-/// Envelopes are shipped in batches to amortize channel overhead (HavoqGT
-/// batches visitor messages the same way); a batch from one sender
-/// preserves its internal order, so per-pair FIFO is unaffected.
-pub(crate) const ENVELOPE_BATCH: usize = 256;
+/// Coalescing identity of a pending `Update`: merging is only sound between
+/// envelopes that would invoke the same callback with the same visitor and
+/// edge weight in the same epoch (an SSSP candidate is `value + weight`, so
+/// folding values across different weights could manufacture a path that
+/// does not exist; folding across epochs would corrupt parity accounting
+/// and the snapshot dual-apply).
+type PendKey = (VertexId, VertexId, remo_store::Weight, Epoch);
+
+/// Integer hasher for the staging maps: accumulate written words with a
+/// rotate-multiply and finalize with the store's `mix64` avalanche. The
+/// keys are engine-internal (no untrusted input), and SipHash otherwise
+/// dominates the per-envelope cost of the lattice layers.
+#[derive(Default)]
+struct MixHasher(u64);
+
+impl std::hash::Hasher for MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        remo_store::hash::mix64(self.0)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = self
+            .0
+            .rotate_left(29)
+            .wrapping_add(x.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    }
+}
+
+type PendMap<V> = HashMap<PendKey, V, std::hash::BuildHasherDefault<MixHasher>>;
+
+/// A staged `Update` envelope awaiting local processing.
+struct Pending<S> {
+    env: Envelope<S>,
+    /// Self-sent envelopes still owe the Safra receive at drain time;
+    /// remote ones were receive-accounted when their batch arrived.
+    from_self: bool,
+}
+
+/// Outcome of one coalescing attempt against an already-staged envelope.
+enum Coalesce {
+    /// Merged: the staged envelope now carries both values.
+    Absorbed,
+    /// An envelope with this key exists but [`Algorithm::join`] declined
+    /// (algorithm without the hook): the caller must keep both.
+    Declined,
+    /// Nothing staged under this key.
+    NoEntry,
+}
+
+/// One entry in the priority drain order. Self-routed envelopes live in the
+/// `pending` map (so later local sends can coalesce into them) and are
+/// referenced by key; received envelopes can never merge at the receiver —
+/// the coalescing key contains the sending visitor and edge weight, which
+/// differ per sender — so they are carried inline, skipping the map
+/// entirely on the receive hot path.
+enum DrainItem<S> {
+    Key(PendKey),
+    Env(Pending<S>),
+}
+
+/// Bucket count for the priority drain (Dial-style bucket queue). Priorities
+/// are clamped into `0..PRIO_BUCKETS`; everything at or beyond the last
+/// bucket shares it unordered. Algorithm priorities are small bound
+/// distances (BFS depth, SSSP distance, inverted widest capacity), so the
+/// clamp is rarely hit — and drain order is a work-saving heuristic, never a
+/// correctness requirement (§II-B monotonicity).
+const PRIO_BUCKETS: usize = 1024;
+
+/// Which lattice-aware messaging layers are active — §II-B monotonicity put
+/// to work in the transport. All off (the default) keeps the engine's exact
+/// FIFO seed behaviour. The layers are independently switchable so the
+/// `ablate_coalescing` bench can price each one separately; they only ever
+/// act on `Update` envelopes of algorithms that implement
+/// [`Algorithm::join`] / [`Algorithm::priority`] — `Add`/`ReverseAdd` and
+/// topology events always keep their §III-C FIFO ordering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatticeConfig {
+    /// Sender-side coalescing: a burst of corrections for one target merges
+    /// into a single envelope (in the per-destination outbox, or in the
+    /// local pending backlog) via [`Algorithm::join`] before it is counted
+    /// as sent.
+    pub coalesce: bool,
+    /// Receiver-side dominance filtering: an incoming `Update` whose value
+    /// cannot improve the target's live state is retired with a cheap
+    /// `note_processed` instead of running callbacks, snapshot forks, and
+    /// trigger evaluation.
+    pub dominance: bool,
+    /// Priority-aware draining: the local backlog of `Update` envelopes is
+    /// processed best-first (bucket queue keyed by [`Algorithm::priority`]),
+    /// so downstream work is seeded with values already near the bound.
+    pub priority: bool,
+}
+
+impl LatticeConfig {
+    /// All three layers on.
+    pub fn all() -> Self {
+        LatticeConfig {
+            coalesce: true,
+            dominance: true,
+            priority: true,
+        }
+    }
+}
 
 /// Messages a shard can receive: data envelopes plus control traffic.
 pub(crate) enum Message<S> {
@@ -98,6 +207,14 @@ pub struct EngineConfig {
     /// Chaos-injection hook for the fault-tolerance test-suite. The
     /// default plan injects nothing and costs one cached branch per shard.
     pub fault_plan: FaultPlan,
+    /// Envelopes buffered per destination shard before a batch ships
+    /// (HavoqGT batches visitor messages the same way); partial batches
+    /// flush whenever the shard goes idle, so no envelope waits for a full
+    /// batch. A batch from one sender preserves its internal order, so
+    /// per-pair FIFO is unaffected. Default 256.
+    pub envelope_batch: usize,
+    /// Lattice-aware messaging layers (all off = exact FIFO behaviour).
+    pub lattice: LatticeConfig,
 }
 
 impl EngineConfig {
@@ -112,6 +229,8 @@ impl EngineConfig {
             query_deadline: None,
             shutdown_deadline: Duration::from_secs(2),
             fault_plan: FaultPlan::default(),
+            envelope_batch: 256,
+            lattice: LatticeConfig::default(),
         }
     }
 
@@ -121,6 +240,12 @@ impl EngineConfig {
             undirected: false,
             ..Self::undirected(shards)
         }
+    }
+
+    /// Same config with every lattice messaging layer enabled.
+    pub fn with_lattice(mut self) -> Self {
+        self.lattice = LatticeConfig::all();
+        self
     }
 }
 
@@ -161,6 +286,39 @@ pub(crate) struct ShardWorker<A: Algorithm> {
     out: Vec<Outgoing<A::State>>,
     /// Per-destination-shard buffers of unsent envelopes.
     outboxes: Vec<Vec<Envelope<A::State>>>,
+    /// Copy of `config.lattice` (hot-path convenience).
+    lattice: LatticeConfig,
+    /// True when self-routed `Update` envelopes route through the pending
+    /// backlog instead of `local_q` (received ones stage only under
+    /// priority draining — see [`ShardWorker::admit`]).
+    lattice_on: bool,
+    /// Self-routed `Update` envelopes staged for sender-side local-backlog
+    /// coalescing: a later local send to the same key folds in via
+    /// [`Algorithm::join`] instead of existing separately. Drained by
+    /// `pop_pending` via `pend_fifo` (insertion order) or the priority
+    /// buckets; key-based drain entries use lazy deletion, with this map
+    /// as the single source of truth. Received envelopes never enter this
+    /// map — see [`DrainItem`].
+    pending: PendMap<Pending<A::State>>,
+    pend_fifo: VecDeque<PendKey>,
+    /// Priority mode: Dial-style bucket queue — `pend_buckets[p]` holds the
+    /// `(seq, item)` entries staged at (clamped) priority `p`. Push and pop
+    /// are O(1); a comparison heap gives a globally strict order, but its
+    /// per-entry sift costs more than strictness buys — update drain order
+    /// is a heuristic, never a correctness requirement (§II-B
+    /// monotonicity). Empty when priority draining is off.
+    pend_buckets: Vec<Vec<(u64, DrainItem<A::State>)>>,
+    /// Lowest possibly-non-empty bucket; every bucket below it is empty.
+    /// Pushes pull it back down, pops advance it past drained buckets.
+    pend_cursor: usize,
+    /// Entries currently staged across `pend_buckets` (stale lazily-deleted
+    /// key entries included — `pop_pending` consumes those too).
+    pend_staged: usize,
+    pend_seq: u64,
+    pend_max_popped: u64,
+    /// Per-destination index into `outboxes` for sender-side coalescing
+    /// (cleared on every flush; empty when coalescing is off).
+    outbox_index: Vec<PendMap<usize>>,
     /// Local monotone counters, published to this shard's [`ShardSlots`].
     sent_local: [u64; 2],
     processed_local: [u64; 2],
@@ -189,6 +347,8 @@ impl<A: Algorithm> ShardWorker<A> {
         let part = Partitioner::new(config.num_shards);
         let num_shards = config.num_shards;
         let fault_armed = config.fault_plan.targets(id);
+        let lattice = config.lattice;
+        let lattice_on = lattice.coalesce || lattice.priority;
         ShardWorker {
             id,
             algo,
@@ -207,6 +367,20 @@ impl<A: Algorithm> ShardWorker<A> {
             streams: VecDeque::new(),
             out: Vec::new(),
             outboxes: (0..num_shards).map(|_| Vec::new()).collect(),
+            lattice,
+            lattice_on,
+            pending: PendMap::default(),
+            pend_fifo: VecDeque::new(),
+            pend_buckets: if lattice.priority {
+                (0..PRIO_BUCKETS).map(|_| Vec::new()).collect()
+            } else {
+                Vec::new()
+            },
+            pend_cursor: PRIO_BUCKETS,
+            pend_staged: 0,
+            pend_seq: 0,
+            pend_max_popped: 0,
+            outbox_index: (0..num_shards).map(|_| PendMap::default()).collect(),
             sent_local: [0; 2],
             processed_local: [0; 2],
             ingested_local: 0,
@@ -288,6 +462,13 @@ impl<A: Algorithm> ShardWorker<A> {
                     self.safra.on_receive();
                     self.process(env);
                 }
+                while let Some(p) = self.pop_pending() {
+                    round = true;
+                    if p.from_self {
+                        self.safra.on_receive();
+                    }
+                    self.process(p.env);
+                }
                 if !round {
                     break;
                 }
@@ -338,13 +519,13 @@ impl<A: Algorithm> ShardWorker<A> {
         match msg {
             Message::Event(env) => {
                 self.safra.on_receive();
-                self.process(env);
+                self.admit(env);
                 false
             }
             Message::Batch(batch) => {
                 for env in batch {
                     self.safra.on_receive();
-                    self.process(env);
+                    self.admit(env);
                 }
                 false
             }
@@ -374,6 +555,160 @@ impl<A: Algorithm> ShardWorker<A> {
         }
     }
 
+    /// Routes one *received* envelope: under dominance filtering, `Update`s
+    /// that cannot improve their target are retired on the spot; under
+    /// priority draining they are staged (inline — see [`DrainItem`]) into
+    /// the best-first backlog. Everything else — and every envelope when
+    /// the lattice layers are off — is processed immediately in arrival
+    /// order, exactly as the seed engine did.
+    fn admit(&mut self, env: Envelope<A::State>) {
+        if env.kind == EventKind::Update {
+            if self.is_dominated(env.target, env.epoch, &env.value) {
+                // Retiring on arrival skips the staging churn entirely;
+                // monotone states only advance, so dominated-now stays
+                // dominated.
+                self.metrics.updates_dominated += 1;
+                self.note_processed(env.epoch);
+                return;
+            }
+            if self.lattice.priority {
+                let prio = A::priority(&env.value).unwrap_or(0);
+                // Pass-through fast path: an arrival at least as good as
+                // everything staged is what best-first draining would pick
+                // next anyway — process it without the backlog round-trip
+                // (deferring costs an envelope copy and a cold re-read).
+                // Only worse-than-best arrivals get parked.
+                if self.pend_staged > 0 && (prio as usize).min(PRIO_BUCKETS - 1) > self.pend_cursor
+                {
+                    self.stage_item(
+                        prio,
+                        DrainItem::Env(Pending {
+                            env,
+                            from_self: false,
+                        }),
+                    );
+                    return;
+                }
+            }
+        }
+        self.process(env);
+    }
+
+    /// True when an `Update` carrying `value` cannot change `target`'s live
+    /// state (the join is a no-op — the value is information the target
+    /// already holds). Skipped when the event predates the vertex's
+    /// snapshot fork: those must still dual-apply to the forked previous
+    /// state. Algorithms without [`Algorithm::join`] are never filtered.
+    /// Monotone states only advance, so a dominated update stays dominated
+    /// no matter how long it waits.
+    fn is_dominated(&self, target: VertexId, epoch: Epoch, value: &A::State) -> bool {
+        if !self.lattice.dominance {
+            return false;
+        }
+        let Some(rec) = self.table.get(target) else {
+            return false;
+        };
+        if rec.state.applies_to_prev(epoch) {
+            return false;
+        }
+        let mut probe = rec.state.live.clone();
+        A::join(&mut probe, value) && probe == rec.state.live
+    }
+
+    /// Attempts to fold `env` into the self-routed envelope staged under
+    /// the same coalescing key. On a merge under priority draining, the
+    /// drain entry is re-pushed at the merged value's (possibly better)
+    /// priority; the stale entry is lazily skipped on pop.
+    fn try_absorb_pending(&mut self, env: &Envelope<A::State>) -> Coalesce {
+        let key = (env.target, env.visitor, env.weight, env.epoch);
+        let Some(p) = self.pending.get_mut(&key) else {
+            return Coalesce::NoEntry;
+        };
+        if !A::join(&mut p.env.value, &env.value) {
+            return Coalesce::Declined;
+        }
+        if self.lattice.priority {
+            let prio = A::priority(&p.env.value).unwrap_or(0);
+            self.stage_item(prio, DrainItem::Key(key));
+        }
+        Coalesce::Absorbed
+    }
+
+    /// Pushes one drain entry into the priority bucket queue.
+    fn stage_item(&mut self, prio: u64, item: DrainItem<A::State>) {
+        let bucket = (prio as usize).min(PRIO_BUCKETS - 1);
+        self.pend_seq += 1;
+        self.pend_cursor = self.pend_cursor.min(bucket);
+        self.pend_staged += 1;
+        self.pend_buckets[bucket].push((self.pend_seq, item));
+    }
+
+    /// Stages a self-routed `Update` envelope into the lattice backlog.
+    /// Callers must have resolved coalescing first (the key slot is known
+    /// free when coalescing is on).
+    fn stage_pending(&mut self, env: Envelope<A::State>, from_self: bool) {
+        if !self.lattice.coalesce {
+            // Priority-only: nothing ever merges, so carry the envelope
+            // inline and skip the map.
+            let prio = A::priority(&env.value).unwrap_or(0);
+            self.stage_item(prio, DrainItem::Env(Pending { env, from_self }));
+            return;
+        }
+        let key = (env.target, env.visitor, env.weight, env.epoch);
+        if self.lattice.priority {
+            // Algorithms without `priority` fall back to a constant key,
+            // which makes the bucket queue a plain stack of one bucket.
+            let prio = A::priority(&env.value).unwrap_or(0);
+            self.stage_item(prio, DrainItem::Key(key));
+        } else {
+            self.pend_seq += 1;
+            self.pend_fifo.push_back(key);
+        }
+        self.pending.insert(key, Pending { env, from_self });
+    }
+
+    /// Next staged envelope in drain order (best-first under priority,
+    /// insertion order otherwise), skipping lazily-deleted key entries.
+    fn pop_pending(&mut self) -> Option<Pending<A::State>> {
+        if self.lattice.priority {
+            while self.pend_staged > 0 {
+                // The cursor invariant (every bucket below it is empty)
+                // plus staged > 0 guarantees this scan lands on an entry.
+                while self.pend_buckets[self.pend_cursor].is_empty() {
+                    self.pend_cursor += 1;
+                }
+                // The cursor scan above stopped on a non-empty bucket, so
+                // this pop always yields; the else arm is unreachable but
+                // keeps the loop panic-free.
+                let Some((seq, item)) = self.pend_buckets[self.pend_cursor].pop() else {
+                    continue;
+                };
+                self.pend_staged -= 1;
+                let p = match item {
+                    DrainItem::Env(p) => p,
+                    // Stale key entries (from re-prioritized merges) fail
+                    // the map removal and are skipped.
+                    DrainItem::Key(key) => match self.pending.remove(&key) {
+                        Some(p) => p,
+                        None => continue,
+                    },
+                };
+                if seq < self.pend_max_popped {
+                    self.metrics.heap_reorders += 1;
+                }
+                self.pend_max_popped = self.pend_max_popped.max(seq);
+                return Some(p);
+            }
+            return None;
+        }
+        while let Some(key) = self.pend_fifo.pop_front() {
+            if let Some(p) = self.pending.remove(&key) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
     /// Processes one algorithmic envelope.
     fn process(&mut self, env: Envelope<A::State>) {
         self.seq += 1;
@@ -381,6 +716,20 @@ impl<A: Algorithm> ShardWorker<A> {
             self.inject_faults();
         }
         let target = env.target;
+        // Receiver-side dominance filter: an `Update` whose value the live
+        // state already absorbs (join is a no-op) cannot change anything —
+        // retire it without the callback/fork/trigger machinery. Skipped
+        // when the event predates the vertex's snapshot fork: those must
+        // still dual-apply to the forked previous state. Algorithms
+        // without `join` are never filtered (join returns false). The
+        // neighbour-cache write (`set_cached`) is skipped too; that is
+        // sound because a dominated value is information the target
+        // already holds.
+        if env.kind == EventKind::Update && self.is_dominated(target, env.epoch, &env.value) {
+            self.metrics.updates_dominated += 1;
+            self.note_processed(env.epoch);
+            return;
+        }
         let (rec, _) = self.table.ensure(target);
         if rec.state.fork_for(env.epoch) {
             self.metrics.snapshot_forks += 1;
@@ -567,6 +916,46 @@ impl<A: Algorithm> ShardWorker<A> {
     /// buffers flush when full or when the shard goes idle, so the
     /// in-flight counter can only reach zero once every buffer is empty.
     fn send_envelope(&mut self, env: Envelope<A::State>) {
+        let owner = self.part.owner(env.target);
+        // Self-routed `Update`s whose value the target's live state already
+        // absorbs are dropped before any accounting: the envelope never
+        // exists as far as termination detection is concerned, and it skips
+        // the staging machinery entirely.
+        if owner == self.id
+            && env.kind == EventKind::Update
+            && self.is_dominated(env.target, env.epoch, &env.value)
+        {
+            self.metrics.updates_dominated += 1;
+            return;
+        }
+        // Sender-side coalescing: fold this `Update` into an envelope
+        // already staged locally (self-route) or buffered in the outbox
+        // (remote) for the same (target, visitor, weight, epoch). This
+        // happens *before* any accounting, so an absorbed envelope never
+        // exists as far as termination detection or the chaos plan are
+        // concerned — the staged original remains counted exactly once.
+        let mut key_occupied = false;
+        if self.lattice.coalesce && env.kind == EventKind::Update {
+            if owner == self.id {
+                match self.try_absorb_pending(&env) {
+                    Coalesce::Absorbed => {
+                        self.metrics.envelopes_coalesced += 1;
+                        return;
+                    }
+                    Coalesce::Declined => key_occupied = true,
+                    Coalesce::NoEntry => {}
+                }
+            } else {
+                let key = (env.target, env.visitor, env.weight, env.epoch);
+                if let Some(&i) = self.outbox_index[owner].get(&key) {
+                    if A::join(&mut self.outboxes[owner][i].value, &env.value) {
+                        self.metrics.envelopes_coalesced += 1;
+                        return;
+                    }
+                    key_occupied = true;
+                }
+            }
+        }
         self.note_sent(env.epoch);
         self.safra.on_send();
         self.metrics.envelopes_sent += 1;
@@ -583,13 +972,20 @@ impl<A: Algorithm> ShardWorker<A> {
             self.metrics.envelopes_dropped += 1;
             return;
         }
-        let owner = self.part.owner(env.target);
         if owner == self.id {
-            self.local_q.push_back(env);
+            if self.lattice_on && env.kind == EventKind::Update && !key_occupied {
+                self.stage_pending(env, true);
+            } else {
+                self.local_q.push_back(env);
+            }
             return;
         }
+        if self.lattice.coalesce && env.kind == EventKind::Update && !key_occupied {
+            let key = (env.target, env.visitor, env.weight, env.epoch);
+            self.outbox_index[owner].insert(key, self.outboxes[owner].len());
+        }
         self.outboxes[owner].push(env);
-        if self.outboxes[owner].len() >= ENVELOPE_BATCH {
+        if self.outboxes[owner].len() >= self.config.envelope_batch {
             self.flush(owner);
         }
     }
@@ -599,6 +995,7 @@ impl<A: Algorithm> ShardWorker<A> {
         if self.outboxes[owner].is_empty() {
             return;
         }
+        self.outbox_index[owner].clear();
         let batch = std::mem::take(&mut self.outboxes[owner]);
         if let Err(e) = self.senders[owner].send(Message::Batch(batch)) {
             // Receiver shut down mid-run (engine teardown, or the

@@ -64,6 +64,34 @@ impl Deadline {
     }
 }
 
+/// Capped exponential backoff for controller wait loops: starts near a
+/// busy-wait for snappy short waits, doubles toward `cap` so an idle
+/// controller stops burning a core on fixed-interval probing.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    cur: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// Starts at `start`, doubling up to `cap`.
+    pub fn new(start: Duration, cap: Duration) -> Self {
+        Backoff { cur: start, cap }
+    }
+
+    /// Default controller probe backoff: 20µs doubling to 1ms.
+    pub fn probe() -> Self {
+        Self::new(Duration::from_micros(20), Duration::from_millis(1))
+    }
+
+    /// The next wait duration (doubles toward the cap).
+    pub fn next_wait(&mut self) -> Duration {
+        let d = self.cur;
+        self.cur = (self.cur * 2).min(self.cap);
+        d
+    }
+}
+
 /// Which detector the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TerminationMode {
@@ -303,6 +331,15 @@ mod tests {
         let d = Deadline::new(Some(Duration::from_secs(3600)));
         assert!(!d.expired());
         assert!(d.waited() < Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap() {
+        let mut b = Backoff::new(Duration::from_micros(100), Duration::from_micros(350));
+        assert_eq!(b.next_wait(), Duration::from_micros(100));
+        assert_eq!(b.next_wait(), Duration::from_micros(200));
+        assert_eq!(b.next_wait(), Duration::from_micros(350));
+        assert_eq!(b.next_wait(), Duration::from_micros(350), "stays at cap");
     }
 
     #[test]

@@ -10,12 +10,15 @@
 use std::time::{Duration, Instant};
 
 use remo_core::{
-    AlgoCtx, Algorithm, Engine, EngineConfig, EngineError, FaultPlan, Partitioner, VertexId,
-    CHAOS_PANIC_MARKER,
+    AlgoCtx, Algorithm, Engine, EngineConfig, EngineError, FaultPlan, LatticeConfig, Partitioner,
+    VertexId, CHAOS_PANIC_MARKER,
 };
 
 /// The paper's §II-A example: count each vertex's degree. Enough to make
-/// every topology event fan out an envelope per endpoint.
+/// every topology event fan out an envelope per endpoint. `join` is max —
+/// degree counts only grow, so the larger count subsumes the smaller —
+/// which makes the lattice messaging layers genuinely active when the
+/// suite runs with `REMO_CHAOS_LATTICE=1`.
 struct Degree;
 
 impl Algorithm for Degree {
@@ -31,6 +34,25 @@ impl Algorithm for Degree {
             *d += 1;
             true
         });
+    }
+    fn join(into: &mut u64, from: &u64) -> bool {
+        if *from > *into {
+            *into = *from;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// `REMO_CHAOS_LATTICE=1` reruns the whole suite with every lattice
+/// messaging layer enabled (CI does both): fault containment, deadlines,
+/// and degraded collection must hold identically when envelopes coalesce,
+/// get dominance-retired, or drain best-first.
+fn lattice_mode() -> LatticeConfig {
+    match std::env::var("REMO_CHAOS_LATTICE").as_deref() {
+        Ok("1") => LatticeConfig::all(),
+        _ => LatticeConfig::default(),
     }
 }
 
@@ -62,6 +84,7 @@ fn chaos_config(plan: FaultPlan) -> EngineConfig {
         quiescence_deadline: Some(Duration::from_secs(5)),
         query_deadline: Some(Duration::from_secs(5)),
         fault_plan: plan,
+        lattice: lattice_mode(),
         ..EngineConfig::undirected(2)
     }
 }
@@ -192,6 +215,7 @@ fn dropped_envelopes_hit_quiescence_deadline() {
     let config = EngineConfig {
         quiescence_deadline: Some(deadline),
         fault_plan: FaultPlan::drop_on_shard(0, 1.0),
+        lattice: lattice_mode(),
         ..EngineConfig::undirected(2)
     };
     let engine = Engine::new(Degree, config);
@@ -223,6 +247,7 @@ fn dropped_envelopes_hit_quiescence_deadline() {
 fn delayed_shard_completes_and_reports_fault_metrics() {
     let config = EngineConfig {
         fault_plan: FaultPlan::delay_shard(1, Duration::from_millis(1)),
+        lattice: lattice_mode(),
         ..EngineConfig::undirected(2)
     };
     let engine = Engine::new(Degree, config);
@@ -281,7 +306,11 @@ fn failures_accessor_matches_finish_report() {
 /// legacy path: clean quiescence, full harvest, empty failure report.
 #[test]
 fn fault_free_run_is_clean_under_supervised_api() {
-    let engine = Engine::new(Degree, EngineConfig::undirected(2));
+    let config = EngineConfig {
+        lattice: lattice_mode(),
+        ..EngineConfig::undirected(2)
+    };
+    let engine = Engine::new(Degree, config);
     engine.try_ingest_pairs(&[(0, 1), (1, 2)]).unwrap();
     engine.try_await_quiescence().unwrap();
     assert!(!engine.is_degraded());

@@ -161,3 +161,36 @@ fn many_small_ingests_accumulate() {
     assert_eq!(r.metrics.total().topo_ingested, 100);
     assert_eq!(r.num_edges, 200);
 }
+
+#[test]
+fn partial_batches_flush_at_idle() {
+    // With a batch size far larger than the event count, every cross-shard
+    // envelope sits in a partial outbox; only the idle-flush path can
+    // deliver them. A deadline turns a lost-flush bug into a fast failure.
+    let config = EngineConfig {
+        envelope_batch: 1 << 20,
+        quiescence_deadline: Some(std::time::Duration::from_secs(10)),
+        ..EngineConfig::undirected(4)
+    };
+    let engine = Engine::new(Touch, config);
+    engine.try_ingest_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let r = engine.try_finish().unwrap();
+    assert_eq!(r.states.get(1), Some(&2));
+    assert_eq!(r.states.get(4), Some(&1));
+}
+
+#[test]
+fn envelope_batch_of_one_streams_eagerly() {
+    // The other extreme: flush on every envelope.
+    let config = EngineConfig {
+        envelope_batch: 1,
+        ..EngineConfig::undirected(3)
+    };
+    let engine = Engine::new(Touch, config);
+    engine.try_ingest_pairs(&[(0, 1), (1, 2), (2, 0)]).unwrap();
+    let r = engine.try_finish().unwrap();
+    assert_eq!(r.states.get(0), Some(&2));
+    assert_eq!(r.states.get(1), Some(&2));
+    assert_eq!(r.states.get(2), Some(&2));
+}
