@@ -88,14 +88,12 @@ impl Algorithm for IncTemporal {
             let s = *ctx.state();
             ctx.update_single_nbr(visitor, &s);
         }
-        // We can improve if they arrived by `w`.
-        else if theirs <= w && mine > w {
-            if ctx.apply(lower_to(w)) {
-                // Our arrival changed: some incident interactions may now be
-                // usable; re-examine all neighbours.
-                let s = *ctx.state();
-                ctx.update_nbrs(&s);
-            }
+        // We can improve if they arrived by `w`. When our arrival changes,
+        // some incident interactions may now be usable; re-examine all
+        // neighbours.
+        else if theirs <= w && mine > w && ctx.apply(lower_to(w)) {
+            let s = *ctx.state();
+            ctx.update_nbrs(&s);
         }
     }
 

@@ -1,0 +1,191 @@
+//! Differential property tests for the storage layouts: for every
+//! algorithm, seeded RMAT stream, and shard count, the dense-arena layout
+//! (interning table + dense record slab) must be observationally
+//! identical to the seed's rhh-record layout — byte-identical fixpoints,
+//! identical mid-stream snapshot views (exercising the cold fork side map),
+//! and the same set of trigger firings. The layout is a physical choice;
+//! nothing the engine computes may depend on it.
+
+use proptest::prelude::*;
+use remo_core::{Engine, EngineBuilder, EngineConfig, StorageLayout, VertexId, Weight};
+use remo_gen::RmatConfig;
+use remo_store::hash::mix64;
+
+/// Small seeded RMAT stream, shuffled: dense enough to exercise growth,
+/// promotion, and cross-shard traffic while keeping each case cheap.
+fn rmat_edges(seed: u64) -> Vec<(VertexId, VertexId)> {
+    let cfg = RmatConfig {
+        seed,
+        ..RmatConfig::graph500(6)
+    };
+    let mut edges = remo_gen::rmat::generate(&cfg);
+    remo_gen::stream::shuffle(&mut edges, seed ^ 0x1a77);
+    edges
+}
+
+/// Symmetric per-edge weight (see prop_lattice: reversed occurrences of an
+/// undirected edge must agree for the weighted fixpoint to be unique).
+fn weighted(edges: &[(VertexId, VertexId)]) -> Vec<(VertexId, VertexId, Weight)> {
+    edges
+        .iter()
+        .map(|&(s, d)| (s, d, (mix64(s ^ d) % 13) + 1))
+        .collect()
+}
+
+/// What one run observed, in comparable form.
+#[derive(Debug, PartialEq)]
+struct Observed<S> {
+    snapshot: Vec<(VertexId, S)>,
+    fixpoint: Vec<(VertexId, S)>,
+    fires: Vec<(usize, VertexId)>,
+    num_vertices: usize,
+    num_edges: u64,
+}
+
+/// Runs `make()` over the stream under `layout`: ingest the first half,
+/// quiesce, take a continuous snapshot (forcing per-vertex forks and the
+/// dense layout's cold side map), ingest the rest, and harvest fixpoint +
+/// trigger fires. The mid-run quiescence pins the snapshot boundary so both
+/// layouts observe the same prefix.
+fn observe<A, F>(
+    make: F,
+    layout: StorageLayout,
+    edges: &[(VertexId, VertexId)],
+    weights: Option<&[(VertexId, VertexId, Weight)]>,
+    init: Option<VertexId>,
+    shards: usize,
+) -> Observed<A::State>
+where
+    A: remo_core::Algorithm,
+    A::State: PartialEq + std::fmt::Debug,
+    F: Fn() -> A,
+{
+    let config = EngineConfig::undirected(shards)
+        .with_storage(layout)
+        .with_expected_vertices(64);
+    let mut builder = EngineBuilder::new(make(), config);
+    // Fire-once trigger over a state the algorithms all eventually leave
+    // bottom on; the exact predicate does not matter, only that both
+    // layouts agree on the fire set.
+    builder.trigger("nonbottom", |_v, s: &A::State| *s != A::State::default());
+    let mut engine = builder.build();
+    if let Some(v) = init {
+        engine.try_init_vertex(v).unwrap();
+    }
+    let half = edges.len() / 2;
+    match weights {
+        Some(w) => engine.try_ingest_weighted(&w[..half]).unwrap(),
+        None => engine.try_ingest_pairs(&edges[..half]).unwrap(),
+    }
+    engine.try_await_quiescence().unwrap();
+    let snapshot = engine.try_snapshot().unwrap().into_vec();
+    match weights {
+        Some(w) => engine.try_ingest_weighted(&w[half..]).unwrap(),
+        None => engine.try_ingest_pairs(&edges[half..]).unwrap(),
+    }
+    engine.try_await_quiescence().unwrap();
+    let mut fires: Vec<(usize, VertexId)> = engine
+        .trigger_events()
+        .try_iter()
+        .map(|f| (f.trigger, f.vertex))
+        .collect();
+    fires.sort_unstable();
+    fires.dedup();
+    let result = engine.try_finish().unwrap();
+    assert!(result.failures.is_empty());
+    assert!(result.store_bytes > 0, "store must report a footprint");
+    Observed {
+        snapshot,
+        fixpoint: result.states.into_vec(),
+        fires,
+        num_vertices: result.num_vertices,
+        num_edges: result.num_edges,
+    }
+}
+
+/// Asserts the two layouts observe the same world.
+fn assert_layouts_agree<A, F>(
+    make: F,
+    edges: &[(VertexId, VertexId)],
+    weights: Option<&[(VertexId, VertexId, Weight)]>,
+    init: Option<VertexId>,
+    shards: usize,
+) -> Result<(), TestCaseError>
+where
+    A: remo_core::Algorithm,
+    A::State: PartialEq + std::fmt::Debug,
+    F: Fn() -> A + Copy,
+{
+    let dense = observe::<A, F>(make, StorageLayout::DenseArena, edges, weights, init, shards);
+    let legacy = observe::<A, F>(make, StorageLayout::RhhRecord, edges, weights, init, shards);
+    prop_assert_eq!(
+        &dense.fixpoint,
+        &legacy.fixpoint,
+        "fixpoints diverged (P={})",
+        shards
+    );
+    prop_assert_eq!(
+        &dense.snapshot,
+        &legacy.snapshot,
+        "snapshot views diverged (P={})",
+        shards
+    );
+    prop_assert_eq!(
+        &dense.fires,
+        &legacy.fires,
+        "trigger fire sets diverged (P={})",
+        shards
+    );
+    prop_assert_eq!(dense.num_vertices, legacy.num_vertices);
+    prop_assert_eq!(dense.num_edges, legacy.num_edges);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn bfs_layouts_agree(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        let source = edges[0].0;
+        assert_layouts_agree::<remo_algos::IncBfs, _>(
+            || remo_algos::IncBfs, &edges, None, Some(source), shards)?;
+    }
+
+    #[test]
+    fn sssp_layouts_agree(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        let w = weighted(&edges);
+        let source = edges[0].0;
+        assert_layouts_agree::<remo_algos::IncSssp, _>(
+            || remo_algos::IncSssp, &edges, Some(&w), Some(source), shards)?;
+    }
+
+    #[test]
+    fn cc_layouts_agree(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        assert_layouts_agree::<remo_algos::IncCc, _>(
+            || remo_algos::IncCc, &edges, None, None, shards)?;
+    }
+
+    /// The lattice layers compose with the dense layout: all three layers
+    /// on, both storage layouts, same fixpoint.
+    #[test]
+    fn lattice_on_dense_matches_lattice_on_legacy(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        let source = edges[0].0;
+        let mut states = Vec::new();
+        for layout in [StorageLayout::DenseArena, StorageLayout::RhhRecord] {
+            let config = EngineConfig::undirected(shards)
+                .with_lattice()
+                .with_storage(layout);
+            let engine = Engine::new(remo_algos::IncBfs, config);
+            engine.try_init_vertex(source).unwrap();
+            engine.try_ingest_pairs(&edges).unwrap();
+            engine.try_await_quiescence().unwrap();
+            prop_assert!(engine.counters_balanced());
+            states.push(engine.try_finish().unwrap().states.into_vec());
+        }
+        prop_assert_eq!(&states[0], &states[1], "lattice+dense diverged (P={})", shards);
+    }
+}

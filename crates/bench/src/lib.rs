@@ -208,6 +208,35 @@ pub fn fmt_rate(r: f64) -> String {
     }
 }
 
+/// Formats a byte count in adaptive binary units.
+pub fn fmt_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.1}MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` off Linux or if the field is missing —
+/// callers report it as best-effort telemetry, never a hard number.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 /// Formats a duration in adaptive units.
 pub fn fmt_dur(d: Duration) -> String {
     let s = d.as_secs_f64();
@@ -295,6 +324,12 @@ pub fn json_table(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     out.push_str("{\n");
     out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(name)));
     out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
+    // Process-wide high-water mark at serialization time: comparable across
+    // cells of one bench run, not across separately-invoked benches.
+    out.push_str(&format!(
+        "  \"peak_rss_bytes\": {},\n",
+        peak_rss_bytes().unwrap_or(0)
+    ));
     out.push_str("  \"rows\": [\n");
     for (r, row) in rows.iter().enumerate() {
         out.push_str("    {");
@@ -377,6 +412,23 @@ mod tests {
         assert_eq!(fmt_rate(2_000.0), "2.0K");
         assert_eq!(fmt_rate(3.2e9), "3.20B");
         assert!(fmt_dur(Duration::from_millis(5)).ends_with("ms"));
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(4 * 1024), "4.0KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 / 2), "1.5MiB");
+    }
+
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+            assert!(rss > 0);
+        }
+    }
+
+    #[test]
+    fn json_table_carries_peak_rss() {
+        let j = json_table("t", &["a"], &[vec!["1".to_string()]]);
+        assert!(j.contains("\"peak_rss_bytes\": "));
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! state as well, §III-D) and records changes for trigger evaluation.
 
 use crate::event::Epoch;
-use crate::vertex_state::VertexState;
-use remo_store::{EdgeMeta, VertexId, VertexRecord, Weight};
+use crate::storage::VertexParts;
+use remo_store::{EdgeMeta, VertexId, Weight};
 
 /// A REMO algorithm: user callbacks over the engine's events.
 ///
@@ -206,33 +206,35 @@ pub struct Outgoing<S> {
 }
 
 /// The engine's concrete callback context.
+///
+/// Holds split borrows of the visited vertex's storage
+/// ([`VertexParts`]) rather than a fat record reference, so it works
+/// identically over the dense slab layout and the legacy record layout.
 pub struct EventCtx<'a, S> {
     vertex: VertexId,
-    rec: &'a mut VertexRecord<VertexState<S>>,
+    parts: VertexParts<'a, S>,
     out: &'a mut Vec<Outgoing<S>>,
     epoch: Epoch,
-    /// Whether the current event must also be applied to the snapshot fork.
-    dual_apply: bool,
     /// Set when `apply` reported a state change (drives trigger checks).
     pub(crate) state_changed: bool,
 }
 
 impl<'a, S: Clone> EventCtx<'a, S> {
-    /// Builds a context for one callback invocation. `dual_apply` is true
-    /// when the event's epoch predates the vertex's fork.
+    /// Builds a context for one callback invocation. The storage layout
+    /// resolved the dual-apply question when assembling `parts`:
+    /// `parts.prev` is `Some` exactly when the event's epoch predates the
+    /// vertex's fork.
     pub(crate) fn new(
         vertex: VertexId,
-        rec: &'a mut VertexRecord<VertexState<S>>,
+        parts: VertexParts<'a, S>,
         out: &'a mut Vec<Outgoing<S>>,
         epoch: Epoch,
     ) -> Self {
-        let dual_apply = rec.state.applies_to_prev(epoch);
         EventCtx {
             vertex,
-            rec,
+            parts,
             out,
             epoch,
-            dual_apply,
             state_changed: false,
         }
     }
@@ -240,17 +242,17 @@ impl<'a, S: Clone> EventCtx<'a, S> {
     /// Trigger bookkeeping (engine-internal).
     #[inline]
     pub(crate) fn fired_bits(&self) -> u32 {
-        self.rec.state.fired
+        self.parts.meta.fired
     }
 
     #[inline]
     pub(crate) fn mark_fired(&mut self, bit: u32) {
-        self.rec.state.fired |= bit;
+        self.parts.meta.fired |= bit;
     }
 
     /// Iterates `(neighbour, edge metadata)` pairs (inherent convenience).
     pub fn nbrs(&self) -> impl Iterator<Item = (VertexId, EdgeMeta)> + '_ {
-        self.rec.adj.iter()
+        self.parts.adj.iter()
     }
 }
 
@@ -267,15 +269,13 @@ impl<'a, S: Clone> AlgoCtx<S> for EventCtx<'a, S> {
 
     #[inline]
     fn state(&self) -> &S {
-        &self.rec.state.live
+        self.parts.live
     }
 
     fn apply(&mut self, f: impl Fn(&mut S) -> bool) -> bool {
-        let changed = f(&mut self.rec.state.live);
-        if self.dual_apply {
-            if let Some(prev) = self.rec.state.prev.as_mut() {
-                f(prev);
-            }
+        let changed = f(self.parts.live);
+        if let Some(prev) = self.parts.prev.as_deref_mut() {
+            f(prev);
         }
         self.state_changed |= changed;
         changed
@@ -283,25 +283,25 @@ impl<'a, S: Clone> AlgoCtx<S> for EventCtx<'a, S> {
 
     #[inline]
     fn degree(&self) -> usize {
-        self.rec.adj.degree()
+        self.parts.adj.degree()
     }
 
     fn edge_weight(&self, nbr: VertexId) -> Option<Weight> {
-        self.rec.adj.get(nbr).map(|m| m.weight)
+        self.parts.adj.get(nbr).map(|m| m.weight)
     }
 
     fn nbr_cached(&self, nbr: VertexId) -> Option<u64> {
-        self.rec.adj.get(nbr).map(|m| m.cached)
+        self.parts.adj.get(nbr).map(|m| m.cached)
     }
 
     fn for_each_nbr(&self, f: &mut dyn FnMut(VertexId, EdgeMeta)) {
-        for (n, m) in self.rec.adj.iter() {
+        for (n, m) in self.parts.adj.iter() {
             f(n, m);
         }
     }
 
     fn update_nbrs(&mut self, value: &S) {
-        for (nbr, meta) in self.rec.adj.iter() {
+        for (nbr, meta) in self.parts.adj.iter() {
             self.out.push(Outgoing {
                 target: nbr,
                 value: value.clone(),
@@ -311,7 +311,7 @@ impl<'a, S: Clone> AlgoCtx<S> for EventCtx<'a, S> {
     }
 
     fn update_nbrs_filtered(&mut self, value: &S, keep: impl Fn(VertexId, &EdgeMeta) -> bool) {
-        for (nbr, meta) in self.rec.adj.iter() {
+        for (nbr, meta) in self.parts.adj.iter() {
             if keep(nbr, &meta) {
                 self.out.push(Outgoing {
                     target: nbr,
@@ -334,7 +334,8 @@ impl<'a, S: Clone> AlgoCtx<S> for EventCtx<'a, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use remo_store::Adjacency;
+    use crate::vertex_state::VertexState;
+    use remo_store::{Adjacency, VertexRecord};
 
     fn make_rec(state: u64) -> VertexRecord<VertexState<u64>> {
         VertexRecord {
@@ -346,11 +347,21 @@ mod tests {
         }
     }
 
+    /// Context over a record, mirroring what the legacy layout's `parts`
+    /// hands the shard loop.
+    fn ctx<'a>(
+        rec: &'a mut VertexRecord<VertexState<u64>>,
+        out: &'a mut Vec<Outgoing<u64>>,
+        epoch: Epoch,
+    ) -> EventCtx<'a, u64> {
+        EventCtx::new(1, VertexParts::from_record(rec, epoch), out, epoch)
+    }
+
     #[test]
     fn apply_tracks_changes() {
         let mut rec = make_rec(10);
         let mut out = Vec::new();
-        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        let mut ctx = ctx(&mut rec, &mut out, 0);
         assert!(!ctx.apply(|s| {
             if *s > 20 {
                 *s = 20;
@@ -378,7 +389,7 @@ mod tests {
         rec.state.fork_for(1); // vertex has advanced to epoch 1
         let mut out = Vec::new();
         // Event of epoch 0: predates the fork.
-        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        let mut ctx = ctx(&mut rec, &mut out, 0);
         ctx.apply(|s| {
             if *s > 3 {
                 *s = 3;
@@ -396,7 +407,7 @@ mod tests {
         let mut rec = make_rec(10);
         rec.state.fork_for(1);
         let mut out = Vec::new();
-        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 1);
+        let mut ctx = ctx(&mut rec, &mut out, 1);
         ctx.apply(|s| {
             *s = 2;
             true
@@ -415,7 +426,7 @@ mod tests {
         rec.adj.insert(2, EdgeMeta::weighted(5));
         rec.adj.insert(3, EdgeMeta::weighted(7));
         let mut out = Vec::new();
-        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        let mut ctx = ctx(&mut rec, &mut out, 0);
         ctx.update_nbrs(&42);
         assert_eq!(out.len(), 2);
         let mut got: Vec<(VertexId, u64, Weight)> =
@@ -429,7 +440,7 @@ mod tests {
         let mut rec = make_rec(0);
         rec.adj.insert(9, EdgeMeta::weighted(3));
         let mut out = Vec::new();
-        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        let mut ctx = ctx(&mut rec, &mut out, 0);
         ctx.update_single_nbr(9, &1);
         ctx.update_single_nbr(100, &1); // no edge: weight defaults to 1
         assert_eq!(out[0].weight, 3);
@@ -443,7 +454,7 @@ mod tests {
             rec.adj.insert(n, EdgeMeta::unweighted());
         }
         let mut out = Vec::new();
-        let mut ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        let mut ctx = ctx(&mut rec, &mut out, 0);
         ctx.update_nbrs_filtered(&7, |n, _| n % 2 == 0);
         assert_eq!(out.len(), 5);
         assert!(out.iter().all(|o| o.target % 2 == 0));
@@ -456,7 +467,7 @@ mod tests {
             rec.adj.insert(n, EdgeMeta::unweighted());
         }
         let mut out = Vec::new();
-        let ctx = EventCtx::new(1, &mut rec, &mut out, 0);
+        let ctx = ctx(&mut rec, &mut out, 0);
         let mut count = 0;
         ctx.for_each_nbr(&mut |_, _| count += 1);
         assert_eq!(count, 5);

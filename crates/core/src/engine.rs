@@ -19,9 +19,9 @@
 //! (`quiescence_deadline`, `query_deadline`, `shutdown_deadline`).
 //! [`Engine::try_finish`] degrades gracefully: it harvests state, metrics,
 //! and tables from surviving shards and reports the dead ones in
-//! [`RunResult::failures`] instead of losing the whole run. The original
-//! infallible methods remain as thin deprecated wrappers that panic on
-//! failure, so callers can migrate incrementally.
+//! [`RunResult::failures`] instead of losing the whole run. The `try_*`
+//! methods are the only public surface; the seed's infallible wrappers
+//! (deprecated in the supervision PR) have been removed.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -34,8 +34,9 @@ use remo_store::{VertexId, Weight};
 use crate::algorithm::Algorithm;
 use crate::event::{Envelope, EventKind, TopoEvent};
 use crate::metrics::RunMetrics;
-use crate::shard::{EngineConfig, Message, ShardReport, ShardWorker};
+use crate::shard::{EngineConfig, Message, ShardReport, ShardWorker, StorageLayout};
 use crate::snapshot::Snapshot;
+use crate::storage::{DenseStore, LegacyStore, ShardStore};
 use crate::supervision::{EngineError, FailureBoard, ShardFailure};
 use crate::termination::{Backoff, Deadline, SharedCounters};
 use crate::trigger::{TriggerDef, TriggerFire, MAX_TRIGGERS};
@@ -100,22 +101,35 @@ impl<A: Algorithm> EngineBuilder<A> {
 
         let mut handles = Vec::with_capacity(shards);
         for (id, (_, rx)) in channels.into_iter().enumerate() {
-            let worker = ShardWorker::new(
-                id,
-                Arc::clone(&algo),
-                config.clone(),
-                rx,
-                senders.clone(),
-                Arc::clone(&shared),
-                Arc::clone(&board),
-                Arc::clone(&triggers),
-                trigger_tx.clone(),
-                quiesce_tx.clone(),
-            );
-            let handle = std::thread::Builder::new()
-                .name(format!("remo-shard-{id}"))
-                .spawn(move || worker.run_supervised())
-                .expect("failed to spawn shard thread");
+            // The storage layout is a per-engine choice; each arm
+            // monomorphizes the whole shard loop for its store, so the
+            // hot path carries no dynamic dispatch.
+            let handle = match config.storage {
+                StorageLayout::DenseArena => spawn_shard::<A, DenseStore<A::State>>(
+                    id,
+                    Arc::clone(&algo),
+                    config.clone(),
+                    rx,
+                    senders.clone(),
+                    Arc::clone(&shared),
+                    Arc::clone(&board),
+                    Arc::clone(&triggers),
+                    trigger_tx.clone(),
+                    quiesce_tx.clone(),
+                ),
+                StorageLayout::RhhRecord => spawn_shard::<A, LegacyStore<A::State>>(
+                    id,
+                    Arc::clone(&algo),
+                    config.clone(),
+                    rx,
+                    senders.clone(),
+                    Arc::clone(&shared),
+                    Arc::clone(&board),
+                    Arc::clone(&triggers),
+                    trigger_tx.clone(),
+                    quiesce_tx.clone(),
+                ),
+            };
             handles.push(handle);
         }
 
@@ -129,6 +143,37 @@ impl<A: Algorithm> EngineBuilder<A> {
             config,
         }
     }
+}
+
+/// Spawns one shard thread monomorphized over its storage layout. The
+/// join handle type is layout-independent (`ShardReport` carries a plain
+/// [`remo_store::VertexTable`]), which is what lets [`Engine`] stay
+/// non-generic over storage.
+// Thread-spawn failure is unrecoverable resource exhaustion at startup.
+#[allow(clippy::too_many_arguments, clippy::expect_used)]
+fn spawn_shard<A, St>(
+    id: usize,
+    algo: Arc<A>,
+    config: EngineConfig,
+    rx: Receiver<Message<A::State>>,
+    senders: Vec<Sender<Message<A::State>>>,
+    shared: Arc<SharedCounters>,
+    board: Arc<FailureBoard>,
+    triggers: Arc<Vec<TriggerDef<A::State>>>,
+    trigger_tx: Sender<TriggerFire>,
+    quiesce_tx: Sender<()>,
+) -> JoinHandle<Option<ShardReport<A::State>>>
+where
+    A: Algorithm,
+    St: ShardStore<A::State>,
+{
+    let worker: ShardWorker<A, St> = ShardWorker::new(
+        id, algo, config, rx, senders, shared, board, triggers, trigger_tx, quiesce_tx,
+    );
+    std::thread::Builder::new()
+        .name(format!("remo-shard-{id}"))
+        .spawn(move || worker.run_supervised())
+        .expect("failed to spawn shard thread")
 }
 
 /// Final results of a run.
@@ -145,6 +190,10 @@ pub struct RunResult<S> {
     pub num_edges: u64,
     /// Approximate heap footprint of adjacency storage.
     pub adjacency_bytes: usize,
+    /// Approximate total heap footprint of the per-shard vertex stores
+    /// (interning tables, state/meta slabs, adjacency, fork side maps) —
+    /// the numerator of the bytes-per-edge metric in the store ablation.
+    pub store_bytes: usize,
     /// The per-shard dynamic stores (vertex tables), indexed by shard id.
     /// Lets callers run *static* algorithms over the dynamically built
     /// structure — the paper's Fig. 3 centre bar — or inspect topology.
@@ -579,6 +628,7 @@ impl<A: Algorithm> Engine<A> {
         let mut num_vertices = 0;
         let mut num_edges = 0;
         let mut adjacency_bytes = 0;
+        let mut store_bytes = 0;
         let mut tables: Vec<Option<remo_store::VertexTable<_>>> =
             (0..shards).map(|_| None).collect();
 
@@ -607,6 +657,7 @@ impl<A: Algorithm> Engine<A> {
                     num_vertices += report.num_vertices;
                     num_edges += report.num_edges;
                     adjacency_bytes += report.adjacency_bytes;
+                    store_bytes += report.store_bytes;
                     tables[report.id] = Some(report.table);
                 }
                 // A panicked shard recorded its failure on the board
@@ -630,107 +681,13 @@ impl<A: Algorithm> Engine<A> {
             num_vertices,
             num_edges,
             adjacency_bytes,
+            store_bytes,
             tables: tables
                 .into_iter()
                 .map(|t| t.unwrap_or_default())
                 .collect(),
             failures,
         })
-    }
-
-    // ------------------------------------------------------------------
-    // Legacy infallible API: thin wrappers over the supervised methods,
-    // kept so call sites can migrate incrementally. Each panics where the
-    // seed engine panicked (or hung).
-    // ------------------------------------------------------------------
-
-    /// See [`Self::try_ingest`].
-    #[deprecated(note = "use try_ingest; this wrapper panics if a shard died")]
-    pub fn ingest(&self, streams: Vec<Vec<TopoEvent>>) {
-        if let Err(e) = self.try_ingest(streams) {
-            panic!("shard channel closed: {e}");
-        }
-    }
-
-    /// See [`Self::try_ingest_pairs`].
-    #[deprecated(note = "use try_ingest_pairs; this wrapper panics if a shard died")]
-    pub fn ingest_pairs(&self, pairs: &[(VertexId, VertexId)]) {
-        if let Err(e) = self.try_ingest_pairs(pairs) {
-            panic!("shard channel closed: {e}");
-        }
-    }
-
-    /// See [`Self::try_delete_pairs`].
-    #[deprecated(note = "use try_delete_pairs; this wrapper panics if a shard died")]
-    pub fn delete_pairs(&self, pairs: &[(VertexId, VertexId)]) {
-        if let Err(e) = self.try_delete_pairs(pairs) {
-            panic!("shard channel closed: {e}");
-        }
-    }
-
-    /// See [`Self::try_ingest_weighted`].
-    #[deprecated(note = "use try_ingest_weighted; this wrapper panics if a shard died")]
-    pub fn ingest_weighted(&self, triples: &[(VertexId, VertexId, Weight)]) {
-        if let Err(e) = self.try_ingest_weighted(triples) {
-            panic!("shard channel closed: {e}");
-        }
-    }
-
-    /// See [`Self::try_init_vertex`].
-    #[deprecated(note = "use try_init_vertex; this wrapper panics if a shard died")]
-    pub fn init_vertex(&self, v: VertexId) {
-        if let Err(e) = self.try_init_vertex(v) {
-            panic!("shard channel closed: {e}");
-        }
-    }
-
-    /// See [`Self::try_await_quiescence`].
-    #[deprecated(note = "use try_await_quiescence; this wrapper panics on failure or deadline")]
-    pub fn await_quiescence(&self) {
-        if let Err(e) = self.try_await_quiescence() {
-            panic!("quiescence wait failed: {e}");
-        }
-    }
-
-    /// See [`Self::try_snapshot`].
-    #[deprecated(note = "use try_snapshot; this wrapper panics if a shard died")]
-    pub fn snapshot(&mut self) -> Snapshot<A::State> {
-        match self.try_snapshot() {
-            Ok(s) => s,
-            Err(e) => panic!("shard died during collect: {e}"),
-        }
-    }
-
-    /// See [`Self::try_local_state`].
-    #[deprecated(note = "use try_local_state; this wrapper panics if the owner died")]
-    pub fn local_state(&self, v: VertexId) -> Option<A::State> {
-        match self.try_local_state(v) {
-            Ok(s) => s,
-            Err(e) => panic!("shard died during query: {e}"),
-        }
-    }
-
-    /// See [`Self::try_collect_live`].
-    #[deprecated(note = "use try_collect_live; this wrapper panics if a shard died")]
-    pub fn collect_live(&self) -> Snapshot<A::State> {
-        match self.try_collect_live() {
-            Ok(s) => s,
-            Err(e) => panic!("shard died during collect: {e}"),
-        }
-    }
-
-    /// See [`Self::try_finish`].
-    #[deprecated(note = "use try_finish; this wrapper panics if any shard died")]
-    pub fn finish(self) -> RunResult<A::State> {
-        match self.try_finish() {
-            Ok(r) => {
-                if r.is_degraded() {
-                    panic!("shard thread panicked: {:?}", r.failures);
-                }
-                r
-            }
-            Err(e) => panic!("engine finish failed: {e}"),
-        }
     }
 }
 

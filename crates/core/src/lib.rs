@@ -13,6 +13,10 @@
 //! - Vertices are partitioned over shard threads by consistent hashing
 //!   ([`partition`]); each shard owns its vertex table exclusively and
 //!   communicates only via FIFO channels of visitor messages ([`shard`]).
+//! - Shard-local vertex storage is pluggable ([`storage`]): the default
+//!   dense arena interns vertex ids once per event and direct-indexes
+//!   structure-of-arrays slabs thereafter; the seed's record-per-slot
+//!   Robin Hood map remains selectable for differential testing.
 //! - Topology events (`[src, dst]` pairs) arrive over per-shard in-order
 //!   streams; events on different streams are concurrent ([`event`]).
 //! - Algorithms are sets of callbacks over events ([`algorithm`]:
@@ -66,6 +70,7 @@ pub mod partition;
 pub mod sequential;
 pub mod shard;
 pub mod snapshot;
+pub mod storage;
 pub mod supervision;
 pub mod termination;
 pub mod trigger;
@@ -82,10 +87,11 @@ pub use partition::Partitioner;
 pub use sequential::SequentialEngine;
 pub use shard::{EngineConfig, LatticeConfig};
 pub use snapshot::Snapshot;
+pub use storage::StorageLayout;
 pub use supervision::{EngineError, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER};
 pub use termination::{Backoff, Deadline, TerminationMode};
 pub use trigger::{TriggerFire, MAX_TRIGGERS};
-pub use vertex_state::VertexState;
+pub use vertex_state::{VertexMeta, VertexState};
 
 /// Re-exports of the storage layer's core identifiers.
 pub use remo_store::{EdgeMeta, VertexId, Weight};

@@ -159,7 +159,7 @@ impl<A: Algorithm> SequentialEngine<A> {
                 } else {
                     0
                 };
-                if rec.adj.insert(visitor, EdgeMeta { weight, cached }) {
+                if rec.adj.insert_weight_min(visitor, EdgeMeta { weight, cached }) {
                     self.edges += 1;
                     self.metrics.edges_inserted += 1;
                 } else {
@@ -180,7 +180,12 @@ impl<A: Algorithm> SequentialEngine<A> {
 
         let mut reverse_value = None;
         {
-            let mut ctx = EventCtx::new(target, rec, &mut self.out, 0);
+            let mut ctx = EventCtx::new(
+                target,
+                crate::storage::VertexParts::from_record(rec, 0),
+                &mut self.out,
+                0,
+            );
             match kind {
                 EventKind::Init => {
                     self.metrics.init_events += 1;

@@ -31,12 +31,15 @@ use crate::algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
 use crate::event::{Envelope, Epoch, EventKind, TopoEvent};
 use crate::metrics::ShardMetrics;
 use crate::partition::Partitioner;
+use crate::storage::ShardStore;
 use crate::supervision::{
     panic_payload_string, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER,
 };
 use crate::termination::{SafraState, SharedCounters, TerminationMode, Token, TokenAction};
 use crate::trigger::{TriggerDef, TriggerFire};
 use crate::vertex_state::VertexState;
+
+pub use crate::storage::StorageLayout;
 
 /// Coalescing identity of a pending `Update`: merging is only sound between
 /// envelopes that would invoke the same callback with the same visitor and
@@ -215,6 +218,15 @@ pub struct EngineConfig {
     pub envelope_batch: usize,
     /// Lattice-aware messaging layers (all off = exact FIFO behaviour).
     pub lattice: LatticeConfig,
+    /// Capacity hint: expected total vertex count across the whole graph
+    /// (0 = unknown, start empty). Each shard pre-sizes its vertex store
+    /// for its share, so large ingests stop paying rehash storms from
+    /// empty tables. Benches set this from the known RMAT scale.
+    pub expected_vertices: usize,
+    /// Physical vertex-storage layout per shard (dense slabs by default;
+    /// the seed's record map remains selectable for differential testing
+    /// and the store ablation).
+    pub storage: StorageLayout,
 }
 
 impl EngineConfig {
@@ -231,6 +243,8 @@ impl EngineConfig {
             fault_plan: FaultPlan::default(),
             envelope_batch: 256,
             lattice: LatticeConfig::default(),
+            expected_vertices: 0,
+            storage: StorageLayout::default(),
         }
     }
 
@@ -247,6 +261,18 @@ impl EngineConfig {
         self.lattice = LatticeConfig::all();
         self
     }
+
+    /// Same config with a different vertex-storage layout.
+    pub fn with_storage(mut self, layout: StorageLayout) -> Self {
+        self.storage = layout;
+        self
+    }
+
+    /// Same config expecting roughly `vertices` vertices in total.
+    pub fn with_expected_vertices(mut self, vertices: usize) -> Self {
+        self.expected_vertices = vertices;
+        self
+    }
 }
 
 /// What a shard hands back when it stops.
@@ -257,12 +283,16 @@ pub(crate) struct ShardReport<S> {
     pub num_vertices: usize,
     pub num_edges: u64,
     pub adjacency_bytes: usize,
+    /// Approximate total heap footprint of the shard's vertex store
+    /// (index + state/meta slabs or records + adjacency + forks).
+    pub store_bytes: usize,
     /// The shard's vertex table (dynamic store), for post-run static
     /// algorithms over the dynamic structure (paper Fig. 3 centre bar).
+    /// The dense layout converts into this record form at report time.
     pub table: VertexTable<VertexState<S>>,
 }
 
-pub(crate) struct ShardWorker<A: Algorithm> {
+pub(crate) struct ShardWorker<A: Algorithm, St: ShardStore<A::State>> {
     id: usize,
     algo: Arc<A>,
     config: EngineConfig,
@@ -278,7 +308,7 @@ pub(crate) struct ShardWorker<A: Algorithm> {
     /// True iff `config.fault_plan` targets this shard — precomputed so the
     /// fault-free data path pays one predictable branch, not a plan scan.
     fault_armed: bool,
-    table: VertexTable<VertexState<A::State>>,
+    store: St,
     /// Envelopes this shard sent to itself: bypass the channel, preserve
     /// FIFO (a local queue is trivially in-order per sender).
     local_q: VecDeque<Envelope<A::State>>,
@@ -330,7 +360,7 @@ pub(crate) struct ShardWorker<A: Algorithm> {
     seq: u64,
 }
 
-impl<A: Algorithm> ShardWorker<A> {
+impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
@@ -349,6 +379,10 @@ impl<A: Algorithm> ShardWorker<A> {
         let fault_armed = config.fault_plan.targets(id);
         let lattice = config.lattice;
         let lattice_on = lattice.coalesce || lattice.priority;
+        // Per-shard share of the capacity hint, with 1/8 headroom for the
+        // hash partitioner's imbalance (0 stays 0: start empty).
+        let shard_cap = config.expected_vertices.div_ceil(num_shards);
+        let shard_cap = shard_cap + shard_cap / 8;
         ShardWorker {
             id,
             algo,
@@ -362,7 +396,7 @@ impl<A: Algorithm> ShardWorker<A> {
             trigger_tx,
             quiesce_tx,
             fault_armed,
-            table: VertexTable::new(),
+            store: St::with_capacity(shard_cap),
             local_q: VecDeque::new(),
             streams: VecDeque::new(),
             out: Vec::new(),
@@ -547,7 +581,10 @@ impl<A: Algorithm> ShardWorker<A> {
                 false
             }
             Message::Query { vertex, reply } => {
-                let state = self.table.get(vertex).map(|r| r.state.live.clone());
+                let state = self
+                    .store
+                    .lookup(vertex)
+                    .map(|h| self.store.live(h).clone());
                 let _ = reply.send(state);
                 false
             }
@@ -605,14 +642,15 @@ impl<A: Algorithm> ShardWorker<A> {
         if !self.lattice.dominance {
             return false;
         }
-        let Some(rec) = self.table.get(target) else {
+        let Some(h) = self.store.lookup(target) else {
             return false;
         };
-        if rec.state.applies_to_prev(epoch) {
+        if self.store.applies_to_prev(h, epoch) {
             return false;
         }
-        let mut probe = rec.state.live.clone();
-        A::join(&mut probe, value) && probe == rec.state.live
+        let live = self.store.live(h);
+        let mut probe = live.clone();
+        A::join(&mut probe, value) && probe == *live
     }
 
     /// Attempts to fold `env` into the self-routed envelope staged under
@@ -730,8 +768,11 @@ impl<A: Algorithm> ShardWorker<A> {
             self.note_processed(env.epoch);
             return;
         }
-        let (rec, _) = self.table.ensure(target);
-        if rec.state.fork_for(env.epoch) {
+        // The storage probe of the hot path: intern once per envelope;
+        // every access below is direct indexing off the handle.
+        let h = self.store.intern(target);
+        let (forked, parts) = self.store.fork_and_parts(h, env.epoch);
+        if forked {
             self.metrics.snapshot_forks += 1;
         }
 
@@ -744,7 +785,7 @@ impl<A: Algorithm> ShardWorker<A> {
                 } else {
                     0
                 };
-                let new_edge = rec.adj.insert(
+                let new_edge = parts.adj.insert_weight_min(
                     env.visitor,
                     EdgeMeta {
                         weight: env.weight,
@@ -761,10 +802,12 @@ impl<A: Algorithm> ShardWorker<A> {
             EventKind::Update => {
                 // Cache the visitor's value on our edge to it, if present
                 // (`this.nbrs.set(vis_ID, vis_val)`).
-                rec.adj.set_cached(env.visitor, A::encode_cache(&env.value));
+                parts
+                    .adj
+                    .set_cached(env.visitor, A::encode_cache(&env.value));
             }
             EventKind::Remove | EventKind::ReverseRemove => {
-                if rec.adj.remove(env.visitor).is_some() {
+                if parts.adj.remove(env.visitor).is_some() {
                     self.edges -= 1;
                     self.metrics.edges_removed += 1;
                 }
@@ -772,11 +815,11 @@ impl<A: Algorithm> ShardWorker<A> {
             EventKind::Init => {}
         }
 
-        // User callback (single table borrow: reverse-add value capture and
-        // trigger evaluation happen inside the same record access).
+        // User callback (single store borrow: reverse-add value capture and
+        // trigger evaluation happen inside the same handle access).
         let mut reverse_value: Option<A::State> = None;
         {
-            let mut ctx = EventCtx::new(target, rec, &mut self.out, env.epoch);
+            let mut ctx = EventCtx::new(target, parts, &mut self.out, env.epoch);
             match env.kind {
                 EventKind::Init => {
                     self.metrics.init_events += 1;
@@ -1062,35 +1105,23 @@ impl<A: Algorithm> ShardWorker<A> {
 
     /// Collects this shard's contribution to a snapshot (or the live view).
     fn collect(&mut self, old_epoch: Epoch, live: bool) -> Vec<(VertexId, A::State)> {
-        let default = A::State::default();
-        let mut states = Vec::with_capacity(self.table.num_vertices());
-        for (v, rec) in self.table.iter_mut() {
-            if live {
-                states.push((v, rec.state.live.clone()));
-            } else {
-                let view = rec.state.snapshot_view(old_epoch);
-                // A vertex still at bottom did not exist (algorithmically)
-                // at the snapshot point; omit it, matching what a static
-                // run over the stream prefix would produce.
-                if *view != default {
-                    states.push((v, view.clone()));
-                }
-                rec.state.clear_fork();
-            }
-        }
-        states
+        self.store.collect(old_epoch, live)
     }
 
     fn report(mut self) -> ShardReport<A::State> {
         let states = self.collect(u32::MAX, true);
+        let num_vertices = self.store.num_vertices();
+        let adjacency_bytes = self.store.adjacency_heap_bytes();
+        let store_bytes = self.store.heap_bytes();
         ShardReport {
             id: self.id,
             states,
             metrics: self.metrics,
-            num_vertices: self.table.num_vertices(),
+            num_vertices,
             num_edges: self.edges,
-            adjacency_bytes: self.table.adjacency_heap_bytes(),
-            table: self.table,
+            adjacency_bytes,
+            store_bytes,
+            table: self.store.into_table(),
         }
     }
 }

@@ -1,0 +1,508 @@
+//! Shard storage layouts: how a shard physically holds its vertices.
+//!
+//! The shard event loop is written against `ShardStore`, a minimal
+//! interface with two implementations:
+//!
+//! - `DenseStore` (the default, [`StorageLayout::DenseArena`]): an
+//!   interning table (`RhhMap<VertexId, u32>`, one probe per event) in
+//!   front of a record slab — each entry a packed `(state, meta-word)`
+//!   pair (`HotVertex`) contiguous with its `Adjacency` — plus a
+//!   **cold side map** `LocalIdx -> S` for snapshot forks. Forks exist
+//!   only while a snapshot is draining, so `Option<S>` no longer pads
+//!   every hot record; the hot working set per event is one contiguous
+//!   `size_of::<S>() + 8 + 40`-byte slab record.
+//! - `LegacyStore` ([`StorageLayout::RhhRecord`]): the seed layout — one
+//!   `RhhMap<VertexId, VertexRecord<VertexState<S>>>` with state, fork,
+//!   meta, and adjacency interleaved per record. Kept as a runtime-
+//!   selectable layout (not a cfg) so differential tests and the
+//!   `ablate_store` bench can run both layouts in one process and assert
+//!   byte-identical fixpoints.
+//!
+//! A `ShardStore::Handle` is the layout's name for a vertex *within one
+//! event*: the dense layout's handle is the stable [`LocalIdx`]; the
+//! legacy layout's is the transient Robin Hood slot index, valid only
+//! until the next vertex-set mutation. The shard loop interns once per
+//! envelope and performs every subsequent access through the handle, which
+//! is what makes the dense layout's single-probe discipline real.
+
+use crate::event::Epoch;
+use crate::vertex_state::{VertexMeta, VertexState};
+use remo_store::{Adjacency, DenseVertexTable, LocalIdx, RhhMap, VertexId, VertexRecord,
+    VertexTable};
+
+/// Which physical layout each shard uses for its vertex storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StorageLayout {
+    /// Interning table + dense record slab + cold fork side map.
+    #[default]
+    DenseArena,
+    /// The seed layout: one Robin Hood map of fat records.
+    RhhRecord,
+}
+
+/// Split mutable borrows of one vertex's storage, assembled per event.
+///
+/// `prev` is `Some` exactly when the event being processed must dual-apply
+/// to the snapshot fork (its epoch predates the vertex's fork point) — the
+/// layout resolves `applies_to_prev` once, here, instead of every consumer
+/// re-deriving it.
+pub struct VertexParts<'a, S> {
+    /// Live algorithm state.
+    pub live: &'a mut S,
+    /// The snapshot fork, present only when this event dual-applies.
+    pub prev: Option<&'a mut S>,
+    /// Fork epoch + fired-trigger bits.
+    pub meta: &'a mut VertexMeta,
+    /// Out-edges.
+    pub adj: &'a mut Adjacency,
+}
+
+impl<'a, S> VertexParts<'a, S> {
+    /// Assembles parts from a record-style vertex (legacy layout and the
+    /// sequential reference engine) for an event of `epoch`.
+    pub fn from_record(rec: &'a mut VertexRecord<VertexState<S>>, epoch: Epoch) -> Self {
+        let st = &mut rec.state;
+        let prev = if epoch < st.meta.forked_epoch {
+            st.prev.as_mut()
+        } else {
+            None
+        };
+        VertexParts {
+            live: &mut st.live,
+            prev,
+            meta: &mut st.meta,
+            adj: &mut rec.adj,
+        }
+    }
+}
+
+/// What the shard event loop needs from a storage layout.
+///
+/// The handle discipline: `intern`/`lookup` perform the (single) probe;
+/// every other accessor is direct indexing off the handle. Handles are
+/// valid until the next `intern` — the shard loop never holds one across
+/// envelopes.
+pub(crate) trait ShardStore<S>: Send + 'static
+where
+    S: Clone + Default + PartialEq + Send + 'static,
+{
+    /// Per-event vertex handle (dense index or transient slot index).
+    type Handle: Copy;
+
+    /// A store pre-sized for `vertices` entries (0 = start empty).
+    fn with_capacity(vertices: usize) -> Self;
+
+    /// Handle for `v`, creating default state/meta/adjacency if absent.
+    fn intern(&mut self, v: VertexId) -> Self::Handle;
+
+    /// Handle for `v` if it has a record.
+    fn lookup(&self, v: VertexId) -> Option<Self::Handle>;
+
+    /// Live state at `h`.
+    fn live(&self, h: Self::Handle) -> &S;
+
+    /// True when an event of `epoch` at `h` must dual-apply to the fork.
+    fn applies_to_prev(&self, h: Self::Handle, epoch: Epoch) -> bool;
+
+    /// Forks `h` for `epoch` if this is the first event of a newer epoch
+    /// (capturing the previous state), then hands out split borrows of
+    /// `h`'s state/fork/meta/adjacency. One fused call — the shard loop
+    /// needs both on every envelope, and fusing touches the vertex's meta
+    /// word once instead of twice. Returns `(forked, parts)`.
+    fn fork_and_parts(&mut self, h: Self::Handle, epoch: Epoch) -> (bool, VertexParts<'_, S>);
+
+    /// Number of vertices present.
+    fn num_vertices(&self) -> usize;
+
+    /// Approximate heap footprint of adjacency storage, in bytes.
+    fn adjacency_heap_bytes(&self) -> usize;
+
+    /// Approximate total heap footprint of the store (index + state +
+    /// meta + adjacency + forks), in bytes.
+    fn heap_bytes(&self) -> usize;
+
+    /// Collects `(vertex, state)` pairs: the live view, or the snapshot
+    /// view at `old_epoch` (omitting still-default states and clearing
+    /// forks, matching the snapshot protocol's drain step).
+    fn collect(&mut self, old_epoch: Epoch, live: bool) -> Vec<(VertexId, S)>;
+
+    /// Converts into the record-style table handed to callers via
+    /// `RunResult::tables` (one-time shutdown cost for the dense layout).
+    fn into_table(self) -> VertexTable<VertexState<S>>;
+}
+
+/// The seed layout: one Robin Hood map of fat `VertexRecord`s.
+pub(crate) struct LegacyStore<S> {
+    table: VertexTable<VertexState<S>>,
+}
+
+impl<S> ShardStore<S> for LegacyStore<S>
+where
+    S: Clone + Default + PartialEq + Send + 'static,
+{
+    /// Transient Robin Hood slot index: valid until the next vertex-set
+    /// mutation (adjacency mutations are fine — they touch record values,
+    /// not the map structure).
+    type Handle = usize;
+
+    fn with_capacity(vertices: usize) -> Self {
+        LegacyStore {
+            table: if vertices > 0 {
+                VertexTable::with_capacity(vertices)
+            } else {
+                VertexTable::new()
+            },
+        }
+    }
+
+    #[inline]
+    fn intern(&mut self, v: VertexId) -> usize {
+        self.table.ensure_index(v).0
+    }
+
+    #[inline]
+    fn lookup(&self, v: VertexId) -> Option<usize> {
+        self.table.index_of(v)
+    }
+
+    #[inline]
+    fn live(&self, h: usize) -> &S {
+        &self.table.record_at(h).state.live
+    }
+
+    #[inline]
+    fn applies_to_prev(&self, h: usize, epoch: Epoch) -> bool {
+        self.table.record_at(h).state.applies_to_prev(epoch)
+    }
+
+    #[inline]
+    fn fork_and_parts(&mut self, h: usize, epoch: Epoch) -> (bool, VertexParts<'_, S>) {
+        let rec = self.table.record_at_mut(h);
+        let forked = rec.state.fork_for(epoch);
+        (forked, VertexParts::from_record(rec, epoch))
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.table.num_vertices()
+    }
+
+    fn adjacency_heap_bytes(&self) -> usize {
+        self.table.adjacency_heap_bytes()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // The slot array holds the fat records inline; adjacency spill
+        // storage is on the heap behind it.
+        self.table.record_heap_bytes() + self.table.adjacency_heap_bytes()
+    }
+
+    fn collect(&mut self, old_epoch: Epoch, live: bool) -> Vec<(VertexId, S)> {
+        let default = S::default();
+        let mut states = Vec::with_capacity(self.table.num_vertices());
+        for (v, rec) in self.table.iter_mut() {
+            if live {
+                states.push((v, rec.state.live.clone()));
+            } else {
+                let view = rec.state.snapshot_view(old_epoch);
+                // A vertex still at bottom did not exist (algorithmically)
+                // at the snapshot point; omit it, matching what a static
+                // run over the stream prefix would produce.
+                if *view != default {
+                    states.push((v, view.clone()));
+                }
+                rec.state.clear_fork();
+            }
+        }
+        states
+    }
+
+    fn into_table(self) -> VertexTable<VertexState<S>> {
+        self.table
+    }
+}
+
+/// Per-vertex hot payload of the dense layout: the live state packed with
+/// the 8-byte meta word. Every envelope reads both (the fork check is on
+/// the meta, the callback is on the state), so splitting them into two
+/// slabs costs a second dependent cache line per event for nothing —
+/// measured on the `ablate_store` workload, packing them (and packing the
+/// pair contiguously with the adjacency, see
+/// [`remo_store::DenseVertexTable`]) recovers the record layout's locality
+/// while keeping the slab record at `size_of::<S>() + 8 + 40` bytes
+/// instead of the legacy hash slot's ~88.
+#[derive(Clone, Default)]
+pub(crate) struct HotVertex<S> {
+    live: S,
+    meta: VertexMeta,
+}
+
+/// The dense layout: interning + record slab + cold fork side map.
+pub(crate) struct DenseStore<S> {
+    table: DenseVertexTable<HotVertex<S>>,
+    /// Snapshot forks, keyed by dense index. Populated only between a
+    /// fork and the snapshot drain that clears it — keeping `Option<S>`
+    /// out of the hot records is the point of the dense layout.
+    forks: RhhMap<LocalIdx, S>,
+    /// One-entry intern memo: cascades and hub traffic often deliver
+    /// consecutive envelopes to the same vertex, and a compare beats a
+    /// probe. Only the dense layout can memoize across envelopes — its
+    /// handles are stable for the table's lifetime, whereas the legacy
+    /// layout's slot indices are invalidated by any rehash.
+    last: Option<(VertexId, LocalIdx)>,
+}
+
+impl<S> ShardStore<S> for DenseStore<S>
+where
+    S: Clone + Default + PartialEq + Send + 'static,
+{
+    /// Stable dense index (vertices are never evicted).
+    type Handle = LocalIdx;
+
+    fn with_capacity(vertices: usize) -> Self {
+        DenseStore {
+            table: if vertices > 0 {
+                DenseVertexTable::with_capacity(vertices)
+            } else {
+                DenseVertexTable::new()
+            },
+            forks: RhhMap::new(),
+            last: None,
+        }
+    }
+
+    #[inline]
+    fn intern(&mut self, v: VertexId) -> LocalIdx {
+        if let Some((id, h)) = self.last {
+            if id == v {
+                return h;
+            }
+        }
+        let (h, _) = self.table.intern(v);
+        self.last = Some((v, h));
+        h
+    }
+
+    #[inline]
+    fn lookup(&self, v: VertexId) -> Option<LocalIdx> {
+        self.table.lookup(v)
+    }
+
+    #[inline]
+    fn live(&self, h: LocalIdx) -> &S {
+        &self.table.state(h).live
+    }
+
+    #[inline]
+    fn applies_to_prev(&self, h: LocalIdx, epoch: Epoch) -> bool {
+        // The meta read answers "no" without touching the cold map in the
+        // common (no snapshot draining) case.
+        epoch < self.table.state(h).meta.forked_epoch && self.forks.contains(h)
+    }
+
+    #[inline]
+    fn fork_and_parts(&mut self, h: LocalIdx, epoch: Epoch) -> (bool, VertexParts<'_, S>) {
+        let (hot, adj) = self.table.state_adj_mut(h);
+        let HotVertex { live, meta } = hot;
+        let forked = epoch > meta.forked_epoch;
+        if forked {
+            meta.forked_epoch = epoch;
+            self.forks.insert(h, live.clone());
+        }
+        let prev = if epoch < meta.forked_epoch {
+            self.forks.get_mut(h)
+        } else {
+            None
+        };
+        (
+            forked,
+            VertexParts {
+                live,
+                prev,
+                meta,
+                adj,
+            },
+        )
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.table.num_vertices()
+    }
+
+    fn adjacency_heap_bytes(&self) -> usize {
+        self.table.adjacency_heap_bytes()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.table.heap_bytes() + self.forks.heap_bytes()
+    }
+
+    fn collect(&mut self, old_epoch: Epoch, live: bool) -> Vec<(VertexId, S)> {
+        let default = S::default();
+        let mut states = Vec::with_capacity(self.table.num_vertices());
+        if live {
+            for (v, hot, _) in self.table.iter() {
+                states.push((v, hot.live.clone()));
+            }
+        } else {
+            // Dense-order slab walk; the cold map is probed only for
+            // vertices whose meta says they forked past the boundary.
+            for (i, (v, hot, _)) in self.table.iter().enumerate() {
+                let view = if hot.meta.forked_epoch > old_epoch {
+                    self.forks.get(i as LocalIdx).unwrap_or(&hot.live)
+                } else {
+                    &hot.live
+                };
+                if *view != default {
+                    states.push((v, view.clone()));
+                }
+            }
+            // The snapshot drain retires every outstanding fork at once.
+            self.forks.clear();
+        }
+        states
+    }
+
+    fn into_table(mut self) -> VertexTable<VertexState<S>> {
+        let (ids, hots, adjs) = self.table.into_parts();
+        let mut table = VertexTable::with_capacity(ids.len());
+        for (i, ((v, hot), adj)) in ids.into_iter().zip(hots).zip(adjs).enumerate() {
+            let prev = self.forks.remove(i as LocalIdx);
+            let rec = VertexState {
+                live: hot.live,
+                prev,
+                meta: hot.meta,
+            };
+            table.insert_record(v, rec, adj);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<St: ShardStore<u64>>() {
+        let mut st = St::with_capacity(8);
+        let h = st.intern(42);
+        assert_eq!(st.num_vertices(), 1);
+        assert_eq!(*st.live(h), 0);
+        {
+            let (forked, parts) = st.fork_and_parts(h, 0);
+            assert!(!forked, "epoch 0 never forks");
+            *parts.live = 7;
+            parts.meta.fired |= 1;
+        }
+        let h = st.lookup(42).unwrap_or_else(|| unreachable!());
+        assert_eq!(*st.live(h), 7);
+
+        // Fork at epoch 1, advance live, check dual-apply visibility.
+        {
+            let (forked, parts) = st.fork_and_parts(h, 1);
+            assert!(forked, "first event of a new epoch forks");
+            *parts.live = 9;
+            assert!(parts.prev.is_none(), "new-epoch event spares the fork");
+            assert_eq!(parts.meta.fired, 1, "fired bits survive the fork");
+        }
+        assert!(st.applies_to_prev(h, 0));
+        assert!(!st.applies_to_prev(h, 1));
+        {
+            let (forked, parts) = st.fork_and_parts(h, 1);
+            assert!(!forked, "same epoch must not re-fork");
+            assert!(parts.prev.is_none());
+        }
+        {
+            let (forked, parts) = st.fork_and_parts(h, 0);
+            assert!(!forked);
+            assert_eq!(parts.prev.as_deref().copied(), Some(7));
+        }
+
+        // Snapshot collect sees the fork, then clears it.
+        let snap = st.collect(0, false);
+        assert_eq!(snap, vec![(42, 7)]);
+        assert!(!st.applies_to_prev(h, 0), "fork cleared by the drain");
+        let live = st.collect(u32::MAX, true);
+        assert_eq!(live, vec![(42, 9)]);
+
+        // Default-state vertices are omitted from snapshots but present in
+        // the live collection and the converted table.
+        let h2 = st.intern(100);
+        let _ = h2;
+        let snap = st.collect(5, false);
+        assert_eq!(snap, vec![(42, 9)]);
+        let table = st.into_table();
+        assert_eq!(table.num_vertices(), 2);
+        let rec = table.get(42).unwrap_or_else(|| unreachable!());
+        assert_eq!(rec.state.live, 9);
+        assert_eq!(rec.state.meta.fired, 1);
+    }
+
+    fn exercise_fused<St: ShardStore<u64>>() {
+        let mut st = St::with_capacity(0);
+        let h = st.intern(7);
+        {
+            let (forked, parts) = st.fork_and_parts(h, 0);
+            assert!(!forked, "epoch 0 never forks");
+            *parts.live = 3;
+        }
+        let (forked, _) = st.fork_and_parts(h, 1);
+        assert!(forked, "first event of a new epoch forks");
+        let (forked, parts) = st.fork_and_parts(h, 1);
+        assert!(!forked, "same epoch must not re-fork");
+        assert!(parts.prev.is_none(), "new-epoch event spares the fork");
+        let (forked, parts) = st.fork_and_parts(h, 0);
+        assert!(!forked);
+        assert_eq!(
+            parts.prev.as_deref().copied(),
+            Some(3),
+            "old-epoch event dual-applies to the fork"
+        );
+    }
+
+    #[test]
+    fn dense_store_semantics() {
+        exercise::<DenseStore<u64>>();
+        exercise_fused::<DenseStore<u64>>();
+    }
+
+    #[test]
+    fn legacy_store_semantics() {
+        exercise::<LegacyStore<u64>>();
+        exercise_fused::<LegacyStore<u64>>();
+    }
+
+    #[test]
+    fn dense_intern_memo_is_transparent() {
+        let mut st: DenseStore<u64> = DenseStore::with_capacity(0);
+        let a = st.intern(5);
+        assert_eq!(st.intern(5), a, "memo hit");
+        let b = st.intern(9);
+        assert_ne!(a, b);
+        assert_eq!(st.intern(5), a, "probe after memo miss");
+        assert_eq!(st.intern(9), b);
+        assert_eq!(st.num_vertices(), 2);
+    }
+
+    #[test]
+    fn dense_into_table_preserves_outstanding_fork() {
+        let mut st: DenseStore<u64> = DenseStore::with_capacity(0);
+        let h = st.intern(5);
+        *st.fork_and_parts(h, 0).1.live = 3;
+        *st.fork_and_parts(h, 1).1.live = 4;
+        let table = st.into_table();
+        let rec = table.get(5).unwrap_or_else(|| unreachable!());
+        assert_eq!(rec.state.live, 4);
+        assert_eq!(rec.state.prev, Some(3));
+        assert_eq!(rec.state.meta.forked_epoch, 1);
+    }
+
+    #[test]
+    fn dense_edges_flow_through_parts() {
+        use remo_store::EdgeMeta;
+        let mut st: DenseStore<u64> = DenseStore::with_capacity(0);
+        let h = st.intern(1);
+        st.fork_and_parts(h, 0).1.adj.insert(2, EdgeMeta::weighted(4));
+        assert_eq!(st.fork_and_parts(h, 0).1.adj.degree(), 1);
+        assert!(st.adjacency_heap_bytes() < st.heap_bytes());
+    }
+}

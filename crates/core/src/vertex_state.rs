@@ -5,8 +5,27 @@
 //! an event of a newer epoch it forks `prev = live.clone()`; old-epoch
 //! events thereafter apply to *both* versions, new-epoch events only to
 //! `live`. A fired-triggers bitmask implements at-most-once trigger firing.
+//!
+//! The epoch and bitmask live together in the packed [`VertexMeta`] (8
+//! bytes) so the dense storage layout can keep them in their own slab — the
+//! hot path touches meta on every event, while the fork (`prev`) is cold
+//! and lives out-of-line there (see `crate::storage`). [`VertexState`] is
+//! the record-style composition of the two plus the inline fork, used by
+//! the legacy rhh-record layout and the sequential reference engine.
 
 use crate::event::Epoch;
+
+/// Packed per-vertex engine metadata: the snapshot fork epoch and the
+/// fired-triggers bitmask. 8 bytes, `Copy`, no algorithm state — exactly
+/// what the dense layout stores in its meta slab.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VertexMeta {
+    /// Epoch the vertex has forked up to: events with `epoch >
+    /// forked_epoch` trigger a fork.
+    pub forked_epoch: Epoch,
+    /// Bitmask of triggers that already fired for this vertex.
+    pub fired: u32,
+}
 
 /// Engine wrapper around an algorithm's vertex state `S`.
 #[derive(Debug, Clone, Default)]
@@ -16,20 +35,17 @@ pub struct VertexState<S> {
     /// Forked previous-epoch state, present only while a snapshot that
     /// includes this vertex is being drained.
     pub prev: Option<S>,
-    /// Epoch the vertex has forked up to: events with `epoch >
-    /// forked_epoch` trigger a fork.
-    pub forked_epoch: Epoch,
-    /// Bitmask of triggers that already fired for this vertex.
-    pub fired: u32,
+    /// Fork epoch + fired-triggers bitmask.
+    pub meta: VertexMeta,
 }
 
 impl<S: Clone> VertexState<S> {
     /// Ensures the vertex is forked for `event_epoch`: on the first event of
     /// a newer epoch, capture `prev`. Returns `true` if a fork happened.
     pub fn fork_for(&mut self, event_epoch: Epoch) -> bool {
-        if event_epoch > self.forked_epoch {
+        if event_epoch > self.meta.forked_epoch {
             self.prev = Some(self.live.clone());
-            self.forked_epoch = event_epoch;
+            self.meta.forked_epoch = event_epoch;
             true
         } else {
             false
@@ -40,13 +56,13 @@ impl<S: Clone> VertexState<S> {
     /// forked previous state (i.e. it belongs to an epoch older than the
     /// fork point and a fork exists).
     pub fn applies_to_prev(&self, event_epoch: Epoch) -> bool {
-        self.prev.is_some() && event_epoch < self.forked_epoch
+        self.prev.is_some() && event_epoch < self.meta.forked_epoch
     }
 
     /// The state a snapshot of `old_epoch` should report: the fork if the
     /// vertex advanced past the boundary, otherwise the live state.
     pub fn snapshot_view(&self, old_epoch: Epoch) -> &S {
-        if self.forked_epoch > old_epoch {
+        if self.meta.forked_epoch > old_epoch {
             self.prev.as_ref().unwrap_or(&self.live)
         } else {
             &self.live
@@ -62,6 +78,17 @@ impl<S: Clone> VertexState<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn meta_is_small_and_copy() {
+        assert_eq!(std::mem::size_of::<VertexMeta>(), 8);
+        let m = VertexMeta {
+            forked_epoch: 3,
+            fired: 0b101,
+        };
+        let n = m; // Copy
+        assert_eq!(m, n);
+    }
 
     #[test]
     fn fork_happens_once_per_epoch() {

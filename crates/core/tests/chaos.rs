@@ -326,14 +326,17 @@ fn fault_free_run_is_clean_under_supervised_api() {
     assert_eq!(total.envelopes_dropped, 0);
 }
 
-/// The deprecated infallible wrappers still work for fault-free runs.
-#[allow(deprecated)]
+/// The legacy rhh-record storage layout remains selectable and behaves
+/// identically to the default dense arena through the supervised API.
 #[test]
-fn legacy_infallible_wrappers_still_work() {
-    let engine = Engine::new(Degree, EngineConfig::undirected(2));
-    engine.ingest_pairs(&[(0, 1), (1, 2)]);
-    engine.await_quiescence();
-    assert_eq!(engine.local_state(1), Some(2));
-    let result = engine.finish();
+fn legacy_rhh_record_layout_still_works() {
+    use remo_core::StorageLayout;
+    let config = EngineConfig::undirected(2).with_storage(StorageLayout::RhhRecord);
+    let engine = Engine::new(Degree, config);
+    engine.try_ingest_pairs(&[(0, 1), (1, 2)]).unwrap();
+    engine.try_await_quiescence().unwrap();
+    assert_eq!(engine.try_local_state(1).unwrap(), Some(2));
+    let result = engine.try_finish().unwrap();
     assert_eq!(result.states.get(1), Some(&2));
+    assert!(result.store_bytes > 0);
 }

@@ -110,6 +110,46 @@ impl Adjacency {
         }
     }
 
+    /// Inserts the edge `-> nbr`, keeping the **minimum** weight across
+    /// re-adds (the cached value is still refreshed). Returns `true` when
+    /// the edge is new.
+    ///
+    /// This is the engine's topology-maintenance entry point: §II-B only
+    /// supports edge updates "limited to reducing edge weight", and making
+    /// the surviving weight the min of everything ever added keeps the
+    /// final topology deterministic when the two orientations of an
+    /// undirected edge carry different weights and race in from different
+    /// shards' streams (plain last-wins [`Adjacency::insert`] would leave
+    /// whichever arrived last — an arrival-order artifact).
+    pub fn insert_weight_min(&mut self, nbr: VertexId, meta: EdgeMeta) -> bool {
+        match self {
+            Adjacency::Compact(v) => {
+                if let Some(slot) = v.iter_mut().find(|(n, _)| *n == nbr) {
+                    slot.1 = EdgeMeta {
+                        weight: slot.1.weight.min(meta.weight),
+                        cached: meta.cached,
+                    };
+                    return false;
+                }
+                v.push((nbr, meta));
+                if v.len() > PROMOTE_DEGREE {
+                    self.promote();
+                }
+                true
+            }
+            Adjacency::Table(t) => {
+                if let Some(slot) = t.get_mut(nbr) {
+                    slot.weight = slot.weight.min(meta.weight);
+                    slot.cached = meta.cached;
+                    false
+                } else {
+                    t.insert(nbr, meta);
+                    true
+                }
+            }
+        }
+    }
+
     /// Removes the edge `-> nbr`, returning its metadata if it existed.
     /// (Used by the decremental extension; the core paper is add-only.)
     pub fn remove(&mut self, nbr: VertexId) -> Option<EdgeMeta> {
@@ -212,6 +252,39 @@ mod tests {
         assert!(!a.insert(7, EdgeMeta::weighted(9)));
         assert_eq!(a.degree(), 1);
         assert_eq!(a.get(7).unwrap().weight, 9);
+    }
+
+    #[test]
+    fn insert_weight_min_keeps_cheapest_weight() {
+        let mut a = Adjacency::new();
+        assert!(a.insert_weight_min(7, EdgeMeta::weighted(5)));
+        assert!(!a.insert_weight_min(7, EdgeMeta::weighted(9)));
+        assert_eq!(a.get(7).unwrap().weight, 5, "re-add must not raise");
+        assert!(!a.insert_weight_min(7, EdgeMeta::weighted(2)));
+        assert_eq!(a.get(7).unwrap().weight, 2, "reduction applies");
+        // The cached value still refreshes on every re-add.
+        assert!(!a.insert_weight_min(
+            7,
+            EdgeMeta {
+                weight: 8,
+                cached: 42
+            }
+        ));
+        let m = a.get(7).unwrap();
+        assert_eq!((m.weight, m.cached), (2, 42));
+    }
+
+    #[test]
+    fn insert_weight_min_in_table_representation() {
+        let mut a = Adjacency::new();
+        for n in 0..(PROMOTE_DEGREE as u64 + 4) {
+            a.insert_weight_min(n, EdgeMeta::weighted(n + 10));
+        }
+        assert!(a.is_promoted());
+        assert!(!a.insert_weight_min(3, EdgeMeta::weighted(1)));
+        assert_eq!(a.get(3).unwrap().weight, 1);
+        assert!(!a.insert_weight_min(3, EdgeMeta::weighted(100)));
+        assert_eq!(a.get(3).unwrap().weight, 1);
     }
 
     #[test]

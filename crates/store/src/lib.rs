@@ -8,6 +8,8 @@
 //! - [`adjacency`]: degree-aware adjacency lists — compact arrays for the
 //!   low-degree majority, Robin Hood tables for heavy hitters.
 //! - [`vertex_table`]: per-shard vertex records (algorithm state + edges).
+//! - [`dense`]: dense vertex interning plus structure-of-arrays slabs, the
+//!   shard hot-path layout (one probe per event, direct indexing after).
 //! - [`csr`]: the static Compressed Sparse Row graph the paper's baselines
 //!   run on (§V-B).
 //! - [`spill`]: the cold tier standing in for NVRAM spill.
@@ -20,6 +22,7 @@
 pub mod adjacency;
 pub mod bitset;
 pub mod csr;
+pub mod dense;
 pub mod hash;
 pub mod rhh;
 pub mod spill;
@@ -36,6 +39,7 @@ pub type Weight = u64;
 pub use adjacency::{Adjacency, EdgeMeta, PROMOTE_DEGREE};
 pub use bitset::BitSet;
 pub use csr::Csr;
+pub use dense::{DenseVertexTable, InternTable, LocalIdx};
 pub use rhh::RhhMap;
 pub use spill::{SpillStore, TieredAdjacency};
 pub use vertex_table::{VertexRecord, VertexTable};

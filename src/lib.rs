@@ -49,7 +49,7 @@ pub mod prelude {
     };
     pub use remo_core::{
         AlgoCtx, Algorithm, Engine, EngineBuilder, EngineConfig, EventCtx, Pair, SequentialEngine,
-        Snapshot, TerminationMode, TopoEvent, TriggerFire, VertexId, Weight,
+        Snapshot, StorageLayout, TerminationMode, TopoEvent, TriggerFire, VertexId, Weight,
     };
     pub use remo_gen::{Dataset, RmatConfig};
 }
