@@ -1,0 +1,214 @@
+//! Differential property tests for the data-plane transports: for every
+//! algorithm, seeded RMAT stream, shard count, and storage layout, the
+//! SPSC lane-mesh transport must be observationally identical to the
+//! seed's channel transport — byte-identical fixpoints, identical
+//! mid-stream snapshot views, and the same set of trigger firings. The
+//! transport is a physical choice; nothing the engine computes may depend
+//! on whether a batch rode a lane, fell back to the channel, or woke a
+//! parked receiver.
+
+use proptest::prelude::*;
+use remo_core::{
+    Engine, EngineBuilder, EngineConfig, StorageLayout, TransportMode, VertexId, Weight,
+};
+use remo_gen::RmatConfig;
+use remo_store::hash::mix64;
+
+/// Small seeded RMAT stream, shuffled: dense enough to exercise batching,
+/// lane traffic, recycling, and cross-shard fan-out while keeping each
+/// case cheap.
+fn rmat_edges(seed: u64) -> Vec<(VertexId, VertexId)> {
+    let cfg = RmatConfig {
+        seed,
+        ..RmatConfig::graph500(6)
+    };
+    let mut edges = remo_gen::rmat::generate(&cfg);
+    remo_gen::stream::shuffle(&mut edges, seed ^ 0x7a3e);
+    edges
+}
+
+/// Symmetric per-edge weight (see prop_lattice: reversed occurrences of an
+/// undirected edge must agree for the weighted fixpoint to be unique).
+fn weighted(edges: &[(VertexId, VertexId)]) -> Vec<(VertexId, VertexId, Weight)> {
+    edges
+        .iter()
+        .map(|&(s, d)| (s, d, (mix64(s ^ d) % 13) + 1))
+        .collect()
+}
+
+/// What one run observed, in comparable form.
+#[derive(Debug, PartialEq)]
+struct Observed<S> {
+    snapshot: Vec<(VertexId, S)>,
+    fixpoint: Vec<(VertexId, S)>,
+    fires: Vec<(usize, VertexId)>,
+    num_vertices: usize,
+    num_edges: u64,
+}
+
+/// Runs `make()` over the stream under `transport`: ingest the first half,
+/// quiesce, take a continuous snapshot (the epoch barrier must not hang on
+/// parked shards), ingest the rest, and harvest fixpoint + trigger fires.
+/// The mid-run quiescence pins the snapshot boundary so both transports
+/// observe the same prefix.
+fn observe<A, F>(
+    make: F,
+    transport: TransportMode,
+    layout: StorageLayout,
+    edges: &[(VertexId, VertexId)],
+    weights: Option<&[(VertexId, VertexId, Weight)]>,
+    init: Option<VertexId>,
+    shards: usize,
+) -> Observed<A::State>
+where
+    A: remo_core::Algorithm,
+    A::State: PartialEq + std::fmt::Debug,
+    F: Fn() -> A,
+{
+    let config = EngineConfig::undirected(shards)
+        .with_transport(transport)
+        .with_storage(layout)
+        .with_expected_vertices(64);
+    let mut builder = EngineBuilder::new(make(), config);
+    builder.trigger("nonbottom", |_v, s: &A::State| *s != A::State::default());
+    let mut engine = builder.build();
+    if let Some(v) = init {
+        engine.try_init_vertex(v).unwrap();
+    }
+    let half = edges.len() / 2;
+    match weights {
+        Some(w) => engine.try_ingest_weighted(&w[..half]).unwrap(),
+        None => engine.try_ingest_pairs(&edges[..half]).unwrap(),
+    }
+    engine.try_await_quiescence().unwrap();
+    let snapshot = engine.try_snapshot().unwrap().into_vec();
+    match weights {
+        Some(w) => engine.try_ingest_weighted(&w[half..]).unwrap(),
+        None => engine.try_ingest_pairs(&edges[half..]).unwrap(),
+    }
+    engine.try_await_quiescence().unwrap();
+    assert!(engine.counters_balanced());
+    let mut fires: Vec<(usize, VertexId)> = engine
+        .trigger_events()
+        .try_iter()
+        .map(|f| (f.trigger, f.vertex))
+        .collect();
+    fires.sort_unstable();
+    fires.dedup();
+    let result = engine.try_finish().unwrap();
+    assert!(result.failures.is_empty());
+    Observed {
+        snapshot,
+        fixpoint: result.states.into_vec(),
+        fires,
+        num_vertices: result.num_vertices,
+        num_edges: result.num_edges,
+    }
+}
+
+/// Asserts the two transports observe the same world, under `layout`.
+fn assert_transports_agree<A, F>(
+    make: F,
+    layout: StorageLayout,
+    edges: &[(VertexId, VertexId)],
+    weights: Option<&[(VertexId, VertexId, Weight)]>,
+    init: Option<VertexId>,
+    shards: usize,
+) -> Result<(), TestCaseError>
+where
+    A: remo_core::Algorithm,
+    A::State: PartialEq + std::fmt::Debug,
+    F: Fn() -> A + Copy,
+{
+    let lanes = observe::<A, F>(
+        make,
+        TransportMode::Lanes,
+        layout,
+        edges,
+        weights,
+        init,
+        shards,
+    );
+    let channel = observe::<A, F>(
+        make,
+        TransportMode::Channel,
+        layout,
+        edges,
+        weights,
+        init,
+        shards,
+    );
+    prop_assert_eq!(
+        &lanes.fixpoint,
+        &channel.fixpoint,
+        "fixpoints diverged (P={})",
+        shards
+    );
+    prop_assert_eq!(
+        &lanes.snapshot,
+        &channel.snapshot,
+        "snapshot views diverged (P={})",
+        shards
+    );
+    prop_assert_eq!(
+        &lanes.fires,
+        &channel.fires,
+        "trigger fire sets diverged (P={})",
+        shards
+    );
+    prop_assert_eq!(lanes.num_vertices, channel.num_vertices);
+    prop_assert_eq!(lanes.num_edges, channel.num_edges);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn bfs_transports_agree(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        let source = edges[0].0;
+        assert_transports_agree::<remo_algos::IncBfs, _>(
+            || remo_algos::IncBfs, StorageLayout::DenseArena, &edges, None, Some(source), shards)?;
+    }
+
+    #[test]
+    fn sssp_transports_agree(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        let w = weighted(&edges);
+        let source = edges[0].0;
+        assert_transports_agree::<remo_algos::IncSssp, _>(
+            || remo_algos::IncSssp, StorageLayout::DenseArena, &edges, Some(&w), Some(source), shards)?;
+    }
+
+    /// The transport choice composes with the storage layout choice: lanes
+    /// over the legacy rhh-record layout still matches the channel path.
+    #[test]
+    fn cc_transports_agree_on_legacy_layout(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        assert_transports_agree::<remo_algos::IncCc, _>(
+            || remo_algos::IncCc, StorageLayout::RhhRecord, &edges, None, None, shards)?;
+    }
+
+    /// The lattice messaging layers compose with the lane transport: all
+    /// three layers on, both transports, same fixpoint and balanced
+    /// counters (coalesced/dominated envelopes never touch a lane).
+    #[test]
+    fn lattice_on_lanes_matches_lattice_on_channel(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        let source = edges[0].0;
+        let mut states = Vec::new();
+        for transport in [TransportMode::Lanes, TransportMode::Channel] {
+            let config = EngineConfig::undirected(shards)
+                .with_lattice()
+                .with_transport(transport);
+            let engine = Engine::new(remo_algos::IncBfs, config);
+            engine.try_init_vertex(source).unwrap();
+            engine.try_ingest_pairs(&edges).unwrap();
+            engine.try_await_quiescence().unwrap();
+            prop_assert!(engine.counters_balanced());
+            states.push(engine.try_finish().unwrap().states.into_vec());
+        }
+        prop_assert_eq!(&states[0], &states[1], "lattice+lanes diverged (P={})", shards);
+    }
+}

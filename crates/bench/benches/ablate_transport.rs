@@ -1,0 +1,203 @@
+//! Ablation — data-plane transport: MPMC channel vs SPSC lane mesh.
+//!
+//! Every cross-shard envelope batch rides the transport. The seed path
+//! pays an MPMC dequeue on a channel contended by P−1 senders plus the
+//! controller, allocates a fresh `Vec<Envelope>` per `flush()`, and idles
+//! on a fixed `recv_timeout` poll. The lane mesh gives each shard pair a
+//! bounded lock-free SPSC ring (receive = uncontended per-lane poll),
+//! recycles drained batch buffers back to their sender over per-pair
+//! recycle lanes (steady-state `flush()` is allocation-free), and parks
+//! idle shards until a sender unparks them. This harness prices that
+//! choice end-to-end on RMAT BFS and SSSP, asserts the fixpoint is
+//! byte-identical across transports in every cell, and reports the lane
+//! counters (batches shipped, pool hit rate, full-lane fallbacks, wakeups)
+//! alongside wall clock.
+//!
+//! At full scale the harness also asserts the steady-state recycle
+//! invariant `batches_recycled / lane_batches >= 0.9` — the pool, not the
+//! allocator, must be feeding the hot path.
+//!
+//! Run: `cargo bench -p remo-bench --bench ablate_transport`
+
+use std::time::Duration;
+
+use remo_algos::{IncBfs, IncSssp};
+use remo_bench::*;
+use remo_core::{EngineConfig, TransportMode, VertexId, Weight};
+use remo_gen::{stream, RmatConfig};
+use remo_store::hash::mix64;
+
+const SHARDS: usize = 8;
+
+fn transport_grid() -> Vec<(&'static str, TransportMode)> {
+    vec![
+        ("channel", TransportMode::Channel),
+        ("lanes", TransportMode::Lanes),
+    ]
+}
+
+fn config(transport: TransportMode, expected_vertices: usize) -> EngineConfig {
+    EngineConfig::undirected(SHARDS)
+        .with_transport(transport)
+        .with_expected_vertices(expected_vertices)
+}
+
+/// Weight derived from the endpoints only (symmetric), so duplicate and
+/// reversed edges in the stream agree on the undirected edge's weight.
+fn edge_weight(s: VertexId, d: VertexId) -> Weight {
+    (mix64(s ^ d) % 15) + 1
+}
+
+struct Cell {
+    elapsed: Duration,
+    events: u64,
+    lane_batches: u64,
+    batches_recycled: u64,
+    lane_full_fallbacks: u64,
+    unparks: u64,
+    states: Vec<(VertexId, u64)>,
+}
+
+fn run_once(
+    algo_name: &str,
+    transport: TransportMode,
+    expected_vertices: usize,
+    edges: &[(VertexId, VertexId)],
+    weighted: &[(VertexId, VertexId, Weight)],
+    source: VertexId,
+) -> Cell {
+    let cfg = config(transport, expected_vertices);
+    let run = match algo_name {
+        "BFS" => timed_run_with(IncBfs, cfg, edges, &[source]),
+        _ => timed_run_weighted_with(IncSssp, cfg, weighted, &[source]),
+    };
+    let total = run.result.metrics.total();
+    Cell {
+        elapsed: run.elapsed,
+        events: total.events_processed(),
+        lane_batches: total.lane_batches,
+        batches_recycled: total.batches_recycled,
+        lane_full_fallbacks: total.lane_full_fallbacks,
+        unparks: total.unparks,
+        states: run.result.states.into_vec(),
+    }
+}
+
+/// Rep-major sweep keeping each cell's minimum wall-clock (see
+/// ablate_coalescing: interleaving beats rep count against load drift).
+/// Counters and states come from the final rep.
+fn measure_grid(
+    algo_name: &str,
+    grid: &[(&'static str, TransportMode)],
+    expected_vertices: usize,
+    edges: &[(VertexId, VertexId)],
+    weighted: &[(VertexId, VertexId, Weight)],
+    source: VertexId,
+) -> Vec<Cell> {
+    let mut cells: Vec<Option<Cell>> = grid.iter().map(|_| None).collect();
+    for _ in 0..bench_reps() {
+        for (slot, &(_, transport)) in cells.iter_mut().zip(grid) {
+            let mut cell = run_once(
+                algo_name,
+                transport,
+                expected_vertices,
+                edges,
+                weighted,
+                source,
+            );
+            if let Some(prev) = slot.take() {
+                cell.elapsed = cell.elapsed.min(prev.elapsed);
+            }
+            *slot = Some(cell);
+        }
+    }
+    cells.into_iter().map(|c| c.expect("reps >= 1")).collect()
+}
+
+fn main() {
+    let scale = bench_scale();
+    let rmat_scale: u32 = (14 + (scale.log2().round() as i32).clamp(-6, 6)) as u32;
+    let cfg = RmatConfig::graph500(rmat_scale);
+    let mut edges = remo_gen::rmat::generate(&cfg);
+    stream::shuffle(&mut edges, 61);
+    let weighted: Vec<(VertexId, VertexId, Weight)> = edges
+        .iter()
+        .map(|&(s, d)| (s, d, edge_weight(s, d)))
+        .collect();
+    let source = edges[0].0;
+    let expected_vertices = 1usize << rmat_scale;
+
+    let grid = transport_grid();
+    let mut rows = Vec::new();
+    for algo in ["BFS", "SSSP"] {
+        let cells = measure_grid(algo, &grid, expected_vertices, &edges, &weighted, source);
+        let base = &cells[0];
+        for ((transport, mode), cell) in grid.iter().zip(&cells) {
+            assert_eq!(
+                base.states, cell.states,
+                "{algo}/{transport}: fixpoint diverged across transports"
+            );
+            match mode {
+                TransportMode::Channel => assert_eq!(
+                    cell.lane_batches, 0,
+                    "{algo}/{transport}: channel mode must not touch lanes"
+                ),
+                TransportMode::Lanes => {
+                    assert!(
+                        cell.lane_batches > 0,
+                        "{algo}/{transport}: lane mode shipped no lane batches"
+                    );
+                    let ratio = cell.batches_recycled as f64 / cell.lane_batches as f64;
+                    // At smoke scale a run is over before the pool warms up;
+                    // only the committed full-scale artifact asserts it.
+                    if scale >= 1.0 {
+                        assert!(
+                            ratio >= 0.9,
+                            "{algo}/{transport}: pool hit rate {ratio:.3} below steady-state floor"
+                        );
+                    }
+                }
+            }
+            let wall_delta = if std::ptr::eq(base, cell) {
+                "base".to_string()
+            } else {
+                format!(
+                    "{:+.1}%",
+                    100.0 * (cell.elapsed.as_secs_f64() - base.elapsed.as_secs_f64())
+                        / base.elapsed.as_secs_f64().max(1e-9)
+                )
+            };
+            let recycle_rate = if cell.lane_batches == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}%",
+                    100.0 * cell.batches_recycled as f64 / cell.lane_batches as f64
+                )
+            };
+            rows.push(vec![
+                algo.to_string(),
+                transport.to_string(),
+                fmt_dur(cell.elapsed),
+                wall_delta,
+                cell.events.to_string(),
+                cell.lane_batches.to_string(),
+                recycle_rate,
+                cell.lane_full_fallbacks.to_string(),
+                cell.unparks.to_string(),
+            ]);
+        }
+    }
+
+    report(
+        "ablate_transport",
+        &format!(
+            "Ablation: data-plane transport on RMAT{rmat_scale} \
+             ({SHARDS} shards, identical fixpoints verified per cell)"
+        ),
+        &[
+            "Algo", "Transport", "Wall", "dWall", "Events", "LaneB", "Recycle", "Fallb", "Unparks",
+        ],
+        &rows,
+    );
+}

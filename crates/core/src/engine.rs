@@ -34,11 +34,13 @@ use remo_store::{VertexId, Weight};
 use crate::algorithm::Algorithm;
 use crate::event::{Envelope, EventKind, TopoEvent};
 use crate::metrics::RunMetrics;
+use crate::partition::Partitioner;
 use crate::shard::{EngineConfig, Message, ShardReport, ShardWorker, StorageLayout};
 use crate::snapshot::Snapshot;
 use crate::storage::{DenseStore, LegacyStore, ShardStore};
 use crate::supervision::{EngineError, FailureBoard, ShardFailure};
 use crate::termination::{Backoff, Deadline, SharedCounters};
+use crate::transport::{LaneHandles, ParkBoard, TransportMode, MAX_LANE_SHARDS};
 use crate::trigger::{TriggerDef, TriggerFire, MAX_TRIGGERS};
 
 /// Builds an [`Engine`], registering triggers before the shards start.
@@ -99,6 +101,15 @@ impl<A: Algorithm> EngineBuilder<A> {
         let senders: Vec<Sender<Message<A::State>>> =
             channels.iter().map(|(tx, _)| tx.clone()).collect();
 
+        // The lane mesh + park board exist only under the lane transport;
+        // `None` keeps every channel-mode branch in the shard loop free.
+        // Beyond the pending-bitmap's 64-shard width the engine silently
+        // runs the channel transport — same results, no mesh.
+        let lanes: Option<LaneHandles<A::State>> = match config.transport {
+            TransportMode::Lanes if shards <= MAX_LANE_SHARDS => Some(LaneHandles::new(shards)),
+            _ => None,
+        };
+
         let mut handles = Vec::with_capacity(shards);
         for (id, (_, rx)) in channels.into_iter().enumerate() {
             // The storage layout is a per-engine choice; each arm
@@ -116,6 +127,7 @@ impl<A: Algorithm> EngineBuilder<A> {
                     Arc::clone(&triggers),
                     trigger_tx.clone(),
                     quiesce_tx.clone(),
+                    lanes.clone(),
                 ),
                 StorageLayout::RhhRecord => spawn_shard::<A, LegacyStore<A::State>>(
                     id,
@@ -128,6 +140,7 @@ impl<A: Algorithm> EngineBuilder<A> {
                     Arc::clone(&triggers),
                     trigger_tx.clone(),
                     quiesce_tx.clone(),
+                    lanes.clone(),
                 ),
             };
             handles.push(handle);
@@ -140,6 +153,8 @@ impl<A: Algorithm> EngineBuilder<A> {
             handles,
             trigger_rx,
             quiesce_rx,
+            part: Partitioner::new(shards),
+            parks: lanes.map(|l| l.parks),
             config,
         }
     }
@@ -162,13 +177,14 @@ fn spawn_shard<A, St>(
     triggers: Arc<Vec<TriggerDef<A::State>>>,
     trigger_tx: Sender<TriggerFire>,
     quiesce_tx: Sender<()>,
+    lanes: Option<LaneHandles<A::State>>,
 ) -> JoinHandle<Option<ShardReport<A::State>>>
 where
     A: Algorithm,
     St: ShardStore<A::State>,
 {
     let worker: ShardWorker<A, St> = ShardWorker::new(
-        id, algo, config, rx, senders, shared, board, triggers, trigger_tx, quiesce_tx,
+        id, algo, config, rx, senders, shared, board, triggers, trigger_tx, quiesce_tx, lanes,
     );
     std::thread::Builder::new()
         .name(format!("remo-shard-{id}"))
@@ -221,6 +237,11 @@ pub struct Engine<A: Algorithm> {
     handles: Vec<JoinHandle<Option<ShardReport<A::State>>>>,
     trigger_rx: Receiver<TriggerFire>,
     quiesce_rx: Receiver<()>,
+    /// Cached owner map (construction hashes nothing, but per-call
+    /// rebuilding was pure waste on the query paths).
+    part: Partitioner,
+    /// Lane transport only: unpark targets after controller sends.
+    parks: Option<Arc<ParkBoard>>,
     config: EngineConfig,
 }
 
@@ -263,9 +284,27 @@ impl<A: Algorithm> Engine<A> {
     }
 
     fn send_to(&self, shard: usize, msg: Message<A::State>) -> Result<(), EngineError> {
-        self.senders[shard]
+        let sent = self.senders[shard]
             .send(msg)
-            .map_err(|_| self.send_error(shard))
+            .map_err(|_| self.send_error(shard));
+        // Lane transport: the shard may be parked — control traffic must
+        // wake it or wait out a heartbeat.
+        if sent.is_ok() {
+            if let Some(parks) = &self.parks {
+                parks.wake(shard);
+            }
+        }
+        sent
+    }
+
+    /// Unparks every shard (after a broadcast such as a snapshot's epoch
+    /// open or the shutdown fan-out).
+    fn wake_all(&self) {
+        if let Some(parks) = &self.parks {
+            for id in 0..self.config.num_shards {
+                parks.wake(id);
+            }
+        }
     }
 
     /// Injects pre-split event streams: stream `i` becomes shard
@@ -289,25 +328,32 @@ impl<A: Algorithm> Engine<A> {
         Ok(())
     }
 
-    /// Convenience: split an unweighted pair list into one stream per shard
-    /// and ingest (the paper's evaluation methodology, §V-A).
-    pub fn try_ingest_pairs(&self, pairs: &[(VertexId, VertexId)]) -> Result<(), EngineError> {
+    /// Splits `items` round-robin into one stream per shard and ingests —
+    /// the shared body of every `try_ingest_*`/`try_delete_*` convenience
+    /// method (they differ only in how an item becomes a [`TopoEvent`]).
+    fn split_and_ingest<T: Copy>(
+        &self,
+        items: &[T],
+        to_event: impl Fn(T) -> TopoEvent,
+    ) -> Result<(), EngineError> {
         let k = self.config.num_shards;
-        let mut streams: Vec<Vec<TopoEvent>> = (0..k).map(|_| Vec::new()).collect();
-        for (i, &(s, d)) in pairs.iter().enumerate() {
-            streams[i % k].push(TopoEvent::new(s, d));
+        let mut streams: Vec<Vec<TopoEvent>> =
+            (0..k).map(|_| Vec::with_capacity(items.len().div_ceil(k))).collect();
+        for (i, &item) in items.iter().enumerate() {
+            streams[i % k].push(to_event(item));
         }
         self.try_ingest(streams)
     }
 
+    /// Convenience: split an unweighted pair list into one stream per shard
+    /// and ingest (the paper's evaluation methodology, §V-A).
+    pub fn try_ingest_pairs(&self, pairs: &[(VertexId, VertexId)]) -> Result<(), EngineError> {
+        self.split_and_ingest(pairs, |(s, d)| TopoEvent::new(s, d))
+    }
+
     /// Convenience: stream edge **removals** (§VI-B extension).
     pub fn try_delete_pairs(&self, pairs: &[(VertexId, VertexId)]) -> Result<(), EngineError> {
-        let k = self.config.num_shards;
-        let mut streams: Vec<Vec<TopoEvent>> = (0..k).map(|_| Vec::new()).collect();
-        for (i, &(s, d)) in pairs.iter().enumerate() {
-            streams[i % k].push(TopoEvent::removal(s, d));
-        }
-        self.try_ingest(streams)
+        self.split_and_ingest(pairs, |(s, d)| TopoEvent::removal(s, d))
     }
 
     /// Convenience: weighted variant of [`Self::try_ingest_pairs`].
@@ -315,12 +361,7 @@ impl<A: Algorithm> Engine<A> {
         &self,
         triples: &[(VertexId, VertexId, Weight)],
     ) -> Result<(), EngineError> {
-        let k = self.config.num_shards;
-        let mut streams: Vec<Vec<TopoEvent>> = (0..k).map(|_| Vec::new()).collect();
-        for (i, &(s, d, w)) in triples.iter().enumerate() {
-            streams[i % k].push(TopoEvent::weighted(s, d, w));
-        }
-        self.try_ingest(streams)
+        self.split_and_ingest(triples, |(s, d, w)| TopoEvent::weighted(s, d, w))
     }
 
     /// Sends an `Init` event to `v` — e.g. designate the BFS/SSSP source or
@@ -352,7 +393,7 @@ impl<A: Algorithm> Engine<A> {
     }
 
     fn owner(&self, v: VertexId) -> usize {
-        crate::partition::Partitioner::new(self.config.num_shards).owner(v)
+        self.part.owner(v)
     }
 
     /// One supervised wait step: failure first (a dead shard must surface
@@ -448,6 +489,9 @@ impl<A: Algorithm> Engine<A> {
         self.check_liveness(&deadline)?;
         let old = self.shared.epoch.fetch_add(1, Ordering::SeqCst);
         let new = old + 1;
+        // Parked shards learn about the new epoch on their next wakeup —
+        // unpark them all so the ack barrier doesn't wait out heartbeats.
+        self.wake_all();
         // Barrier: every shard must have observed the new epoch, so no
         // further old-epoch stream events can be born.
         for id in 0..self.config.num_shards {
@@ -551,20 +595,21 @@ impl<A: Algorithm> Engine<A> {
     }
 
     /// One reading of every progress counter (injected, epoch, and each
-    /// slot's sent/processed/ingested including the controller's).
-    fn counter_fingerprint(&self) -> Vec<u64> {
-        let mut v = Vec::with_capacity(self.config.num_shards * 5 + 7);
-        v.push(self.shared.injected.load(Ordering::SeqCst));
-        v.push(u64::from(self.shared.epoch.load(Ordering::SeqCst)));
+    /// slot's sent/processed/ingested including the controller's), written
+    /// into `buf` so the settle loop's 1 ms poll reuses one allocation.
+    fn counter_fingerprint_into(&self, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.reserve(self.config.num_shards * 5 + 7);
+        buf.push(self.shared.injected.load(Ordering::SeqCst));
+        buf.push(u64::from(self.shared.epoch.load(Ordering::SeqCst)));
         for id in 0..=self.config.num_shards {
             let s = self.shared.slot(id);
-            v.push(s.sent[0].load(Ordering::SeqCst));
-            v.push(s.sent[1].load(Ordering::SeqCst));
-            v.push(s.processed[0].load(Ordering::SeqCst));
-            v.push(s.processed[1].load(Ordering::SeqCst));
-            v.push(s.ingested.load(Ordering::SeqCst));
+            buf.push(s.sent[0].load(Ordering::SeqCst));
+            buf.push(s.sent[1].load(Ordering::SeqCst));
+            buf.push(s.processed[0].load(Ordering::SeqCst));
+            buf.push(s.processed[1].load(Ordering::SeqCst));
+            buf.push(s.ingested.load(Ordering::SeqCst));
         }
-        v
     }
 
     /// After a shard failure, true quiescence is unreachable (the dead
@@ -576,16 +621,18 @@ impl<A: Algorithm> Engine<A> {
     /// failure was noticed.
     fn settle_survivors(&self) {
         let deadline = Deadline::new(Some(self.config.shutdown_deadline));
-        let mut last = self.counter_fingerprint();
+        let mut last = Vec::new();
+        let mut now = Vec::new();
+        self.counter_fingerprint_into(&mut last);
         let mut stable = 0;
         while stable < 5 && !deadline.expired() {
             std::thread::sleep(Duration::from_millis(1));
-            let now = self.counter_fingerprint();
+            self.counter_fingerprint_into(&mut now);
             if now == last {
                 stable += 1;
             } else {
                 stable = 0;
-                last = now;
+                std::mem::swap(&mut last, &mut now);
             }
         }
     }
@@ -620,6 +667,7 @@ impl<A: Algorithm> Engine<A> {
         for s in &self.senders {
             let _ = s.send(Message::Shutdown);
         }
+        self.wake_all();
 
         let shards = self.config.num_shards;
         let mut states = Vec::new();
@@ -703,6 +751,7 @@ impl<A: Algorithm> Drop for Engine<A> {
         for s in &self.senders {
             let _ = s.send(Message::Shutdown);
         }
+        self.wake_all();
         let deadline = Deadline::new(Some(self.config.shutdown_deadline));
         for h in self.handles.drain(..) {
             let mut backoff = Backoff::probe();

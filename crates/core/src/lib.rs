@@ -12,7 +12,11 @@
 //!
 //! - Vertices are partitioned over shard threads by consistent hashing
 //!   ([`partition`]); each shard owns its vertex table exclusively and
-//!   communicates only via FIFO channels of visitor messages ([`shard`]).
+//!   communicates only via per-sender FIFO batches of visitor messages
+//!   ([`shard`]). The data plane is pluggable ([`transport`]): the default
+//!   lane mesh moves batches over lock-free SPSC rings with pooled buffer
+//!   recycling and event-driven parking; the seed's MPMC channel path
+//!   remains selectable for differential testing.
 //! - Shard-local vertex storage is pluggable ([`storage`]): the default
 //!   dense arena interns vertex ids once per event and direct-indexes
 //!   structure-of-arrays slabs thereafter; the seed's record-per-slot
@@ -73,6 +77,7 @@ pub mod snapshot;
 pub mod storage;
 pub mod supervision;
 pub mod termination;
+pub mod transport;
 pub mod trigger;
 pub mod vertex_state;
 
@@ -90,6 +95,7 @@ pub use snapshot::Snapshot;
 pub use storage::StorageLayout;
 pub use supervision::{EngineError, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER};
 pub use termination::{Backoff, Deadline, TerminationMode};
+pub use transport::TransportMode;
 pub use trigger::{TriggerFire, MAX_TRIGGERS};
 pub use vertex_state::{VertexMeta, VertexState};
 

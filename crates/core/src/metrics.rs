@@ -52,6 +52,20 @@ pub struct ShardMetrics {
     /// Pending `Update` envelopes the priority heap drained ahead of an
     /// earlier-staged envelope — how often best-first actually reordered.
     pub heap_reorders: u64,
+    /// Envelope batches shipped over an SPSC data lane (Lanes transport;
+    /// 0 under the channel transport).
+    pub lane_batches: u64,
+    /// `flush()` calls that reused a pooled batch buffer from a recycle
+    /// lane instead of allocating — `batches_recycled / lane_batches` is
+    /// the pool hit rate the transport ablation asserts on.
+    pub batches_recycled: u64,
+    /// Batches diverted to the channel path because their pair's data
+    /// lane was full (plus the pair's FIFO-handshake tail — see
+    /// `LaneMesh::fallback_consumed`).
+    pub lane_full_fallbacks: u64,
+    /// Times this shard actually unparked a sleeping peer after
+    /// publishing work for it (event-driven wakeups that fired).
+    pub unparks: u64,
 }
 
 impl ShardMetrics {
@@ -85,6 +99,10 @@ impl ShardMetrics {
         self.envelopes_coalesced += other.envelopes_coalesced;
         self.updates_dominated += other.updates_dominated;
         self.heap_reorders += other.heap_reorders;
+        self.lane_batches += other.lane_batches;
+        self.batches_recycled += other.batches_recycled;
+        self.lane_full_fallbacks += other.lane_full_fallbacks;
+        self.unparks += other.unparks;
     }
 }
 
@@ -157,6 +175,23 @@ mod tests {
         assert_eq!(a.envelopes_coalesced, 4);
         assert_eq!(a.updates_dominated, 6);
         assert_eq!(a.heap_reorders, 10);
+    }
+
+    #[test]
+    fn merge_adds_transport_counters() {
+        let mut a = ShardMetrics {
+            lane_batches: 10,
+            batches_recycled: 9,
+            lane_full_fallbacks: 2,
+            unparks: 7,
+            ..Default::default()
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.lane_batches, 20);
+        assert_eq!(a.batches_recycled, 18);
+        assert_eq!(a.lane_full_fallbacks, 4);
+        assert_eq!(a.unparks, 14);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use remo_store::{EdgeMeta, VertexId, VertexTable};
 
 use crate::algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
@@ -36,10 +36,12 @@ use crate::supervision::{
     panic_payload_string, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER,
 };
 use crate::termination::{SafraState, SharedCounters, TerminationMode, Token, TokenAction};
+use crate::transport::{LaneHandles, LaneMesh};
 use crate::trigger::{TriggerDef, TriggerFire};
 use crate::vertex_state::VertexState;
 
 pub use crate::storage::StorageLayout;
+pub use crate::transport::TransportMode;
 
 /// Coalescing identity of a pending `Update`: merging is only sound between
 /// envelopes that would invoke the same callback with the same visitor and
@@ -177,8 +179,30 @@ pub(crate) enum Message<S> {
         vertex: VertexId,
         reply: Sender<Option<S>>,
     },
+    /// Lanes transport only: a data batch diverted to the channel because
+    /// the pair's data lane was full (or the pair was already mid-
+    /// fallback). The receiver must drain data lane `(from, self)` before
+    /// admitting `batch` — every batch in the lane predates this one — and
+    /// acknowledge via `LaneMesh::note_fallback_consumed` afterwards so
+    /// the sender may resume the lane. That discipline is what keeps the
+    /// pair's FIFO intact across the lane→channel→lane round trip.
+    LaneFallback {
+        from: usize,
+        batch: Vec<Envelope<S>>,
+    },
     /// Stop immediately and report.
     Shutdown,
+}
+
+/// How one idle wait ended (see [`ShardWorker::idle_wait`]).
+enum IdleWait<S> {
+    /// A control/data message arrived on the channel.
+    Message(Message<S>),
+    /// Woken (or timed out) with nothing on the channel: loop around and
+    /// re-drain the lanes.
+    Heartbeat,
+    /// Every sender is gone: shut down.
+    Disconnected,
 }
 
 /// Immutable engine configuration shared with every shard.
@@ -227,6 +251,13 @@ pub struct EngineConfig {
     /// the seed's record map remains selectable for differential testing
     /// and the store ablation).
     pub storage: StorageLayout,
+    /// Data-plane transport between shards: the SPSC lane mesh with
+    /// pooled batch buffers and event-driven parking (default), or the
+    /// seed's per-shard MPMC channel, kept selectable for differential
+    /// testing and the transport ablation. Control traffic
+    /// (Stream/Collect/Query/Token/Shutdown) rides the channel either
+    /// way.
+    pub transport: TransportMode,
 }
 
 impl EngineConfig {
@@ -245,6 +276,7 @@ impl EngineConfig {
             lattice: LatticeConfig::default(),
             expected_vertices: 0,
             storage: StorageLayout::default(),
+            transport: TransportMode::default(),
         }
     }
 
@@ -265,6 +297,12 @@ impl EngineConfig {
     /// Same config with a different vertex-storage layout.
     pub fn with_storage(mut self, layout: StorageLayout) -> Self {
         self.storage = layout;
+        self
+    }
+
+    /// Same config with a different data-plane transport.
+    pub fn with_transport(mut self, mode: TransportMode) -> Self {
+        self.transport = mode;
         self
     }
 
@@ -349,6 +387,13 @@ pub(crate) struct ShardWorker<A: Algorithm, St: ShardStore<A::State>> {
     /// Per-destination index into `outboxes` for sender-side coalescing
     /// (cleared on every flush; empty when coalescing is off).
     outbox_index: Vec<PendMap<usize>>,
+    /// Lanes transport: the shared SPSC mesh + park board (`None` under
+    /// the channel transport — every lane branch keys off this).
+    lanes: Option<LaneHandles<A::State>>,
+    /// Per-destination count of batches this shard diverted to the
+    /// channel path; compared against the mesh's `fallback_consumed` to
+    /// decide when the pair may resume its data lane (FIFO handshake).
+    fallback_sent: Vec<u64>,
     /// Local monotone counters, published to this shard's [`ShardSlots`].
     sent_local: [u64; 2],
     processed_local: [u64; 2],
@@ -373,6 +418,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         triggers: Arc<Vec<TriggerDef<A::State>>>,
         trigger_tx: Sender<TriggerFire>,
         quiesce_tx: Sender<()>,
+        lanes: Option<LaneHandles<A::State>>,
     ) -> Self {
         let part = Partitioner::new(config.num_shards);
         let num_shards = config.num_shards;
@@ -415,6 +461,8 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             pend_seq: 0,
             pend_max_popped: 0,
             outbox_index: (0..num_shards).map(|_| PendMap::default()).collect(),
+            lanes,
+            fallback_sent: vec![0; num_shards],
             sent_local: [0; 2],
             processed_local: [0; 2],
             ingested_local: 0,
@@ -478,13 +526,19 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
     /// The worker loop. Returns the shard's final report on shutdown.
     pub(crate) fn run(mut self) -> ShardReport<A::State> {
         use std::sync::atomic::Ordering;
+        if let Some(lanes) = &self.lanes {
+            lanes.parks.register(self.id);
+        }
         loop {
             // Phase 1: drain all queued messages (algorithm events first):
-            // alternate between the inbound channel and the local queue
-            // until both are empty.
+            // alternate between the inbound lanes, the inbound channel,
+            // and the local queue until all are empty.
             let mut did_work = false;
             loop {
                 let mut round = false;
+                if self.drain_lanes() {
+                    round = true;
+                }
                 while let Ok(msg) = self.rx.try_recv() {
                     round = true;
                     if self.dispatch(msg) {
@@ -533,17 +587,56 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             }
 
             // Phase 4: fully idle — flush buffered envelopes, then
-            // termination detection, then park.
+            // termination detection, then wait for work (event-driven
+            // park under the lane transport, timeout poll otherwise).
             self.flush_all();
             self.idle_step();
-            match self.rx.recv_timeout(self.config.idle_park) {
-                Ok(msg) => {
+            match self.idle_wait() {
+                IdleWait::Message(msg) => {
                     if self.dispatch(msg) {
                         return self.report();
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return self.report(),
+                IdleWait::Heartbeat => {}
+                IdleWait::Disconnected => return self.report(),
+            }
+        }
+    }
+
+    /// One idle wait. Under the channel transport this is the seed's
+    /// `recv_timeout` poll. Under the lane transport the shard announces
+    /// sleep, re-checks both inbound paths (the Dekker pairing with
+    /// senders' post-publish [`crate::transport::ParkBoard::wake`]), and
+    /// parks; `idle_park` degrades from the wake latency to a fallback
+    /// heartbeat that keeps Safra tokens circulating and insures against
+    /// the (latency-only) missed-wake window.
+    fn idle_wait(&mut self) -> IdleWait<A::State> {
+        let Some(lanes) = &self.lanes else {
+            return match self.rx.recv_timeout(self.config.idle_park) {
+                Ok(msg) => IdleWait::Message(msg),
+                Err(RecvTimeoutError::Timeout) => IdleWait::Heartbeat,
+                Err(RecvTimeoutError::Disconnected) => IdleWait::Disconnected,
+            };
+        };
+        lanes.parks.announce_sleep(self.id);
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        if lanes.mesh.has_inbound(self.id) {
+            lanes.parks.clear_sleep(self.id);
+            return IdleWait::Heartbeat;
+        }
+        match self.rx.try_recv() {
+            Ok(msg) => {
+                lanes.parks.clear_sleep(self.id);
+                IdleWait::Message(msg)
+            }
+            Err(TryRecvError::Empty) => {
+                std::thread::park_timeout(self.config.idle_park);
+                lanes.parks.clear_sleep(self.id);
+                IdleWait::Heartbeat
+            }
+            Err(TryRecvError::Disconnected) => {
+                lanes.parks.clear_sleep(self.id);
+                IdleWait::Disconnected
             }
         }
     }
@@ -588,8 +681,73 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 let _ = reply.send(state);
                 false
             }
+            Message::LaneFallback { from, mut batch } => {
+                // Per-pair FIFO across the fallback: everything already in
+                // the data lane predates this batch — admit the lane
+                // first, then this batch, then acknowledge so the sender
+                // may resume the lane (the ack's Release pairs with the
+                // sender's Acquire read, ordering its next lane pushes
+                // strictly after this admission).
+                self.drain_lane_from(from);
+                for env in batch.drain(..) {
+                    self.safra.on_receive();
+                    self.admit(env);
+                }
+                if let Some(lanes) = &self.lanes {
+                    lanes.mesh.give_recycled(from, self.id, batch);
+                    lanes.mesh.note_fallback_consumed(from, self.id);
+                }
+                false
+            }
             Message::Shutdown => true,
         }
+    }
+
+    /// Drains every flagged inbound data lane (no-op under the channel
+    /// transport). One bitmap probe covers the empty case — the hot loop
+    /// never scans P lanes to find nothing. Returns whether anything was
+    /// admitted.
+    fn drain_lanes(&mut self) -> bool {
+        let mesh = match &self.lanes {
+            Some(lanes) => Arc::clone(&lanes.mesh),
+            None => return false,
+        };
+        let mut bits = mesh.claim_pending(self.id);
+        if bits == 0 {
+            return false;
+        }
+        let mut any = false;
+        while bits != 0 {
+            let from = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.drain_one_lane(&mesh, from) {
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Drains the data lane from one peer, returning each emptied batch
+    /// buffer to the sender's pool.
+    fn drain_lane_from(&mut self, from: usize) -> bool {
+        let mesh = match &self.lanes {
+            Some(lanes) => Arc::clone(&lanes.mesh),
+            None => return false,
+        };
+        self.drain_one_lane(&mesh, from)
+    }
+
+    fn drain_one_lane(&mut self, mesh: &LaneMesh<A::State>, from: usize) -> bool {
+        let mut any = false;
+        while let Some(mut batch) = mesh.recv(from, self.id) {
+            any = true;
+            for env in batch.drain(..) {
+                self.safra.on_receive();
+                self.admit(env);
+            }
+            mesh.give_recycled(from, self.id, batch);
+        }
+        any
     }
 
     /// Routes one *received* envelope: under dominance filtering, `Update`s
@@ -1040,16 +1198,105 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         }
         self.outbox_index[owner].clear();
         let batch = std::mem::take(&mut self.outboxes[owner]);
-        if let Err(e) = self.senders[owner].send(Message::Batch(batch)) {
-            // Receiver shut down mid-run (engine teardown, or the
+        let Some(lanes) = &self.lanes else {
+            // Channel transport: one MPMC send. A closed channel means the
+            // receiver shut down mid-run (engine teardown, or the
             // destination shard died): retire the envelopes so counters
             // stay balanced, and account for the loss.
-            if let Message::Batch(batch) = e.into_inner() {
-                self.metrics.envelopes_undeliverable += batch.len() as u64;
-                for env in batch {
-                    self.safra.count -= 1;
-                    self.note_processed(env.epoch);
+            if let Err(e) = self.senders[owner].send(Message::Batch(batch)) {
+                if let Message::Batch(batch) = e.into_inner() {
+                    self.retire_batch(batch);
                 }
+            }
+            return;
+        };
+        let mesh = Arc::clone(&lanes.mesh);
+        if self.board.is_failed(owner) {
+            // A dead receiver can never pop its lanes: retire this batch
+            // and whatever is still parked in the lane (quiescence over
+            // the survivors is unreachable while either counts as in
+            // flight).
+            self.retire_batch(batch);
+            self.reclaim_lane(owner);
+            return;
+        }
+        // FIFO handshake tail: while any fallback batch is unacknowledged,
+        // the pair stays on the channel path — a lane push now could
+        // overtake the fallback still queued in the receiver's channel.
+        if self.fallback_sent[owner] != mesh.fallback_consumed(self.id, owner) {
+            self.metrics.lane_full_fallbacks += 1;
+            self.send_fallback(owner, batch);
+            return;
+        }
+        match mesh.send(self.id, owner, batch) {
+            Ok(()) => {
+                self.metrics.lane_batches += 1;
+                // Pool a drained buffer for the next fill — steady-state
+                // flushes allocate nothing.
+                if let Some(buf) = mesh.take_recycled(self.id, owner) {
+                    self.metrics.batches_recycled += 1;
+                    self.outboxes[owner] = buf;
+                }
+                self.wake(owner);
+            }
+            Err(batch) => {
+                self.metrics.lane_full_fallbacks += 1;
+                self.send_fallback(owner, batch);
+            }
+        }
+    }
+
+    /// Lanes transport: ships a batch over the channel because the pair's
+    /// data lane is full (or the pair is mid-handshake). Never blocks,
+    /// never reorders: the receiver drains the lane before admitting it.
+    fn send_fallback(&mut self, owner: usize, batch: Vec<Envelope<A::State>>) {
+        self.fallback_sent[owner] += 1;
+        let msg = Message::LaneFallback {
+            from: self.id,
+            batch,
+        };
+        match self.senders[owner].send(msg) {
+            Ok(()) => self.wake(owner),
+            Err(e) => {
+                if let Message::LaneFallback { batch, .. } = e.into_inner() {
+                    self.retire_batch(batch);
+                }
+                self.reclaim_lane(owner);
+            }
+        }
+    }
+
+    /// Retires envelopes whose receiver is gone: counted undeliverable
+    /// and processed so the termination books stay balanced.
+    fn retire_batch(&mut self, batch: Vec<Envelope<A::State>>) {
+        self.metrics.envelopes_undeliverable += batch.len() as u64;
+        for env in batch {
+            self.safra.count -= 1;
+            self.note_processed(env.epoch);
+        }
+    }
+
+    /// Drains this shard's own data lane to a dead `owner`, retiring the
+    /// in-flight envelopes. See [`crate::transport::LaneMesh::reclaim`]
+    /// for why popping our own lane is sound only once the consumer is
+    /// provably gone (channel disconnect or failure-board record, both
+    /// published strictly after its last pop).
+    fn reclaim_lane(&mut self, owner: usize) {
+        let mesh = match &self.lanes {
+            Some(lanes) => Arc::clone(&lanes.mesh),
+            None => return,
+        };
+        for batch in mesh.reclaim(self.id, owner) {
+            self.retire_batch(batch);
+        }
+    }
+
+    /// Unparks `owner` if it announced sleep (lane transport only); the
+    /// caller must have already published the work being signalled.
+    fn wake(&mut self, owner: usize) {
+        if let Some(lanes) = &self.lanes {
+            if lanes.parks.wake(owner) {
+                self.metrics.unparks += 1;
             }
         }
     }
@@ -1058,6 +1305,18 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
     fn flush_all(&mut self) {
         for owner in 0..self.outboxes.len() {
             self.flush(owner);
+        }
+        // Lanes: a dead destination never drains its inbound lanes, and
+        // `flush` only notices on the next send — sweep here too, so a
+        // panicked shard's lanes drain into the undeliverable accounting
+        // even when nothing more is addressed to it and degraded runs can
+        // settle their counters.
+        if self.lanes.is_some() && self.board.any_failed() {
+            for owner in 0..self.senders.len() {
+                if owner != self.id && self.board.is_failed(owner) {
+                    self.reclaim_lane(owner);
+                }
+            }
         }
     }
 
@@ -1101,6 +1360,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
     fn send_token(&mut self, t: Token) {
         let next = (self.id + 1) % self.config.num_shards;
         let _ = self.senders[next].send(Message::Token(t));
+        // A parked successor must see the token promptly or the ring
+        // stalls for a heartbeat per hop.
+        self.wake(next);
     }
 
     /// Collects this shard's contribution to a snapshot (or the live view).
@@ -1123,5 +1385,212 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             store_bytes,
             table: self.store.into_table(),
         }
+    }
+}
+
+/// Direct regression coverage for the undeliverable-batch path and the
+/// lane transport's sender-side machinery: these drive one `ShardWorker`
+/// by hand (no engine, no threads), which is the only way to pin down the
+/// exact counter movements — chaos runs exercise the same paths but only
+/// observe the aggregate balance.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::DenseStore;
+    use crate::transport::LaneHandles;
+    use crossbeam::channel::unbounded;
+
+    /// Minimal algorithm: default callbacks, `u64` state.
+    struct Noop;
+    impl Algorithm for Noop {
+        type State = u64;
+    }
+
+    struct Fixture {
+        worker: ShardWorker<Noop, DenseStore<u64>>,
+        shared: Arc<SharedCounters>,
+        board: Arc<FailureBoard>,
+        /// Shard 1's inbound channel: dropping it simulates the receiver
+        /// shutting down.
+        peer_rx: Option<Receiver<Message<u64>>>,
+        /// Keep the trigger/quiesce receivers alive for the fixture's
+        /// lifetime (the worker ignores send failures, but a live channel
+        /// matches the engine's wiring).
+        _trigger_rx: Receiver<TriggerFire>,
+        _quiesce_rx: Receiver<()>,
+    }
+
+    /// A two-shard world with shard 0 driven by hand and shard 1 absent
+    /// (only its channel endpoint exists).
+    fn fixture(mode: TransportMode) -> Fixture {
+        let config = EngineConfig::undirected(2).with_transport(mode);
+        let shared = Arc::new(SharedCounters::new(2));
+        let board = Arc::new(FailureBoard::new());
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let (trigger_tx, trigger_rx) = unbounded();
+        let (quiesce_tx, quiesce_rx) = unbounded();
+        let lanes = match mode {
+            TransportMode::Lanes => Some(LaneHandles::new(2)),
+            TransportMode::Channel => None,
+        };
+        let worker = ShardWorker::new(
+            0,
+            Arc::new(Noop),
+            config,
+            rx0,
+            vec![tx0, tx1],
+            Arc::clone(&shared),
+            Arc::clone(&board),
+            Arc::new(Vec::new()),
+            trigger_tx,
+            quiesce_tx,
+            lanes,
+        );
+        Fixture {
+            worker,
+            shared,
+            board,
+            peer_rx: Some(rx1),
+            _trigger_rx: trigger_rx,
+            _quiesce_rx: quiesce_rx,
+        }
+    }
+
+    /// First `n` vertex ids owned by shard 1 (of 2).
+    fn peer_targets(n: usize) -> Vec<VertexId> {
+        let part = Partitioner::new(2);
+        (0u64..).filter(|v| part.owner(*v) == 1).take(n).collect()
+    }
+
+    fn env(target: VertexId) -> Envelope<u64> {
+        Envelope {
+            target,
+            visitor: target,
+            value: 1,
+            weight: 1,
+            kind: EventKind::Update,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn undeliverable_batch_retires_and_balances() {
+        let mut f = fixture(TransportMode::Channel);
+        drop(f.peer_rx.take()); // receiver already shut down
+        for v in peer_targets(10) {
+            f.worker.send_envelope(env(v));
+        }
+        assert_eq!(f.worker.metrics.envelopes_sent, 10);
+        assert!(!f.shared.quiescent_probe(), "buffered envelopes in flight");
+        f.worker.flush_all();
+        assert_eq!(f.worker.metrics.envelopes_undeliverable, 10);
+        assert_eq!(f.worker.safra.count, 0, "Safra count cancelled per envelope");
+        assert_eq!(f.worker.sent_local[0], f.worker.processed_local[0]);
+        assert!(
+            f.shared.quiescent_probe(),
+            "termination books balance after retirement"
+        );
+    }
+
+    #[test]
+    fn dead_receiver_lane_reclaims_into_undeliverable() {
+        let mut f = fixture(TransportMode::Lanes);
+        let targets = peer_targets(6);
+        for &v in &targets[..3] {
+            f.worker.send_envelope(env(v));
+        }
+        f.worker.flush_all();
+        assert_eq!(f.worker.metrics.lane_batches, 1);
+        assert!(!f.shared.quiescent_probe(), "lane batch is in flight");
+
+        // Shard 1 dies: failure recorded, channel endpoint dropped.
+        f.board.record(ShardFailure {
+            id: 1,
+            payload: "test kill".into(),
+            last_epoch: 0,
+        });
+        drop(f.peer_rx.take());
+
+        // The idle sweep drains the dead shard's lane even with nothing
+        // further addressed to it.
+        f.worker.flush_all();
+        assert_eq!(f.worker.metrics.envelopes_undeliverable, 3);
+        assert!(f.shared.quiescent_probe());
+
+        // Later sends to the dead shard retire at flush.
+        for &v in &targets[3..] {
+            f.worker.send_envelope(env(v));
+        }
+        f.worker.flush_all();
+        assert_eq!(f.worker.metrics.envelopes_undeliverable, 6);
+        assert_eq!(f.worker.safra.count, 0);
+        assert!(f.shared.quiescent_probe());
+    }
+
+    #[test]
+    fn full_lane_falls_back_and_handshake_resumes() {
+        let mut f = fixture(TransportMode::Lanes);
+        let mesh = match &f.worker.lanes {
+            Some(lanes) => Arc::clone(&lanes.mesh),
+            None => unreachable!(),
+        };
+        while mesh.send(0, 1, Vec::new()).is_ok() {} // fill the pair's lane
+        let targets = peer_targets(2);
+        f.worker.send_envelope(env(targets[0]));
+        f.worker.flush_all();
+        assert_eq!(f.worker.metrics.lane_full_fallbacks, 1);
+        {
+            let rx = f.peer_rx.as_ref().expect("fixture holds shard 1's rx");
+            match rx.try_recv() {
+                Ok(Message::LaneFallback { from, batch }) => {
+                    assert_eq!(from, 0);
+                    assert_eq!(batch.len(), 1);
+                }
+                _ => panic!("expected a LaneFallback on the channel"),
+            }
+        }
+        // Even with the lane drained, an unacknowledged fallback keeps the
+        // pair on the channel path (lane batches must not overtake it).
+        while mesh.recv(0, 1).is_some() {}
+        f.worker.send_envelope(env(targets[1]));
+        f.worker.flush_all();
+        assert_eq!(f.worker.metrics.lane_full_fallbacks, 2);
+        {
+            let rx = f.peer_rx.as_ref().expect("fixture holds shard 1's rx");
+            assert!(matches!(rx.try_recv(), Ok(Message::LaneFallback { .. })));
+        }
+        // Both acknowledged: the pair resumes its data lane.
+        mesh.note_fallback_consumed(0, 1);
+        mesh.note_fallback_consumed(0, 1);
+        f.worker.send_envelope(env(targets[0]));
+        f.worker.flush_all();
+        assert_eq!(f.worker.metrics.lane_batches, 1);
+        assert_eq!(f.worker.metrics.lane_full_fallbacks, 2);
+    }
+
+    #[test]
+    fn flush_reuses_recycled_buffers() {
+        let mut f = fixture(TransportMode::Lanes);
+        let mesh = match &f.worker.lanes {
+            Some(lanes) => Arc::clone(&lanes.mesh),
+            None => unreachable!(),
+        };
+        let targets = peer_targets(2);
+        f.worker.send_envelope(env(targets[0]));
+        f.worker.flush_all();
+        assert_eq!(f.worker.metrics.lane_batches, 1);
+        assert_eq!(
+            f.worker.metrics.batches_recycled, 1,
+            "the primed pool feeds the very first flush"
+        );
+        // Play the receiver: drain the batch, return the buffer home.
+        let mut b = mesh.recv(0, 1).expect("batch was shipped on the lane");
+        b.clear();
+        mesh.give_recycled(0, 1, b);
+        f.worker.send_envelope(env(targets[1]));
+        f.worker.flush_all();
+        assert_eq!(f.worker.metrics.lane_batches, 2);
+        assert_eq!(f.worker.metrics.batches_recycled, 2, "second flush hit the pool");
     }
 }

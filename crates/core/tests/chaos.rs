@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use remo_core::{
     AlgoCtx, Algorithm, Engine, EngineConfig, EngineError, FaultPlan, LatticeConfig, Partitioner,
-    VertexId, CHAOS_PANIC_MARKER,
+    TransportMode, VertexId, CHAOS_PANIC_MARKER,
 };
 
 /// The paper's §II-A example: count each vertex's degree. Enough to make
@@ -56,6 +56,18 @@ fn lattice_mode() -> LatticeConfig {
     }
 }
 
+/// `REMO_CHAOS_TRANSPORT=channel` pins the suite to the plain channel
+/// data plane (CI runs both): fault containment must hold whether
+/// envelopes travel over SPSC lanes — where a panicked shard's inbound
+/// lanes must drain into the undeliverable accounting — or the seed's
+/// MPMC channel. The default exercises the lane mesh.
+fn transport_mode() -> TransportMode {
+    match std::env::var("REMO_CHAOS_TRANSPORT").as_deref() {
+        Ok("channel") => TransportMode::Channel,
+        _ => TransportMode::Lanes,
+    }
+}
+
 /// First few vertex ids owned by `shard` under a `shards`-way partition.
 fn owned_by(shard: usize, shards: usize) -> Vec<VertexId> {
     let p = Partitioner::new(shards);
@@ -85,6 +97,7 @@ fn chaos_config(plan: FaultPlan) -> EngineConfig {
         query_deadline: Some(Duration::from_secs(5)),
         fault_plan: plan,
         lattice: lattice_mode(),
+        transport: transport_mode(),
         ..EngineConfig::undirected(2)
     }
 }
@@ -216,6 +229,7 @@ fn dropped_envelopes_hit_quiescence_deadline() {
         quiescence_deadline: Some(deadline),
         fault_plan: FaultPlan::drop_on_shard(0, 1.0),
         lattice: lattice_mode(),
+        transport: transport_mode(),
         ..EngineConfig::undirected(2)
     };
     let engine = Engine::new(Degree, config);
@@ -248,6 +262,7 @@ fn delayed_shard_completes_and_reports_fault_metrics() {
     let config = EngineConfig {
         fault_plan: FaultPlan::delay_shard(1, Duration::from_millis(1)),
         lattice: lattice_mode(),
+        transport: transport_mode(),
         ..EngineConfig::undirected(2)
     };
     let engine = Engine::new(Degree, config);
@@ -308,6 +323,7 @@ fn failures_accessor_matches_finish_report() {
 fn fault_free_run_is_clean_under_supervised_api() {
     let config = EngineConfig {
         lattice: lattice_mode(),
+        transport: transport_mode(),
         ..EngineConfig::undirected(2)
     };
     let engine = Engine::new(Degree, config);
@@ -331,7 +347,9 @@ fn fault_free_run_is_clean_under_supervised_api() {
 #[test]
 fn legacy_rhh_record_layout_still_works() {
     use remo_core::StorageLayout;
-    let config = EngineConfig::undirected(2).with_storage(StorageLayout::RhhRecord);
+    let config = EngineConfig::undirected(2)
+        .with_storage(StorageLayout::RhhRecord)
+        .with_transport(transport_mode());
     let engine = Engine::new(Degree, config);
     engine.try_ingest_pairs(&[(0, 1), (1, 2)]).unwrap();
     engine.try_await_quiescence().unwrap();
