@@ -72,7 +72,19 @@ where
             lattice,
             shards
         );
-        states.push(engine.try_finish().unwrap().states.into_vec());
+        let result = engine.try_finish().unwrap();
+        // The per-envelope books must close too: sent = processed +
+        // dominated + undeliverable + dropped, with coalesced/suppressed
+        // envelopes never counted as sent (RunMetrics::verify_balance).
+        let balance = result.metrics.verify_balance();
+        prop_assert!(
+            balance.is_ok(),
+            "balance violated (lattice={}, P={}): {:?}",
+            lattice,
+            shards,
+            balance
+        );
+        states.push(result.states.into_vec());
     }
     prop_assert_eq!(&states[0], &states[1], "lattice run diverged (P={})", shards);
     Ok(())

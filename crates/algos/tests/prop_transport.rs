@@ -97,6 +97,9 @@ where
     fires.dedup();
     let result = engine.try_finish().unwrap();
     assert!(result.failures.is_empty());
+    // Harvested envelope books must close under either transport:
+    // sent = processed + dominated + undeliverable + dropped.
+    result.metrics.verify_balance().unwrap();
     Observed {
         snapshot,
         fixpoint: result.states.into_vec(),
@@ -207,7 +210,16 @@ proptest! {
             engine.try_ingest_pairs(&edges).unwrap();
             engine.try_await_quiescence().unwrap();
             prop_assert!(engine.counters_balanced());
-            states.push(engine.try_finish().unwrap().states.into_vec());
+            let result = engine.try_finish().unwrap();
+            let balance = result.metrics.verify_balance();
+            prop_assert!(
+                balance.is_ok(),
+                "balance violated ({:?}, P={}): {:?}",
+                transport,
+                shards,
+                balance
+            );
+            states.push(result.states.into_vec());
         }
         prop_assert_eq!(&states[0], &states[1], "lattice+lanes diverged (P={})", shards);
     }

@@ -47,7 +47,11 @@ struct Cell {
     elapsed: std::time::Duration,
     events: u64,
     coalesced: u64,
+    /// Receiver-side retires + sender-side self-route suppressions — the
+    /// two halves of dominance filtering (split in `ShardMetrics` because
+    /// only the former are counted as sent; see `verify_balance`).
     dominated: u64,
+    suppressed: u64,
     reorders: u64,
     states: Vec<(VertexId, u64)>,
 }
@@ -69,6 +73,7 @@ fn run_once(
         events: m.events_processed(),
         coalesced: m.envelopes_coalesced,
         dominated: m.updates_dominated,
+        suppressed: m.updates_suppressed,
         reorders: m.heap_reorders,
         states: run.result.states.into_vec(),
     }
@@ -147,6 +152,7 @@ fn main() {
                 ev_delta,
                 cell.coalesced.to_string(),
                 cell.dominated.to_string(),
+                cell.suppressed.to_string(),
                 cell.reorders.to_string(),
             ]);
         }
@@ -160,7 +166,7 @@ fn main() {
         ),
         &[
             "Algo", "Layers", "Wall", "dWall", "Events", "dEvents", "Coalesced", "Dominated",
-            "Reorders",
+            "Suppressed", "Reorders",
         ],
         &rows,
     );

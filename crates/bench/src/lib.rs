@@ -11,12 +11,38 @@
 //! multiplier) and `REMO_BENCH_SHARDS` (comma-separated shard counts) to
 //! dial them.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use remo_core::{
-    AlgoCtx, Algorithm, Engine, EngineConfig, RunResult, VertexId, VertexState, Weight,
+    AlgoCtx, Algorithm, Engine, EngineConfig, LatencyHistogram, RunResult, VertexId, VertexState,
+    Weight,
 };
 use remo_store::VertexTable;
+
+/// Process-wide accumulator of sampled event-service-time measurements
+/// across every timed run of a bench invocation. `json_table` surfaces its
+/// p50/p99/p999 in each `BENCH_*.json`, so every committed artifact
+/// carries the latency shape behind its throughput numbers.
+static SERVICE_HIST: Mutex<LatencyHistogram> = Mutex::new(LatencyHistogram::new());
+
+/// Folds one run's harvested service-time histogram into the accumulator.
+/// Called by every `timed_run*` helper; benches driving engines by hand
+/// can call it themselves.
+pub fn note_service(h: &LatencyHistogram) {
+    SERVICE_HIST
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .merge(h);
+}
+
+/// The accumulated service-time histogram so far.
+pub fn service_hist() -> LatencyHistogram {
+    SERVICE_HIST
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()
+}
 
 /// "CON" in Fig. 5: graph construction with no algorithm hooked in.
 #[derive(Debug, Default, Clone, Copy)]
@@ -56,10 +82,9 @@ pub fn timed_run<A: Algorithm>(
     engine.try_ingest_pairs(edges).unwrap();
     engine.try_await_quiescence().unwrap();
     let elapsed = start.elapsed();
-    TimedRun {
-        result: engine.try_finish().unwrap(),
-        elapsed,
-    }
+    let result = engine.try_finish().unwrap();
+    note_service(&result.metrics.service);
+    TimedRun { result, elapsed }
 }
 
 /// [`timed_run`] with a caller-supplied engine config, for ablations that
@@ -78,10 +103,9 @@ pub fn timed_run_with<A: Algorithm>(
     engine.try_ingest_pairs(edges).unwrap();
     engine.try_await_quiescence().unwrap();
     let elapsed = start.elapsed();
-    TimedRun {
-        result: engine.try_finish().unwrap(),
-        elapsed,
-    }
+    let result = engine.try_finish().unwrap();
+    note_service(&result.metrics.service);
+    TimedRun { result, elapsed }
 }
 
 /// Weighted variant of [`timed_run_with`].
@@ -99,10 +123,9 @@ pub fn timed_run_weighted_with<A: Algorithm>(
     engine.try_ingest_weighted(edges).unwrap();
     engine.try_await_quiescence().unwrap();
     let elapsed = start.elapsed();
-    TimedRun {
-        result: engine.try_finish().unwrap(),
-        elapsed,
-    }
+    let result = engine.try_finish().unwrap();
+    note_service(&result.metrics.service);
+    TimedRun { result, elapsed }
 }
 
 /// Weighted variant of [`timed_run`].
@@ -120,10 +143,9 @@ pub fn timed_run_weighted<A: Algorithm>(
     engine.try_ingest_weighted(edges).unwrap();
     engine.try_await_quiescence().unwrap();
     let elapsed = start.elapsed();
-    TimedRun {
-        result: engine.try_finish().unwrap(),
-        elapsed,
-    }
+    let result = engine.try_finish().unwrap();
+    note_service(&result.metrics.service);
+    TimedRun { result, elapsed }
 }
 
 /// Static top-down BFS **over the dynamic store** (the paper's Fig. 3
@@ -330,6 +352,15 @@ pub fn json_table(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
         "  \"peak_rss_bytes\": {},\n",
         peak_rss_bytes().unwrap_or(0)
     ));
+    // Sampled event-service-time quantiles accumulated over every timed
+    // run of this bench process (zeros if nothing sampled — e.g. a
+    // telemetry-off ablation cell ran alone).
+    let service = service_hist();
+    let (p50, p99, p999) = service.quantiles_us();
+    out.push_str(&format!(
+        "  \"service_time_us\": {{\"samples\": {}, \"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}}},\n",
+        service.count, p50, p99, p999
+    ));
     out.push_str("  \"rows\": [\n");
     for (r, row) in rows.iter().enumerate() {
         out.push_str("    {");
@@ -429,6 +460,20 @@ mod tests {
     fn json_table_carries_peak_rss() {
         let j = json_table("t", &["a"], &[vec!["1".to_string()]]);
         assert!(j.contains("\"peak_rss_bytes\": "));
+    }
+
+    #[test]
+    fn json_table_carries_service_quantiles() {
+        note_service(&{
+            let mut h = LatencyHistogram::new();
+            h.record(1_000);
+            h.record(2_000);
+            h
+        });
+        let j = json_table("t", &["a"], &[vec!["1".to_string()]]);
+        assert!(j.contains("\"service_time_us\": {\"samples\": "));
+        assert!(j.contains("\"p50\": "));
+        assert!(j.contains("\"p999\": "));
     }
 
     #[test]

@@ -39,7 +39,8 @@ use crate::shard::{EngineConfig, Message, ShardReport, ShardWorker, StorageLayou
 use crate::snapshot::Snapshot;
 use crate::storage::{DenseStore, LegacyStore, ShardStore};
 use crate::supervision::{EngineError, FailureBoard, ShardFailure};
-use crate::termination::{Backoff, Deadline, SharedCounters};
+use crate::telemetry::{TelemetryHub, TelemetryShared};
+use crate::termination::{Backoff, Deadline, DetectionTimer, SharedCounters};
 use crate::transport::{LaneHandles, ParkBoard, TransportMode, MAX_LANE_SHARDS};
 use crate::trigger::{TriggerDef, TriggerFire, MAX_TRIGGERS};
 
@@ -90,6 +91,12 @@ impl<A: Algorithm> EngineBuilder<A> {
 
         let shared = Arc::new(SharedCounters::new(shards));
         let board = Arc::new(FailureBoard::new());
+        let tele = Arc::new(TelemetryShared::new(
+            config.telemetry.clone(),
+            shards,
+            Arc::clone(&shared),
+            Arc::clone(&board),
+        ));
         let algo = Arc::new(self.algo);
         let triggers = Arc::new(self.triggers);
         let (trigger_tx, trigger_rx) = unbounded();
@@ -128,6 +135,7 @@ impl<A: Algorithm> EngineBuilder<A> {
                     trigger_tx.clone(),
                     quiesce_tx.clone(),
                     lanes.clone(),
+                    Arc::clone(&tele),
                 ),
                 StorageLayout::RhhRecord => spawn_shard::<A, LegacyStore<A::State>>(
                     id,
@@ -141,6 +149,7 @@ impl<A: Algorithm> EngineBuilder<A> {
                     trigger_tx.clone(),
                     quiesce_tx.clone(),
                     lanes.clone(),
+                    Arc::clone(&tele),
                 ),
             };
             handles.push(handle);
@@ -155,6 +164,7 @@ impl<A: Algorithm> EngineBuilder<A> {
             quiesce_rx,
             part: Partitioner::new(shards),
             parks: lanes.map(|l| l.parks),
+            tele,
             config,
         }
     }
@@ -178,6 +188,7 @@ fn spawn_shard<A, St>(
     trigger_tx: Sender<TriggerFire>,
     quiesce_tx: Sender<()>,
     lanes: Option<LaneHandles<A::State>>,
+    tele: Arc<TelemetryShared>,
 ) -> JoinHandle<Option<ShardReport<A::State>>>
 where
     A: Algorithm,
@@ -185,6 +196,7 @@ where
 {
     let worker: ShardWorker<A, St> = ShardWorker::new(
         id, algo, config, rx, senders, shared, board, triggers, trigger_tx, quiesce_tx, lanes,
+        tele,
     );
     std::thread::Builder::new()
         .name(format!("remo-shard-{id}"))
@@ -242,6 +254,8 @@ pub struct Engine<A: Algorithm> {
     part: Partitioner,
     /// Lane transport only: unpark targets after controller sends.
     parks: Option<Arc<ParkBoard>>,
+    /// Shared telemetry surface (snapshot cells, histograms, recorders).
+    tele: Arc<TelemetryShared>,
     config: EngineConfig,
 }
 
@@ -264,6 +278,24 @@ impl<A: Algorithm> Engine<A> {
     /// Failures recorded so far (empty while every shard is healthy).
     pub fn failures(&self) -> Vec<ShardFailure> {
         self.board.snapshot()
+    }
+
+    /// A coherent cross-shard [`RunMetrics`] reading **right now**, without
+    /// pausing or contending with the shards: each shard's last seqlock
+    /// snapshot-cell publish (at most [`crate::PUBLISH_EVERY`] events
+    /// stale, and exact whenever the shard is idle or finished). Zeros
+    /// when `telemetry.counters` is off. Latency histograms reflect every
+    /// sample recorded so far; `lost_shards` lists shards already dead.
+    pub fn metrics_now(&self) -> RunMetrics {
+        self.tele.snapshot_metrics()
+    }
+
+    /// A cloneable, thread-safe handle onto the engine's live telemetry:
+    /// derived gauges ([`crate::EngineGauges`]), Prometheus text, and
+    /// JSON rendering. The handle stays valid for the life of the engine
+    /// (readers of an engine that has finished see its final counters).
+    pub fn telemetry(&self) -> TelemetryHub {
+        TelemetryHub::new(Arc::clone(&self.tele))
     }
 
     /// True once any shard has died; the engine keeps serving the
@@ -313,6 +345,9 @@ impl<A: Algorithm> Engine<A> {
     /// a destination shard is dead; streams before the dead one were
     /// delivered.
     pub fn try_ingest(&self, streams: Vec<Vec<TopoEvent>>) -> Result<(), EngineError> {
+        // Arm the ingest→fixpoint clock (no-op while already armed, so a
+        // burst of ingests measures burst-start → quiescence).
+        self.tele.mark_ingest();
         for (i, stream) in streams.into_iter().enumerate() {
             let shard = i % self.config.num_shards;
             let n = stream.len() as u64;
@@ -417,12 +452,15 @@ impl<A: Algorithm> Engine<A> {
     /// `quiescence_deadline` cuts the wait short.
     pub fn try_await_quiescence(&self) -> Result<(), EngineError> {
         let deadline = Deadline::new(self.config.quiescence_deadline);
+        let timer = DetectionTimer::begin();
         let mut backoff = Backoff::probe();
         loop {
             self.check_liveness(&deadline)?;
             if self.shared.quiescent_probe() {
                 // Drain any stale announcements for this quiet period.
                 while self.quiesce_rx.try_recv().is_ok() {}
+                self.tele.record_quiesce(timer.elapsed_ns());
+                self.tele.settle_ingest();
                 return Ok(());
             }
             // Sleep with ears open: a Safra announcement lands on
@@ -695,6 +733,9 @@ impl<A: Algorithm> Engine<A> {
                     id,
                     payload: "shard did not stop within shutdown_deadline".to_string(),
                     last_epoch: self.shared.slot(id).epoch_ack.load(Ordering::SeqCst),
+                    // The wedged shard may still be writing; the dump
+                    // drops any possibly-overwritten prefix.
+                    trace: self.tele.dump_flight(id),
                 });
                 continue; // detach: the thread ends (or not) on its own
             }
@@ -717,11 +758,40 @@ impl<A: Algorithm> Engine<A> {
                     id,
                     payload: crate::supervision::panic_payload_string(payload),
                     last_epoch: self.shared.slot(id).epoch_ack.load(Ordering::SeqCst),
+                    trace: self.tele.dump_flight(id),
                 }),
             }
         }
         let failures = self.board.snapshot();
         metrics.lost_shards = failures.iter().map(|f| f.id).collect();
+        // A dead shard's exact counters died with its thread, but its last
+        // snapshot-cell publish survives — fold that in (at most
+        // PUBLISH_EVERY events stale, and a chaos panic publishes a final
+        // cell on its way down) instead of under-reporting the shard as
+        // all zeros. With telemetry counters off the cell reads as zeros,
+        // which is the seed's old behaviour.
+        for &id in &metrics.lost_shards {
+            if id < shards {
+                metrics.per_shard[id] = self.tele.shard_snapshot(id).0;
+            }
+        }
+        metrics.controller_sent = self.tele.controller_sent();
+        metrics.service = self.tele.service_snapshot();
+        metrics.flush = self.tele.flush_snapshot();
+        metrics.quiesce = self.tele.quiesce_snapshot();
+        metrics.ingest_fixpoint = self.tele.ingest_fixpoint_snapshot();
+        // Satellite invariant: on a clean, quiesced harvest every envelope
+        // counted as sent was accounted for exactly once. Lost shards void
+        // the equation (their in-flight envelopes retired as
+        // undeliverable on survivors, their own counters are a stale
+        // cell), as does a timed-out degraded finish.
+        if failures.is_empty() {
+            debug_assert!(
+                metrics.verify_balance().is_ok(),
+                "clean harvest failed the envelope balance: {:?}",
+                metrics.verify_balance()
+            );
+        }
         let epoch = self.shared.epoch.load(Ordering::SeqCst);
         Ok(RunResult {
             states: Snapshot::from_fragments(epoch, states),

@@ -39,6 +39,13 @@
 //!   `Result<_, EngineError>` under configurable deadlines instead of
 //!   panicking or blocking forever, and [`engine::Engine::try_finish`]
 //!   harvests surviving shards on degraded runs.
+//! - The running engine is itself observable ([`telemetry`]): shards
+//!   publish their counters through lock-free seqlock snapshot cells so
+//!   `Engine::metrics_now` returns coherent mid-run metrics, latency
+//!   histograms track service/flush/quiescence/fixpoint times, a bounded
+//!   per-shard flight recorder attaches a trace of a dying shard's last
+//!   events to its [`ShardFailure`], and a cloneable [`TelemetryHub`]
+//!   renders Prometheus text format and JSON for live dashboards.
 //!
 //! ## Quick example
 //!
@@ -76,6 +83,7 @@ pub mod shard;
 pub mod snapshot;
 pub mod storage;
 pub mod supervision;
+pub mod telemetry;
 pub mod termination;
 pub mod transport;
 pub mod trigger;
@@ -87,14 +95,17 @@ pub use engine::{Engine, EngineBuilder, RunResult};
 pub use event::{
     events_from_pairs, events_from_weighted, Envelope, Epoch, EventKind, TopoEvent, TopoOp,
 };
-pub use metrics::{RunMetrics, ShardMetrics};
+pub use metrics::{LatencyHistogram, RunMetrics, ShardMetrics, HIST_BUCKETS};
 pub use partition::Partitioner;
 pub use sequential::SequentialEngine;
 pub use shard::{EngineConfig, LatticeConfig};
 pub use snapshot::Snapshot;
 pub use storage::StorageLayout;
 pub use supervision::{EngineError, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER};
-pub use termination::{Backoff, Deadline, TerminationMode};
+pub use telemetry::{
+    EngineGauges, FlightEntry, FlightTag, TelemetryConfig, TelemetryHub, PUBLISH_EVERY,
+};
+pub use termination::{Backoff, Deadline, DetectionTimer, TerminationMode};
 pub use transport::TransportMode;
 pub use trigger::{TriggerFire, MAX_TRIGGERS};
 pub use vertex_state::{VertexMeta, VertexState};

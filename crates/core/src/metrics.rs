@@ -4,68 +4,135 @@
 //! saturation (§V). These counters let the benches compute that, plus the
 //! message-amplification statistics the per-algorithm comparisons need
 //! (how many Update events did one topology event fan out into?).
+//!
+//! Since PR 5 the counter set is declared once through [`shard_metrics!`]
+//! so that the struct, `merge`, and the word-array serialization used by
+//! the live telemetry snapshot cells ([`crate::telemetry`]) can never
+//! drift apart: every counter added here automatically shows up in
+//! [`ShardMetrics::COUNTER_NAMES`], in `Engine::metrics_now()`, and in the
+//! Prometheus/JSON exports.
 
-/// Counters owned (unsynchronized) by one shard and merged at shutdown.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
-pub struct ShardMetrics {
+/// Declares the shard counter set exactly once.
+///
+/// Expands to the `ShardMetrics` struct plus `merge`, `to_words`,
+/// `from_words`, and the `COUNTER_NAMES` table — all index-aligned, so the
+/// telemetry seqlock cells can ship counters as a flat `[u64; N]` and the
+/// exporters can iterate names without a hand-maintained list.
+macro_rules! shard_metrics {
+    ($($(#[$meta:meta])* $field:ident),* $(,)?) => {
+        /// Counters owned (unsynchronized) by one shard and merged at
+        /// shutdown. Mid-run, each shard also publishes them through a
+        /// seqlock snapshot cell (see [`crate::telemetry`]) at batch
+        /// boundaries.
+        #[derive(Debug, Default, Clone, PartialEq, Eq)]
+        pub struct ShardMetrics {
+            $($(#[$meta])* pub $field: u64,)*
+        }
+
+        impl ShardMetrics {
+            /// Number of counters — the width of a telemetry snapshot
+            /// payload in `u64` words.
+            pub const COUNTER_WORDS: usize = [$(stringify!($field)),*].len();
+
+            /// Snake-case counter names, index-aligned with
+            /// [`ShardMetrics::to_words`]. The Prometheus exporter derives
+            /// the `remo_<name>_total` family names from this table.
+            pub const COUNTER_NAMES: [&'static str; Self::COUNTER_WORDS] =
+                [$(stringify!($field)),*];
+
+            /// Serializes every counter into `words` (index-aligned with
+            /// [`ShardMetrics::COUNTER_NAMES`]).
+            pub fn to_words(&self, words: &mut [u64; Self::COUNTER_WORDS]) {
+                let mut i = 0;
+                $(words[i] = self.$field; i += 1;)*
+                let _ = i;
+            }
+
+            /// Rebuilds a metrics value from a snapshot word array.
+            pub fn from_words(words: &[u64; Self::COUNTER_WORDS]) -> Self {
+                let mut i = 0;
+                $(let $field = words[i]; i += 1;)*
+                let _ = i;
+                ShardMetrics { $($field),* }
+            }
+
+            /// Merges `other` into `self`.
+            pub fn merge(&mut self, other: &ShardMetrics) {
+                $(self.$field += other.$field;)*
+            }
+        }
+    };
+}
+
+shard_metrics! {
     /// Topology events pulled from this shard's input streams.
-    pub topo_ingested: u64,
+    topo_ingested,
     /// Envelope counts by kind, as processed.
-    pub init_events: u64,
-    pub add_events: u64,
-    pub reverse_add_events: u64,
-    pub update_events: u64,
+    init_events,
+    add_events,
+    reverse_add_events,
+    update_events,
     /// Decremental events processed (§VI-B extension).
-    pub remove_events: u64,
+    remove_events,
     /// Envelopes sent to other shards (or self) through channels.
-    pub envelopes_sent: u64,
+    envelopes_sent,
     /// New edges inserted into this shard's tables.
-    pub edges_inserted: u64,
+    edges_inserted,
     /// Duplicate edge insertions observed.
-    pub duplicate_edges: u64,
+    duplicate_edges,
     /// Edges removed from this shard's tables.
-    pub edges_removed: u64,
+    edges_removed,
     /// Trigger callbacks fired from this shard.
-    pub triggers_fired: u64,
+    triggers_fired,
     /// Vertex state forks performed for snapshot epochs.
-    pub snapshot_forks: u64,
+    snapshot_forks,
     /// Safra tokens forwarded (0 in counter mode).
-    pub safra_tokens: u64,
+    safra_tokens,
     /// Faults injected on this shard by the configured
     /// [`FaultPlan`](crate::FaultPlan) (0 outside chaos runs).
-    pub faults_injected: u64,
+    faults_injected,
     /// Outbound envelopes deliberately lost by fault injection.
-    pub envelopes_dropped: u64,
+    envelopes_dropped,
     /// Envelopes retired because their destination channel was already
     /// closed (engine teardown, or the destination shard died).
-    pub envelopes_undeliverable: u64,
+    envelopes_undeliverable,
     /// `Update` envelopes absorbed into an already-pending envelope for the
     /// same (target, visitor, weight, epoch) via [`Algorithm::join`]
     /// (lattice coalescing; never counted as sent).
     ///
     /// [`Algorithm::join`]: crate::Algorithm::join
-    pub envelopes_coalesced: u64,
+    envelopes_coalesced,
     /// Incoming `Update` envelopes retired without running the callback
     /// because their value could not improve the target's live state
-    /// (lattice dominance filtering).
-    pub updates_dominated: u64,
+    /// (lattice dominance filtering). These envelopes were sent and count
+    /// toward [`RunMetrics::verify_balance`].
+    updates_dominated,
+    /// Self-routed `Update` envelopes suppressed *before* sending because
+    /// the local live state already dominated them. Unlike
+    /// `updates_dominated` these are never counted as sent.
+    updates_suppressed,
     /// Pending `Update` envelopes the priority heap drained ahead of an
     /// earlier-staged envelope — how often best-first actually reordered.
-    pub heap_reorders: u64,
+    heap_reorders,
     /// Envelope batches shipped over an SPSC data lane (Lanes transport;
     /// 0 under the channel transport).
-    pub lane_batches: u64,
+    lane_batches,
     /// `flush()` calls that reused a pooled batch buffer from a recycle
     /// lane instead of allocating — `batches_recycled / lane_batches` is
     /// the pool hit rate the transport ablation asserts on.
-    pub batches_recycled: u64,
+    batches_recycled,
     /// Batches diverted to the channel path because their pair's data
     /// lane was full (plus the pair's FIFO-handshake tail — see
     /// `LaneMesh::fallback_consumed`).
-    pub lane_full_fallbacks: u64,
+    lane_full_fallbacks,
     /// Times this shard actually unparked a sleeping peer after
     /// publishing work for it (event-driven wakeups that fired).
-    pub unparks: u64,
+    unparks,
+    /// Times this shard went to sleep in its idle loop (parked on the
+    /// [`ParkBoard`](crate::transport::ParkBoard) or timed out on the
+    /// channel receive). `idle_parks / (idle_parks + events_processed)`
+    /// is the park-ratio gauge.
+    idle_parks,
 }
 
 impl ShardMetrics {
@@ -77,32 +144,116 @@ impl ShardMetrics {
             + self.update_events
             + self.remove_events
     }
+}
 
-    /// Merges `other` into `self`.
-    pub fn merge(&mut self, other: &ShardMetrics) {
-        self.topo_ingested += other.topo_ingested;
-        self.init_events += other.init_events;
-        self.add_events += other.add_events;
-        self.reverse_add_events += other.reverse_add_events;
-        self.update_events += other.update_events;
-        self.remove_events += other.remove_events;
-        self.edges_removed += other.edges_removed;
-        self.envelopes_sent += other.envelopes_sent;
-        self.edges_inserted += other.edges_inserted;
-        self.duplicate_edges += other.duplicate_edges;
-        self.triggers_fired += other.triggers_fired;
-        self.snapshot_forks += other.snapshot_forks;
-        self.safra_tokens += other.safra_tokens;
-        self.faults_injected += other.faults_injected;
-        self.envelopes_dropped += other.envelopes_dropped;
-        self.envelopes_undeliverable += other.envelopes_undeliverable;
-        self.envelopes_coalesced += other.envelopes_coalesced;
-        self.updates_dominated += other.updates_dominated;
-        self.heap_reorders += other.heap_reorders;
-        self.lane_batches += other.lane_batches;
-        self.batches_recycled += other.batches_recycled;
-        self.lane_full_fallbacks += other.lane_full_fallbacks;
-        self.unparks += other.unparks;
+/// Number of log2 buckets in a [`LatencyHistogram`]: bucket `i` covers
+/// latencies whose nanosecond value has bit-length `i` (i.e. `[2^(i-1),
+/// 2^i)`), so 64 buckets span the full `u64` range allocation-free.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Fixed-size log-bucketed latency histogram (HDR-style, allocation-free).
+///
+/// Buckets are powers of two in nanoseconds: a sample lands in the bucket
+/// equal to its bit length, giving a constant ≤ 2× relative error on
+/// quantiles — plenty for p50/p99/p999 service-time tracking — with zero
+/// allocation and O(1) record. Each shard owns one per tracked latency;
+/// they are merged on harvest and snapshotted by [`crate::telemetry`]
+/// mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bucket `i` counts samples with nanosecond bit-length `i`
+    /// (bucket 0 is exactly the 0 ns samples).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded nanoseconds (mean = `sum_ns / count`).
+    pub sum_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (usable in `const`/`static` contexts).
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// Bucket index for a nanosecond sample: its bit length, clamped.
+    #[inline]
+    pub fn bucket_index(ns: u64) -> usize {
+        ((u64::BITS - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one sample. O(1), allocation-free.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate in nanoseconds, linearly interpolated inside the
+    /// selected log2 bucket. `q` in `[0, 1]`; returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let hi = if i == 0 { 1.0 } else { (i as f64).exp2() };
+                let frac = (rank - seen) as f64 / c as f64;
+                return lo + frac * (hi - lo);
+            }
+            seen += c;
+        }
+        self.sum_ns as f64 / self.count as f64
+    }
+
+    /// `(p50, p99, p999)` in microseconds — the triple surfaced in
+    /// `RunMetrics` and every `BENCH_*.json`.
+    pub fn quantiles_us(&self) -> (f64, f64, f64) {
+        (
+            self.quantile_ns(0.50) / 1_000.0,
+            self.quantile_ns(0.99) / 1_000.0,
+            self.quantile_ns(0.999) / 1_000.0,
+        )
     }
 }
 
@@ -110,12 +261,33 @@ impl ShardMetrics {
 #[derive(Debug, Default, Clone)]
 pub struct RunMetrics {
     /// Per-shard breakdown, indexed by shard id. Shards listed in
-    /// `lost_shards` hold default (zero) metrics: their counters died with
-    /// them.
+    /// `lost_shards` hold the counters recovered from their last telemetry
+    /// snapshot cell (zeros when telemetry counters were off): a panicked
+    /// shard's work up to the batch boundary before its death still counts
+    /// toward degraded-run throughput.
     pub per_shard: Vec<ShardMetrics>,
-    /// Shards whose metrics could not be harvested because the shard
-    /// failed before shutdown (failure accounting for degraded runs).
+    /// Shards whose final counters could not be harvested directly because
+    /// the shard failed before shutdown (failure accounting for degraded
+    /// runs). Their `per_shard` slots hold last-snapshot values, which may
+    /// trail the truth by up to one publish interval.
     pub lost_shards: Vec<usize>,
+    /// Envelopes sent by the controller thread itself (vertex
+    /// initialization via `Engine::try_init_vertex` / algorithm seeding) —
+    /// sends that no shard's `envelopes_sent` covers, needed to close the
+    /// conservation equation in [`RunMetrics::verify_balance`].
+    pub controller_sent: u64,
+    /// Event service time: callback dispatch through outgoing routing, per
+    /// processed envelope (sampled; see `TelemetryConfig::sample_shift`).
+    pub service: LatencyHistogram,
+    /// Lane flush latency: one `flush()` of an outgoing batch (Lanes
+    /// transport; empty under the channel transport).
+    pub flush: LatencyHistogram,
+    /// Quiescence-detection latency: entry into
+    /// `Engine::try_await_quiescence` until the counters balanced.
+    pub quiesce: LatencyHistogram,
+    /// Ingest→fixpoint latency: first ingest after a quiescent point until
+    /// the next detected quiescence (one sample per settled epoch).
+    pub ingest_fixpoint: LatencyHistogram,
 }
 
 impl RunMetrics {
@@ -136,6 +308,51 @@ impl RunMetrics {
             0.0
         } else {
             t.update_events as f64 / t.topo_ingested as f64
+        }
+    }
+
+    /// Checks envelope conservation: every envelope counted as sent must be
+    /// accounted for exactly once —
+    ///
+    /// ```text
+    /// envelopes_sent + controller_sent
+    ///   == events_processed + updates_dominated
+    ///    + envelopes_undeliverable + envelopes_dropped
+    /// ```
+    ///
+    /// Coalesced envelopes are absorbed *before* sending and never counted
+    /// as sent (the surviving carrier envelope is counted once); likewise
+    /// `updates_suppressed` never enter the sent side. Dominance-retired
+    /// envelopes were sent, so they appear on the right.
+    ///
+    /// The equation only closes on runs that reached quiescence with all
+    /// shards alive: a lost shard's last snapshot can trail its true
+    /// counters, and in-flight envelopes at the moment of death are
+    /// unaccounted. `try_finish` debug-asserts this on every clean
+    /// harvest; chaos and property suites call it explicitly.
+    pub fn verify_balance(&self) -> Result<(), String> {
+        let t = self.total();
+        let sent = t.envelopes_sent + self.controller_sent;
+        let accounted = t.events_processed()
+            + t.updates_dominated
+            + t.envelopes_undeliverable
+            + t.envelopes_dropped;
+        if sent == accounted {
+            Ok(())
+        } else {
+            Err(format!(
+                "envelope balance violated: sent {} (shards {} + controller {}) \
+                 != accounted {} (processed {} + dominated {} + undeliverable {} \
+                 + dropped {})",
+                sent,
+                t.envelopes_sent,
+                self.controller_sent,
+                accounted,
+                t.events_processed(),
+                t.updates_dominated,
+                t.envelopes_undeliverable,
+                t.envelopes_dropped,
+            ))
         }
     }
 }
@@ -184,6 +401,7 @@ mod tests {
             batches_recycled: 9,
             lane_full_fallbacks: 2,
             unparks: 7,
+            idle_parks: 3,
             ..Default::default()
         };
         let b = a.clone();
@@ -192,6 +410,7 @@ mod tests {
         assert_eq!(a.batches_recycled, 18);
         assert_eq!(a.lane_full_fallbacks, 4);
         assert_eq!(a.unparks, 14);
+        assert_eq!(a.idle_parks, 6);
     }
 
     #[test]
@@ -204,6 +423,38 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(m.events_processed(), 10);
+    }
+
+    #[test]
+    fn words_roundtrip_and_names_align() {
+        assert_eq!(ShardMetrics::COUNTER_NAMES.len(), ShardMetrics::COUNTER_WORDS);
+        // Every name unique.
+        for (i, a) in ShardMetrics::COUNTER_NAMES.iter().enumerate() {
+            for b in &ShardMetrics::COUNTER_NAMES[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Fill each counter with a distinct value through the words array
+        // and verify the roundtrip is exact and index-aligned.
+        let mut words = [0u64; ShardMetrics::COUNTER_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = (i as u64 + 1) * 7;
+        }
+        let m = ShardMetrics::from_words(&words);
+        let mut back = [0u64; ShardMetrics::COUNTER_WORDS];
+        m.to_words(&mut back);
+        assert_eq!(words, back);
+        // Spot-check alignment for a couple of known fields.
+        let topo_idx = ShardMetrics::COUNTER_NAMES
+            .iter()
+            .position(|n| *n == "topo_ingested")
+            .unwrap();
+        assert_eq!(m.topo_ingested, words[topo_idx]);
+        let parks_idx = ShardMetrics::COUNTER_NAMES
+            .iter()
+            .position(|n| *n == "idle_parks")
+            .unwrap();
+        assert_eq!(m.idle_parks, words[parks_idx]);
     }
 
     #[test]
@@ -222,5 +473,75 @@ mod tests {
             ..Default::default()
         };
         assert!((r.amplification() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verify_balance_closes_and_reports() {
+        let balanced = RunMetrics {
+            per_shard: vec![ShardMetrics {
+                envelopes_sent: 10,
+                add_events: 6,
+                update_events: 2,
+                updates_dominated: 2,
+                envelopes_coalesced: 3,  // absorbed pre-send: not in equation
+                updates_suppressed: 4,   // suppressed pre-send: not in equation
+                ..Default::default()
+            }],
+            controller_sent: 0,
+            ..Default::default()
+        };
+        assert!(balanced.verify_balance().is_ok());
+
+        let unbalanced = RunMetrics {
+            per_shard: vec![ShardMetrics {
+                envelopes_sent: 10,
+                add_events: 6,
+                ..Default::default()
+            }],
+            controller_sent: 1,
+            ..Default::default()
+        };
+        let err = unbalanced.verify_balance().unwrap_err();
+        assert!(err.contains("sent 11"), "{err}");
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_ns(0.99), 0.0);
+        for _ in 0..90 {
+            h.record(1_000); // bit length 10 -> bucket 10: [512, 1024)
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket 20: [524288, 1048576)
+        }
+        assert_eq!(h.count, 100);
+        let p50 = h.quantile_ns(0.50);
+        assert!((512.0..1024.0).contains(&p50), "p50={p50}");
+        let p999 = h.quantile_ns(0.999);
+        assert!((524_288.0..=1_048_576.0).contains(&p999), "p999={p999}");
+        // Log-bucket estimate stays within 2x of the true value.
+        assert!(p50 <= 2.0 * 1_000.0 && 2.0 * p50 >= 1_000.0);
+        assert!(p999 <= 2.0 * 1_000_000.0 && 2.0 * p999 >= 1_000_000.0);
+        let (p50_us, p99_us, p999_us) = h.quantiles_us();
+        assert!(p50_us <= p99_us && p99_us <= p999_us);
+    }
+
+    #[test]
+    fn histogram_merge_and_edges() {
+        let mut a = LatencyHistogram::new();
+        a.record(0);
+        a.record(1);
+        a.record(u64::MAX); // clamps to the top bucket
+        let mut b = LatencyHistogram::new();
+        b.record(7);
+        b.merge(&a);
+        assert_eq!(b.count, 4);
+        assert_eq!(b.buckets[0], 1);
+        assert_eq!(b.buckets[1], 1);
+        assert_eq!(b.buckets[3], 1); // 7 has bit length 3
+        assert_eq!(b.buckets[HIST_BUCKETS - 1], 1);
+        assert!(b.mean_ns() > 0.0);
     }
 }

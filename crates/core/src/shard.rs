@@ -22,7 +22,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use remo_store::{EdgeMeta, VertexId, VertexTable};
@@ -35,6 +35,7 @@ use crate::storage::ShardStore;
 use crate::supervision::{
     panic_payload_string, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER,
 };
+use crate::telemetry::{FlightTag, TelemetryConfig, TelemetryShared, PUBLISH_EVERY};
 use crate::termination::{SafraState, SharedCounters, TerminationMode, Token, TokenAction};
 use crate::transport::{LaneHandles, LaneMesh};
 use crate::trigger::{TriggerDef, TriggerFire};
@@ -258,6 +259,13 @@ pub struct EngineConfig {
     /// (Stream/Collect/Query/Token/Shutdown) rides the channel either
     /// way.
     pub transport: TransportMode,
+    /// Live-telemetry configuration ([`crate::telemetry`]): seqlock
+    /// counter cells, sampled latency histograms, and the per-shard
+    /// flight recorder. Counters default on (their publish cost is one
+    /// batched cell write per [`PUBLISH_EVERY`] events); histograms
+    /// default to 1-in-64 sampling; [`TelemetryConfig::off`] removes
+    /// every observation from the hot path for ablation baselines.
+    pub telemetry: TelemetryConfig,
 }
 
 impl EngineConfig {
@@ -277,6 +285,7 @@ impl EngineConfig {
             expected_vertices: 0,
             storage: StorageLayout::default(),
             transport: TransportMode::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -309,6 +318,12 @@ impl EngineConfig {
     /// Same config expecting roughly `vertices` vertices in total.
     pub fn with_expected_vertices(mut self, vertices: usize) -> Self {
         self.expected_vertices = vertices;
+        self
+    }
+
+    /// Same config with a different telemetry configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -403,6 +418,22 @@ pub(crate) struct ShardWorker<A: Algorithm, St: ShardStore<A::State>> {
     safra: SafraState,
     edges: u64,
     seq: u64,
+
+    /// Shared telemetry surface (seqlock cells, histograms, recorders).
+    tele: Arc<TelemetryShared>,
+    /// Cached `config.telemetry` toggles — the fault-free, telemetry-off
+    /// data path pays one predictable branch per observation point, not
+    /// a config deref.
+    tele_counters: bool,
+    tele_hist: bool,
+    tele_rec: bool,
+    /// `(seq & sample_mask) == 0` selects the histogram/recorder samples.
+    sample_mask: u64,
+    /// Events processed since the last snapshot-cell publish.
+    pub_ticker: u32,
+    /// Epoch last acked in phase 2 (flight-recorder epoch context and the
+    /// `EpochAck` edge detector).
+    cur_epoch: Epoch,
 }
 
 impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
@@ -419,10 +450,15 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         trigger_tx: Sender<TriggerFire>,
         quiesce_tx: Sender<()>,
         lanes: Option<LaneHandles<A::State>>,
+        tele: Arc<TelemetryShared>,
     ) -> Self {
         let part = Partitioner::new(config.num_shards);
         let num_shards = config.num_shards;
         let fault_armed = config.fault_plan.targets(id);
+        let tele_counters = config.telemetry.counters;
+        let tele_hist = config.telemetry.histograms;
+        let tele_rec = config.telemetry.flight_recorder;
+        let sample_mask = config.telemetry.sample_mask();
         let lattice = config.lattice;
         let lattice_on = lattice.coalesce || lattice.priority;
         // Per-shard share of the capacity hint, with 1/8 headroom for the
@@ -471,6 +507,13 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             safra: SafraState::default(),
             edges: 0,
             seq: 0,
+            tele,
+            tele_counters,
+            tele_hist,
+            tele_rec,
+            sample_mask,
+            pub_ticker: 0,
+            cur_epoch: 0,
         }
     }
 
@@ -482,6 +525,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         let id = self.id;
         let shared = Arc::clone(&self.shared);
         let board = Arc::clone(&self.board);
+        let tele = Arc::clone(&self.tele);
         // The worker owns its whole world (table, queues, channels); a
         // panic aborts this shard only, so observing no state across the
         // unwind boundary is exactly right — hence AssertUnwindSafe.
@@ -489,10 +533,13 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             Ok(report) => Some(report),
             Err(payload) => {
                 use std::sync::atomic::Ordering;
+                // The dying shard dumps its own recorder: the writer has
+                // provably stopped, so the window is exact, not racy.
                 board.record(ShardFailure {
                     id,
                     payload: panic_payload_string(payload),
                     last_epoch: shared.slot(id).epoch_ack.load(Ordering::SeqCst),
+                    trace: tele.dump_flight(id),
                 });
                 None
             }
@@ -502,11 +549,15 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
     /// Injects the configured faults for this shard ahead of processing one
     /// algorithmic event. Only called when `fault_armed` is set.
     #[cold]
-    fn inject_faults(&mut self) {
+    fn inject_faults(&mut self, epoch: Epoch) {
         let plan = self.config.fault_plan.clone();
         if let Some((shard, delay)) = plan.delay {
             if shard == self.id {
                 self.metrics.faults_injected += 1;
+                if self.tele_rec {
+                    self.tele
+                        .record_flight(self.id, FlightTag::Fault, epoch, 2, self.seq);
+                }
                 std::thread::sleep(delay);
             }
         }
@@ -515,6 +566,17 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             // 1-based index of the event being processed right now.
             if shard == self.id && self.seq >= nth {
                 self.metrics.faults_injected += 1;
+                // Last words: the fault entry makes the dump non-empty
+                // even at the widest sampling, and the final cell publish
+                // lets the engine fold this shard's counters into the
+                // aggregate instead of losing them with the thread.
+                if self.tele_rec {
+                    self.tele
+                        .record_flight(self.id, FlightTag::Fault, epoch, 1, self.seq);
+                }
+                if self.tele_counters {
+                    self.publish_telemetry();
+                }
                 panic!(
                     "{CHAOS_PANIC_MARKER}: shard {} at event {}",
                     self.id, self.seq
@@ -570,6 +632,13 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 .slot(self.id)
                 .epoch_ack
                 .store(epoch, Ordering::SeqCst);
+            if epoch != self.cur_epoch {
+                if self.tele_rec {
+                    self.tele
+                        .record_flight(self.id, FlightTag::EpochAck, epoch, u64::from(epoch), 0);
+                }
+                self.cur_epoch = epoch;
+            }
 
             // Phase 3: pull one topology event, if any.
             if let Some(ev) = self.next_topo() {
@@ -579,6 +648,10 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     .slot(self.id)
                     .ingested
                     .store(self.ingested_local, Ordering::Release);
+                if self.tele_rec && self.metrics.topo_ingested & self.sample_mask == 0 {
+                    self.tele
+                        .record_flight(self.id, FlightTag::TopoIngest, epoch, ev.src, ev.dst);
+                }
                 self.route_topo(ev, epoch);
                 continue;
             }
@@ -586,10 +659,15 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 continue;
             }
 
-            // Phase 4: fully idle — flush buffered envelopes, then
-            // termination detection, then wait for work (event-driven
-            // park under the lane transport, timeout poll otherwise).
+            // Phase 4: fully idle — flush buffered envelopes, publish the
+            // counter cell (an idle shard's snapshot is otherwise up to
+            // PUBLISH_EVERY-1 events stale), then termination detection,
+            // then wait for work (event-driven park under the lane
+            // transport, timeout poll otherwise).
             self.flush_all();
+            if self.tele_counters {
+                self.publish_telemetry();
+            }
             self.idle_step();
             match self.idle_wait() {
                 IdleWait::Message(msg) => {
@@ -611,10 +689,13 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
     /// heartbeat that keeps Safra tokens circulating and insures against
     /// the (latency-only) missed-wake window.
     fn idle_wait(&mut self) -> IdleWait<A::State> {
-        let Some(lanes) = &self.lanes else {
+        let Some(lanes) = self.lanes.clone() else {
             return match self.rx.recv_timeout(self.config.idle_park) {
                 Ok(msg) => IdleWait::Message(msg),
-                Err(RecvTimeoutError::Timeout) => IdleWait::Heartbeat,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.metrics.idle_parks += 1;
+                    IdleWait::Heartbeat
+                }
                 Err(RecvTimeoutError::Disconnected) => IdleWait::Disconnected,
             };
         };
@@ -630,6 +711,11 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 IdleWait::Message(msg)
             }
             Err(TryRecvError::Empty) => {
+                self.metrics.idle_parks += 1;
+                if self.tele_rec {
+                    self.tele
+                        .record_flight(self.id, FlightTag::Park, self.cur_epoch, 0, 0);
+                }
                 std::thread::park_timeout(self.config.idle_park);
                 lanes.parks.clear_sleep(self.id);
                 IdleWait::Heartbeat
@@ -657,6 +743,15 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 false
             }
             Message::Stream(events) => {
+                if self.tele_rec {
+                    self.tele.record_flight(
+                        self.id,
+                        FlightTag::Stream,
+                        self.cur_epoch,
+                        events.len() as u64,
+                        self.streams.len() as u64,
+                    );
+                }
                 self.streams.push_back(events.into_iter());
                 false
             }
@@ -669,6 +764,15 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 live,
                 reply,
             } => {
+                if self.tele_rec {
+                    self.tele.record_flight(
+                        self.id,
+                        FlightTag::Collect,
+                        old_epoch,
+                        u64::from(old_epoch),
+                        u64::from(live),
+                    );
+                }
                 let states = self.collect(old_epoch, live);
                 let _ = reply.send(states);
                 false
@@ -682,6 +786,15 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 false
             }
             Message::LaneFallback { from, mut batch } => {
+                if self.tele_rec {
+                    self.tele.record_flight(
+                        self.id,
+                        FlightTag::Fallback,
+                        self.cur_epoch,
+                        from as u64,
+                        batch.len() as u64,
+                    );
+                }
                 // Per-pair FIFO across the fallback: everything already in
                 // the data lane predates this batch — admit the lane
                 // first, then this batch, then acknowledge so the sender
@@ -699,7 +812,13 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 }
                 false
             }
-            Message::Shutdown => true,
+            Message::Shutdown => {
+                if self.tele_rec {
+                    self.tele
+                        .record_flight(self.id, FlightTag::Shutdown, self.cur_epoch, 0, 0);
+                }
+                true
+            }
         }
     }
 
@@ -909,8 +1028,26 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
     fn process(&mut self, env: Envelope<A::State>) {
         self.seq += 1;
         if self.fault_armed {
-            self.inject_faults();
+            self.inject_faults(env.epoch);
         }
+        // Telemetry sampling: 1-in-2^shift events pay two clock reads and
+        // one flight-recorder slot; fault-armed shards record every event
+        // so a chaos panic always has a dense trace behind it.
+        let sampled = self.seq & self.sample_mask == 0;
+        if self.tele_rec && (sampled || self.fault_armed) {
+            self.tele.record_flight(
+                self.id,
+                FlightTag::Process,
+                env.epoch,
+                env.target,
+                env.kind as u64,
+            );
+        }
+        let t0 = if self.tele_hist && sampled {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let target = env.target;
         // Receiver-side dominance filter: an `Update` whose value the live
         // state already absorbs (join is a no-op) cannot change anything —
@@ -924,6 +1061,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         if env.kind == EventKind::Update && self.is_dominated(target, env.epoch, &env.value) {
             self.metrics.updates_dominated += 1;
             self.note_processed(env.epoch);
+            self.finish_service(t0);
             return;
         }
         // The storage probe of the hot path: intern once per envelope;
@@ -1075,6 +1213,16 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         // Retire the envelope only after its children's sends were
         // published (four-counter soundness).
         self.note_processed(env.epoch);
+        self.finish_service(t0);
+    }
+
+    /// Closes a sampled service-time measurement opened in `process`.
+    #[inline]
+    fn finish_service(&mut self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.tele
+                .record_service(self.id, t0.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Publishes one processed envelope of `epoch`'s parity.
@@ -1084,6 +1232,27 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         let p = (epoch & 1) as usize;
         self.processed_local[p] += 1;
         self.shared.slot(self.id).processed[p].store(self.processed_local[p], Ordering::Release);
+        if self.tele_counters {
+            self.pub_ticker += 1;
+            if self.pub_ticker >= PUBLISH_EVERY {
+                self.publish_telemetry();
+            }
+        }
+    }
+
+    /// Publishes this shard's counters and live queue gauges into its
+    /// seqlock snapshot cell (two fences + one cell write; amortized over
+    /// [`PUBLISH_EVERY`] events on the hot path).
+    fn publish_telemetry(&mut self) {
+        self.pub_ticker = 0;
+        let queue_depth =
+            (self.rx.len() + self.local_q.len() + self.pend_staged + self.pend_fifo.len()) as u64;
+        let lane_occupancy = match &self.lanes {
+            Some(lanes) => lanes.mesh.inbound_occupancy(self.id) as u64,
+            None => 0,
+        };
+        self.tele
+            .publish_counters(self.id, &self.metrics, queue_depth, lane_occupancy);
     }
 
     /// Publishes one created envelope of `epoch`'s parity. Must happen
@@ -1126,7 +1295,10 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             && env.kind == EventKind::Update
             && self.is_dominated(env.target, env.epoch, &env.value)
         {
-            self.metrics.updates_dominated += 1;
+            // Suppressed, not dominated: the envelope was never counted
+            // as sent, so it must not enter the balance equation's
+            // processed side either (see RunMetrics::verify_balance).
+            self.metrics.updates_suppressed += 1;
             return;
         }
         // Sender-side coalescing: fold this `Update` into an envelope
@@ -1191,11 +1363,32 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         }
     }
 
-    /// Ships one destination's buffered envelopes.
+    /// Ships one destination's buffered envelopes, timing the shipment
+    /// when latency histograms are on (empty outboxes cost one branch).
     fn flush(&mut self, owner: usize) {
         if self.outboxes[owner].is_empty() {
             return;
         }
+        if self.tele_rec {
+            self.tele.record_flight(
+                self.id,
+                FlightTag::Flush,
+                self.cur_epoch,
+                owner as u64,
+                self.outboxes[owner].len() as u64,
+            );
+        }
+        if !self.tele_hist {
+            self.do_flush(owner);
+            return;
+        }
+        let t0 = Instant::now();
+        self.do_flush(owner);
+        self.tele
+            .record_flush(self.id, t0.elapsed().as_nanos() as u64);
+    }
+
+    fn do_flush(&mut self, owner: usize) {
         self.outbox_index[owner].clear();
         let batch = std::mem::take(&mut self.outboxes[owner]);
         let Some(lanes) = &self.lanes else {
@@ -1371,6 +1564,11 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
     }
 
     fn report(mut self) -> ShardReport<A::State> {
+        // Final cell publish: metrics_now observers see the exact counters
+        // this report carries, even after the thread is gone.
+        if self.tele_counters {
+            self.publish_telemetry();
+        }
         let states = self.collect(u32::MAX, true);
         let num_vertices = self.store.num_vertices();
         let adjacency_bytes = self.store.adjacency_heap_bytes();
@@ -1434,6 +1632,12 @@ mod tests {
             TransportMode::Lanes => Some(LaneHandles::new(2)),
             TransportMode::Channel => None,
         };
+        let tele = Arc::new(TelemetryShared::new(
+            config.telemetry.clone(),
+            2,
+            Arc::clone(&shared),
+            Arc::clone(&board),
+        ));
         let worker = ShardWorker::new(
             0,
             Arc::new(Noop),
@@ -1446,6 +1650,7 @@ mod tests {
             trigger_tx,
             quiesce_tx,
             lanes,
+            tele,
         );
         Fixture {
             worker,
@@ -1509,6 +1714,7 @@ mod tests {
             id: 1,
             payload: "test kill".into(),
             last_epoch: 0,
+            trace: Vec::new(),
         });
         drop(f.peer_rx.take());
 

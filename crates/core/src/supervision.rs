@@ -30,6 +30,12 @@ pub struct ShardFailure {
     /// The last snapshot epoch the shard acknowledged before dying —
     /// snapshots at or before this epoch were fully served by the shard.
     pub last_epoch: Epoch,
+    /// Flight-recorder dump: the shard's most recent structured events
+    /// (rendered, oldest first), captured by the `catch_unwind` wrapper on
+    /// the dying shard's own thread — or by the harvest path for shards
+    /// that stopped answering. Empty when the flight recorder is off
+    /// (see [`TelemetryConfig`](crate::TelemetryConfig)).
+    pub trace: Vec<String>,
 }
 
 impl fmt::Display for ShardFailure {
@@ -38,7 +44,11 @@ impl fmt::Display for ShardFailure {
             f,
             "shard {} failed at epoch {}: {}",
             self.id, self.last_epoch, self.payload
-        )
+        )?;
+        if !self.trace.is_empty() {
+            write!(f, " ({} flight-recorder entries)", self.trace.len())?;
+        }
+        Ok(())
     }
 }
 
@@ -298,6 +308,7 @@ mod tests {
             id: 1,
             payload: "boom".into(),
             last_epoch: 3,
+            trace: vec!["#0 e0 park".into()],
         });
         assert!(board.any_failed());
         assert!(board.is_failed(1));
@@ -316,6 +327,7 @@ mod tests {
             id: 100,
             payload: "big".into(),
             last_epoch: 0,
+            trace: Vec::new(),
         });
         assert!(board.is_failed(100));
         assert!(!board.is_failed(99));
@@ -351,6 +363,7 @@ mod tests {
                 id: 7,
                 payload: "oops".into(),
                 last_epoch: 2,
+                trace: Vec::new(),
             }],
         };
         let s = err.to_string();

@@ -92,6 +92,30 @@ impl Backoff {
     }
 }
 
+/// Wall-clock meter for quiescence-detection latency: started when the
+/// controller enters a detection wait, read when the probe first succeeds.
+/// Lives here so the latency definition sits next to the detectors it
+/// measures; samples land in the telemetry `quiesce` histogram and surface
+/// as p50/p99/p999 in [`RunMetrics`](crate::RunMetrics).
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionTimer {
+    start: Instant,
+}
+
+impl DetectionTimer {
+    /// Starts the clock (call on entry to the detection wait).
+    pub fn begin() -> Self {
+        DetectionTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the wait began (saturating).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 /// Which detector the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TerminationMode {
@@ -331,6 +355,16 @@ mod tests {
         let d = Deadline::new(Some(Duration::from_secs(3600)));
         assert!(!d.expired());
         assert!(d.waited() < Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn detection_timer_measures_elapsed() {
+        let t = DetectionTimer::begin();
+        let first = t.elapsed_ns();
+        std::thread::sleep(Duration::from_millis(1));
+        let second = t.elapsed_ns();
+        assert!(second > first);
+        assert!(second >= 1_000_000, "slept at least 1ms, got {second}ns");
     }
 
     #[test]

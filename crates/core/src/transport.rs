@@ -144,6 +144,15 @@ impl<T> SpscRing<T> {
     pub(crate) fn is_empty(&self) -> bool {
         self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
     }
+
+    /// Approximate occupancy (either side or an observer may probe; the
+    /// two independent loads make it momentarily stale, never unsafe).
+    /// Feeds the telemetry lane-occupancy gauge.
+    pub(crate) fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
 }
 
 impl<T> Drop for SpscRing<T> {
@@ -294,6 +303,16 @@ impl<S> LaneMesh<S> {
             return 0;
         }
         self.inbound[to].swap(0, Ordering::Acquire)
+    }
+
+    /// Observer: batches currently parked in `to`'s inbound data lanes,
+    /// summed over all senders — the telemetry lane-occupancy gauge. Each
+    /// lane's occupancy is an independent racy probe; the sum is a
+    /// point-in-time estimate, which is all a gauge needs.
+    pub(crate) fn inbound_occupancy(&self, to: usize) -> usize {
+        (0..self.shards)
+            .map(|from| self.data[self.at(from, to)].len())
+            .sum()
     }
 
     /// Sender `from`: drains its own data lane to a **dead** receiver so
@@ -546,6 +565,19 @@ mod tests {
         // their lanes for the caller to drain.
         assert!(mesh.recv(0, 3).is_some());
         assert!(mesh.recv(2, 3).is_some());
+    }
+
+    #[test]
+    fn mesh_occupancy_gauges_track_lanes() {
+        let mesh: LaneMesh<u64> = LaneMesh::new(3);
+        assert_eq!(mesh.inbound_occupancy(1), 0);
+        mesh.send(0, 1, vec![env(1)]).unwrap();
+        mesh.send(0, 1, vec![env(2)]).unwrap();
+        mesh.send(2, 1, vec![env(3)]).unwrap();
+        assert_eq!(mesh.inbound_occupancy(1), 3);
+        assert_eq!(mesh.inbound_occupancy(0), 0);
+        mesh.recv(0, 1).unwrap();
+        assert_eq!(mesh.inbound_occupancy(1), 2);
     }
 
     #[test]

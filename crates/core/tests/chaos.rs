@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use remo_core::{
     AlgoCtx, Algorithm, Engine, EngineConfig, EngineError, FaultPlan, LatticeConfig, Partitioner,
-    TransportMode, VertexId, CHAOS_PANIC_MARKER,
+    TelemetryConfig, TransportMode, VertexId, CHAOS_PANIC_MARKER,
 };
 
 /// The paper's §II-A example: count each vertex's degree. Enough to make
@@ -68,6 +68,16 @@ fn transport_mode() -> TransportMode {
     }
 }
 
+/// `REMO_CHAOS_VERBOSE_RECORDER=1` drops the flight-recorder sampling
+/// shift to 0 (every event recorded) — chaos-forensics mode, exercised by
+/// one CI variant so the densest recording path stays covered.
+fn telemetry_mode() -> TelemetryConfig {
+    match std::env::var("REMO_CHAOS_VERBOSE_RECORDER").as_deref() {
+        Ok("1") => TelemetryConfig::default().with_sample_shift(0),
+        _ => TelemetryConfig::default(),
+    }
+}
+
 /// First few vertex ids owned by `shard` under a `shards`-way partition.
 fn owned_by(shard: usize, shards: usize) -> Vec<VertexId> {
     let p = Partitioner::new(shards);
@@ -98,6 +108,7 @@ fn chaos_config(plan: FaultPlan) -> EngineConfig {
         fault_plan: plan,
         lattice: lattice_mode(),
         transport: transport_mode(),
+        telemetry: telemetry_mode(),
         ..EngineConfig::undirected(2)
     }
 }
@@ -157,6 +168,25 @@ fn finish_degrades_to_surviving_shards() {
     assert_eq!(result.failures[0].id, 1);
     assert!(result.failures[0].payload.contains(CHAOS_PANIC_MARKER));
     assert_eq!(result.metrics.lost_shards, vec![1]);
+
+    // Flight recorder: the injected panic must arrive with a trace of the
+    // dying shard's last events, ending in the fault entry it wrote on
+    // the way down.
+    let trace = &result.failures[0].trace;
+    assert!(!trace.is_empty(), "chaos panic must carry a flight-recorder dump");
+    assert!(
+        trace.iter().any(|line| line.contains("fault kind=panic")),
+        "the dump must contain the injected fault entry, got: {trace:?}"
+    );
+
+    // Lost-shard counter fold: the dead shard's final snapshot-cell
+    // publish (made just before the panic) lands in the aggregate rather
+    // than reading as zeros — the injected fault itself is proof.
+    assert!(
+        result.metrics.per_shard[1].faults_injected >= 1,
+        "dead shard's last published counters must be folded in"
+    );
+    assert!(result.metrics.total().faults_injected >= 1);
 
     // Every harvested state belongs to the surviving shard, and the
     // survivor did contribute state (its local pair was processed).
@@ -273,6 +303,8 @@ fn delayed_shard_completes_and_reports_fault_metrics() {
     assert!(total.faults_injected >= 1, "delay faults must be counted");
     // The workload itself is fully processed despite the delays.
     assert_eq!(total.topo_ingested, 5);
+    // Satellite (a): a clean (if slow) harvest closes the envelope books.
+    result.metrics.verify_balance().unwrap();
 }
 
 /// Satellite (a): dropping an engine whose shard panicked (without calling
@@ -340,6 +372,30 @@ fn fault_free_run_is_clean_under_supervised_api() {
     let total = result.metrics.total();
     assert_eq!(total.faults_injected, 0);
     assert_eq!(total.envelopes_dropped, 0);
+    // Satellite (a): sent = processed + dominated + undeliverable + dropped
+    // on every clean quiesced harvest.
+    result.metrics.verify_balance().unwrap();
+}
+
+/// Mid-run observability composes with fault injection: `metrics_now`
+/// stays readable (and coherent) while a shard is dying, and the lost
+/// shard's cell survives into post-failure readings.
+#[test]
+fn metrics_now_remains_readable_through_shard_death() {
+    let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
+    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+    let start = Instant::now();
+    while !engine.is_degraded() && start.elapsed() < Duration::from_secs(5) {
+        let m = engine.metrics_now();
+        // Coherence: a torn read could pair a huge counter with zeros.
+        let _ = m.total();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(engine.is_degraded());
+    let m = engine.metrics_now();
+    assert_eq!(m.lost_shards, vec![1]);
+    // The dying shard's pre-panic publish is visible mid-run too.
+    assert!(m.per_shard[1].faults_injected >= 1);
 }
 
 /// The legacy rhh-record storage layout remains selectable and behaves

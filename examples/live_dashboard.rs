@@ -1,0 +1,102 @@
+//! Live dashboard: mid-run telemetry over a streaming RMAT ingest.
+//!
+//! Drives an incremental degree-count over a Graph500 RMAT stream and,
+//! while shards are still chewing on it, polls the cloneable
+//! [`TelemetryHub`] for derived gauges — events/sec over a sliding
+//! window, per-shard queue depth, park ratio, in-flight envelopes — the
+//! numbers an operator's dashboard would chart. After quiescence it
+//! performs one Prometheus text-exposition scrape and one JSON scrape
+//! against the same hub, exactly what a `/metrics` endpoint would serve.
+//! The CI smoke job runs this bounded and asserts the scrape parses.
+//!
+//! Knobs (all optional):
+//! - `REMO_DASH_SCALE`  — RMAT scale (default 13; edges ≈ 16 × 2^scale)
+//! - `REMO_DASH_SHARDS` — shard threads (default 4)
+//! - `REMO_DASH_TICKS`  — ingest chunks / dashboard refreshes (default 16)
+//!
+//! Run with: `cargo run --release --example live_dashboard`
+
+use std::time::Duration;
+
+use remo::prelude::*;
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = env_or("REMO_DASH_SCALE", 13) as u32;
+    let shards = env_or("REMO_DASH_SHARDS", 4) as usize;
+    let ticks = env_or("REMO_DASH_TICKS", 16) as usize;
+
+    let cfg = RmatConfig {
+        seed: 42,
+        ..RmatConfig::graph500(scale)
+    };
+    let mut edges = remo::gen::rmat::generate(&cfg);
+    remo::gen::stream::shuffle(&mut edges, 7);
+    println!(
+        "ingesting RMAT{scale} ({} edge events) over {shards} shards, {ticks} ticks\n",
+        edges.len()
+    );
+
+    let engine = Engine::new(DegreeCount, EngineConfig::undirected(shards));
+    // The hub is a cheap clone-able handle: hand it to a dashboard thread,
+    // an HTTP endpoint, or (here) poll it inline between ingest chunks.
+    let hub = engine.telemetry();
+
+    println!(
+        "{:>4}  {:>12}  {:>10}  {:>9}  {:>10}  {:>7}  queue depths",
+        "tick", "processed", "events/s", "in-flight", "backlog", "park%"
+    );
+    let chunk = edges.len().div_ceil(ticks.max(1));
+    for (i, batch) in edges.chunks(chunk).enumerate() {
+        engine.try_ingest_pairs(batch).expect("ingest");
+        // Shards drain in the background; give the sliding window a beat
+        // so consecutive polls straddle real progress.
+        std::thread::sleep(Duration::from_millis(40));
+        let g = hub.gauges();
+        let depths: Vec<String> = g.queue_depth.iter().map(|d| d.to_string()).collect();
+        println!(
+            "{i:>4}  {:>12}  {:>10.0}  {:>9}  {:>10}  {:>6.2}%  [{}]",
+            g.events_processed,
+            g.events_per_sec,
+            g.in_flight,
+            g.ingest_backlog,
+            100.0 * g.park_ratio,
+            depths.join(" ")
+        );
+    }
+
+    engine.try_await_quiescence().expect("quiescence");
+
+    // One scrape of each exporter against the still-live engine — the
+    // same strings a `/metrics` (Prometheus) or `/metrics.json` endpoint
+    // would serve. The smoke job greps these sections.
+    println!("\n--- prometheus scrape ---");
+    print!("{}", hub.render_prometheus());
+    println!("--- json scrape ---");
+    println!("{}", hub.render_json());
+
+    let result = engine.try_finish().expect("finish");
+    let m = &result.metrics;
+    m.verify_balance().expect("envelope balance");
+    let (p50, p99, p999) = m.service.quantiles_us();
+    let (q50, q99, _) = m.quiesce.quantiles_us();
+    println!("--- final ---");
+    println!(
+        "vertices {}  edges {}  events {}  amplification {:.2}",
+        result.num_vertices,
+        result.num_edges,
+        m.total().events_processed(),
+        m.amplification()
+    );
+    println!(
+        "service time p50/p99/p999: {p50:.1}/{p99:.1}/{p999:.1} us \
+         ({} samples)  quiesce p50/p99: {q50:.0}/{q99:.0} us",
+        m.service.count
+    );
+}

@@ -49,7 +49,8 @@ pub mod prelude {
     };
     pub use remo_core::{
         AlgoCtx, Algorithm, Engine, EngineBuilder, EngineConfig, EventCtx, Pair, SequentialEngine,
-        Snapshot, StorageLayout, TerminationMode, TopoEvent, TriggerFire, VertexId, Weight,
+        Snapshot, StorageLayout, TelemetryConfig, TelemetryHub, TerminationMode, TopoEvent,
+        TransportMode, TriggerFire, VertexId, Weight,
     };
     pub use remo_gen::{Dataset, RmatConfig};
 }
