@@ -11,6 +11,7 @@
 //! that exposes a shorter path (case (iii) of §II-B), the update event
 //! repairs the tree downstream; cases (i) and (ii) generate no work.
 
+use remo_core::algorithm::codec;
 use remo_core::{AlgoCtx, Algorithm, VertexId, Weight};
 
 /// Level value for vertices that exist but are not (yet) reached.
@@ -46,6 +47,13 @@ fn effective(level: u64) -> u64 {
 
 impl Algorithm for IncBfs {
     type State = u64;
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        codec::put_u64(*state, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> u64 {
+        codec::get_u64(bytes)
+    }
 
     /// `init()`: begin the traversal from this vertex (Algorithm 4 line 2).
     fn init(&self, ctx: &mut impl AlgoCtx<u64>) {
@@ -124,6 +132,13 @@ pub struct IncBfsSuppressed;
 
 impl Algorithm for IncBfsSuppressed {
     type State = u64;
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        codec::put_u64(*state, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> u64 {
+        codec::get_u64(bytes)
+    }
 
     fn init(&self, ctx: &mut impl AlgoCtx<u64>) {
         if ctx.apply(lower_to(1)) {
@@ -204,6 +219,14 @@ fn lp_lower_to(candidate: LevelParent) -> impl Fn(&mut LevelParent) -> bool {
 
 impl Algorithm for IncBfsDeterministic {
     type State = LevelParent;
+    fn encode_state(state: &LevelParent, out: &mut Vec<u8>) {
+        codec::put_u64(state.0, out);
+        codec::put_u64(state.1, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> LevelParent {
+        (codec::get_u64(&bytes[..8]), codec::get_u64(&bytes[8..]))
+    }
 
     fn init(&self, ctx: &mut impl AlgoCtx<LevelParent>) {
         let me = ctx.vertex();
@@ -303,7 +326,9 @@ mod tests {
         // Long path first, then a shortcut from the source.
         let engine = Engine::new(IncBfs, EngineConfig::undirected(2));
         engine.try_init_vertex(0).unwrap();
-        engine.try_ingest_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        engine
+            .try_ingest_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)])
+            .unwrap();
         engine.try_await_quiescence().unwrap();
         engine.try_ingest_pairs(&[(0, 4)]).unwrap(); // case (iii): shorter path appears
         let states = engine.try_finish().unwrap().states;
@@ -325,7 +350,9 @@ mod tests {
         // clause (§II-D) must choose the lower parent id, 1.
         let engine = Engine::new(IncBfsDeterministic, EngineConfig::undirected(2));
         engine.try_init_vertex(0).unwrap();
-        engine.try_ingest_pairs(&[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        engine
+            .try_ingest_pairs(&[(0, 1), (0, 2), (1, 3), (2, 3)])
+            .unwrap();
         let states = engine.try_finish().unwrap().states;
         assert_eq!(states.get(3), Some(&(3, 1)));
     }

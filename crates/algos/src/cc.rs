@@ -18,6 +18,7 @@
 //! fixpoint exactly the static oracle's
 //! `remo_baseline::components_dominator_label`.
 
+use remo_core::algorithm::codec;
 use remo_core::{AlgoCtx, Algorithm, VertexId, Weight};
 use remo_store::hash::mix64;
 
@@ -46,6 +47,13 @@ fn raise_to(candidate: u64) -> impl Fn(&mut u64) -> bool {
 
 impl Algorithm for IncCc {
     type State = u64;
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        codec::put_u64(*state, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> u64 {
+        codec::get_u64(bytes)
+    }
 
     /// Label any new vertex added to the graph (Algorithm 6 lines 3-5).
     fn on_add(&self, ctx: &mut impl AlgoCtx<u64>, _visitor: VertexId, _value: &u64, _w: Weight) {

@@ -7,6 +7,7 @@
 //! a certain threshold." State is a plain counter — monotone increasing in
 //! an add-only world.
 
+use remo_core::algorithm::codec;
 use remo_core::{AlgoCtx, Algorithm, VertexId, Weight};
 
 /// Tracks total degree (both endpoints count) on undirected graphs.
@@ -15,6 +16,13 @@ pub struct DegreeCount;
 
 impl Algorithm for DegreeCount {
     type State = u64;
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        codec::put_u64(*state, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> u64 {
+        codec::get_u64(bytes)
+    }
 
     fn on_add(&self, ctx: &mut impl AlgoCtx<u64>, _visitor: VertexId, _value: &u64, _w: Weight) {
         ctx.apply(|d| {
@@ -54,6 +62,13 @@ pub struct OutDegreeCount;
 
 impl Algorithm for OutDegreeCount {
     type State = u64;
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        codec::put_u64(*state, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> u64 {
+        codec::get_u64(bytes)
+    }
 
     fn on_add(&self, ctx: &mut impl AlgoCtx<u64>, _visitor: VertexId, _value: &u64, _w: Weight) {
         ctx.apply(|d| {
@@ -105,7 +120,9 @@ mod tests {
         let mut builder = EngineBuilder::new(DegreeCount, EngineConfig::undirected(2));
         builder.trigger("degree>=3", |_, d: &u64| *d >= 3);
         let engine = builder.build();
-        engine.try_ingest_pairs(&[(7, 1), (7, 2), (7, 3), (7, 4), (7, 5)]).unwrap();
+        engine
+            .try_ingest_pairs(&[(7, 1), (7, 2), (7, 3), (7, 4), (7, 5)])
+            .unwrap();
         engine.try_await_quiescence().unwrap();
         let fires: Vec<_> = engine.trigger_events().try_iter().collect();
         assert_eq!(fires.len(), 1, "monotone trigger must fire exactly once");

@@ -25,6 +25,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+use remo_core::algorithm::codec;
 use remo_core::{AlgoCtx, Algorithm, VertexId, Weight};
 
 /// Level value for unreached vertices.
@@ -101,6 +102,14 @@ fn adopt(candidate: GenLevel) -> impl Fn(&mut GenLevel) -> bool {
 
 impl Algorithm for GenBfs {
     type State = GenLevel;
+    fn encode_state(state: &GenLevel, out: &mut Vec<u8>) {
+        codec::put_u32(state.0, out);
+        codec::put_u64(state.1, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> GenLevel {
+        (codec::get_u32(&bytes[..4]), codec::get_u64(&bytes[4..]))
+    }
 
     /// Initiates (or re-initiates, after a bump) the source at the current
     /// generation.
@@ -210,7 +219,9 @@ mod tests {
         let engine = Engine::new(algo, EngineConfig::undirected(2));
         engine.try_init_vertex(0).unwrap();
         // Short path 0-1-4 and long path 0-2-3-4.
-        engine.try_ingest_pairs(&[(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)]).unwrap();
+        engine
+            .try_ingest_pairs(&[(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)])
+            .unwrap();
         engine.try_await_quiescence().unwrap();
 
         // Delete the shortcut, open a new generation, re-seed.
@@ -315,6 +326,14 @@ fn gcc_join(me: remo_core::VertexId, incoming: GenLabel) -> impl Fn(&mut GenLabe
 
 impl Algorithm for GenCc {
     type State = GenLabel;
+    fn encode_state(state: &GenLabel, out: &mut Vec<u8>) {
+        codec::put_u32(state.0, out);
+        codec::put_u64(state.1, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> GenLabel {
+        (codec::get_u32(&bytes[..4]), codec::get_u64(&bytes[4..]))
+    }
 
     /// Label any new vertex (Algorithm 6's add behaviour, generation-aware:
     /// the self-label joins within whatever generation the vertex is in).

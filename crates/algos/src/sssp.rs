@@ -11,6 +11,7 @@
 //! dependant [than BFS], as the edge weights play a key role" — the fig5
 //! bench shows exactly that: identical code, different amplification.
 
+use remo_core::algorithm::codec;
 use remo_core::{AlgoCtx, Algorithm, VertexId, Weight};
 
 /// Cost for vertices that exist but are not (yet) reached.
@@ -44,6 +45,13 @@ fn effective(cost: u64) -> u64 {
 
 impl Algorithm for IncSssp {
     type State = u64;
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        codec::put_u64(*state, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> u64 {
+        codec::get_u64(bytes)
+    }
 
     /// Begin the traversal from this vertex (cost 1, Algorithm 5 line 3).
     fn init(&self, ctx: &mut impl AlgoCtx<u64>) {
@@ -141,7 +149,9 @@ mod tests {
     fn late_cheap_edge_repairs_downstream() {
         let engine = Engine::new(IncSssp, EngineConfig::undirected(2));
         engine.try_init_vertex(0).unwrap();
-        engine.try_ingest_weighted(&[(0, 1, 100), (1, 2, 1)]).unwrap();
+        engine
+            .try_ingest_weighted(&[(0, 1, 100), (1, 2, 1)])
+            .unwrap();
         engine.try_await_quiescence().unwrap();
         // A cheap bypass to vertex 1 must also lower vertex 2.
         engine.try_ingest_weighted(&[(0, 1, 2)]).unwrap();

@@ -10,6 +10,7 @@
 //! and everything else, right now?* — a natural on-line analytics question
 //! for communication or payment networks.
 
+use remo_core::algorithm::codec;
 use remo_core::{AlgoCtx, Algorithm, VertexId, Weight};
 
 /// Bottleneck value of the source itself (an "infinite" pipe).
@@ -38,6 +39,13 @@ fn raise_to(candidate: u64) -> impl Fn(&mut u64) -> bool {
 
 impl Algorithm for IncWidest {
     type State = u64;
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        codec::put_u64(*state, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> u64 {
+        codec::get_u64(bytes)
+    }
 
     /// The source has unbounded capacity to itself.
     fn init(&self, ctx: &mut impl AlgoCtx<u64>) {

@@ -116,7 +116,14 @@ where
     A::State: PartialEq + std::fmt::Debug,
     F: Fn() -> A + Copy,
 {
-    let dense = observe::<A, F>(make, StorageLayout::DenseArena, edges, weights, init, shards);
+    let dense = observe::<A, F>(
+        make,
+        StorageLayout::DenseArena,
+        edges,
+        weights,
+        init,
+        shards,
+    );
     let legacy = observe::<A, F>(make, StorageLayout::RhhRecord, edges, weights, init, shards);
     prop_assert_eq!(
         &dense.fixpoint,

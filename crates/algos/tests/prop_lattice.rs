@@ -86,7 +86,12 @@ where
         );
         states.push(result.states.into_vec());
     }
-    prop_assert_eq!(&states[0], &states[1], "lattice run diverged (P={})", shards);
+    prop_assert_eq!(
+        &states[0],
+        &states[1],
+        "lattice run diverged (P={})",
+        shards
+    );
     Ok(())
 }
 

@@ -22,9 +22,27 @@ fn layer_grid() -> Vec<(&'static str, LatticeConfig)> {
     let off = LatticeConfig::default();
     vec![
         ("fifo", off),
-        ("+coalesce", LatticeConfig { coalesce: true, ..off }),
-        ("+dominance", LatticeConfig { dominance: true, ..off }),
-        ("+priority", LatticeConfig { priority: true, ..off }),
+        (
+            "+coalesce",
+            LatticeConfig {
+                coalesce: true,
+                ..off
+            },
+        ),
+        (
+            "+dominance",
+            LatticeConfig {
+                dominance: true,
+                ..off
+            },
+        ),
+        (
+            "+priority",
+            LatticeConfig {
+                priority: true,
+                ..off
+            },
+        ),
         ("all-on", LatticeConfig::all()),
     ]
 }
@@ -165,8 +183,16 @@ fn main() {
              ({SHARDS} shards, identical fixpoints verified)"
         ),
         &[
-            "Algo", "Layers", "Wall", "dWall", "Events", "dEvents", "Coalesced", "Dominated",
-            "Suppressed", "Reorders",
+            "Algo",
+            "Layers",
+            "Wall",
+            "dWall",
+            "Events",
+            "dEvents",
+            "Coalesced",
+            "Dominated",
+            "Suppressed",
+            "Reorders",
         ],
         &rows,
     );

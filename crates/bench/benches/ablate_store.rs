@@ -160,11 +160,7 @@ fn micro_map_table() {
         "Context: RhhMap vs std HashMap, 100k integer keys (not persisted)",
         &["Map", "Insert", "Get"],
         &[
-            vec![
-                "rhh".to_string(),
-                fmt_dur(rhh_insert),
-                fmt_dur(rhh_get),
-            ],
+            vec!["rhh".to_string(), fmt_dur(rhh_insert), fmt_dur(rhh_get)],
             vec![
                 "std_hashmap".to_string(),
                 fmt_dur(std_insert),
@@ -228,7 +224,9 @@ fn main() {
             "Ablation: vertex-storage layout on RMAT{rmat_scale} \
              ({SHARDS} shards, identical fixpoints verified per cell)"
         ),
-        &["Algo", "Store", "Wall", "dWall", "Events", "B/edge", "PeakRSS"],
+        &[
+            "Algo", "Store", "Wall", "dWall", "Events", "B/edge", "PeakRSS",
+        ],
         &rows,
     );
 }

@@ -38,7 +38,11 @@ const TELEMETRY_OVERHEAD_CEILING: f64 = 1.02;
 
 fn transport_grid() -> Vec<(&'static str, TransportMode, TelemetryConfig)> {
     vec![
-        ("channel", TransportMode::Channel, TelemetryConfig::default()),
+        (
+            "channel",
+            TransportMode::Channel,
+            TelemetryConfig::default(),
+        ),
         ("lanes", TransportMode::Lanes, TelemetryConfig::default()),
         ("lanes-notel", TransportMode::Lanes, TelemetryConfig::off()),
     ]
@@ -157,7 +161,9 @@ fn main() {
         // not the instrumentation (observed swings of ±10% in both
         // directions on a 1-core container). `REMO_BENCH_STRICT_TELEMETRY=1`
         // forces the gate regardless.
-        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         let strict = std::env::var("REMO_BENCH_STRICT_TELEMETRY").as_deref() == Ok("1");
         if scale >= 1.0 && (cores >= SHARDS || strict) {
             let on = &cells[1];
@@ -241,8 +247,16 @@ fn main() {
              ({SHARDS} shards, identical fixpoints verified per cell)"
         ),
         &[
-            "Algo", "Transport", "Telemetry", "Wall", "dWall", "Events", "LaneB", "Recycle",
-            "Fallb", "Unparks",
+            "Algo",
+            "Transport",
+            "Telemetry",
+            "Wall",
+            "dWall",
+            "Events",
+            "LaneB",
+            "Recycle",
+            "Fallb",
+            "Unparks",
         ],
         &rows,
     );

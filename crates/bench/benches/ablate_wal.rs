@@ -1,0 +1,219 @@
+//! Ablation — durability: WAL + checkpoints off / on / on-with-fsync.
+//!
+//! Durability is runtime-selectable (`EngineConfig::with_durability`) and
+//! the default is off, so the data path must not pay for a feature nobody
+//! asked for: with durability off the only added cost is one predictable
+//! untaken branch per event. This harness prices the whole spectrum on
+//! RMAT-14 SSSP over 8 shards:
+//!
+//! - `off`       — the engine default (`durability: None`); the cell the
+//!   1% acceptance gate is asserted on, against an identically-configured
+//!   `plain` reference run interleaved rep-by-rep.
+//! - `wal`       — per-shard CRC-framed WAL + periodic dense-arena
+//!   checkpoints, OS page cache only (`fsync(false)`).
+//! - `wal-fsync` — the same with fsync batching on: the honest
+//!   crash-consistent configuration `examples/durable_restart.rs` ships.
+//!
+//! Every cell must converge to the byte-identical SSSP fixpoint, the off
+//! cell must record zero WAL records / bytes / checkpoints (durability off
+//! does no durability work, not merely cheap work), and at full scale on
+//! an uncontended box the off cell must stay within 1% wall clock of the
+//! plain reference (min-of-reps on both sides to shed scheduler noise).
+//! The on-cells' overhead is reported, not gated — it prices an fsync
+//! policy choice, not a regression.
+//!
+//! Run: `cargo bench -p remo-bench --bench ablate_wal`
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use remo_algos::IncSssp;
+use remo_bench::*;
+use remo_core::{DurabilityConfig, EngineConfig, VertexId, Weight};
+use remo_gen::{stream, RmatConfig};
+use remo_store::hash::mix64;
+
+const SHARDS: usize = 8;
+
+/// Durability-off acceptance ceiling vs the plain reference cell,
+/// asserted at `scale >= 1.0` on boxes with a core per shard.
+const OFF_OVERHEAD_CEILING: f64 = 1.01;
+
+/// Weight derived from the endpoints only (symmetric), so duplicate and
+/// reversed edges in the stream agree on the undirected edge's weight.
+fn edge_weight(s: VertexId, d: VertexId) -> Weight {
+    (mix64(s ^ d) % 15) + 1
+}
+
+enum Durability {
+    Off,
+    Wal { fsync: bool },
+}
+
+struct Cell {
+    elapsed: Duration,
+    events: u64,
+    wal_records: u64,
+    wal_bytes: u64,
+    checkpoints: u64,
+    states: Vec<(VertexId, u64)>,
+}
+
+fn cell_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("remo-ablate-wal-{}-{tag}", std::process::id()))
+}
+
+fn run_once(
+    mode: &Durability,
+    tag: &str,
+    expected_vertices: usize,
+    weighted: &[(VertexId, VertexId, Weight)],
+    source: VertexId,
+) -> Cell {
+    let mut cfg = EngineConfig::undirected(SHARDS).with_expected_vertices(expected_vertices);
+    let dir = cell_dir(tag);
+    if let Durability::Wal { fsync } = mode {
+        let _ = std::fs::remove_dir_all(&dir);
+        cfg = cfg.with_durability(
+            DurabilityConfig::new(&dir)
+                .checkpoint_every(4096)
+                .fsync(*fsync),
+        );
+    }
+    let run = timed_run_weighted_with(IncSssp, cfg, weighted, &[source]);
+    if matches!(mode, Durability::Wal { .. }) {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let total = run.result.metrics.total();
+    Cell {
+        elapsed: run.elapsed,
+        events: total.events_processed(),
+        wal_records: total.wal_records_appended,
+        wal_bytes: total.wal_bytes,
+        checkpoints: total.checkpoints_written,
+        states: run.result.states.into_vec(),
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let rmat_scale: u32 = (14 + (scale.log2().round() as i32).clamp(-6, 6)) as u32;
+    let cfg = RmatConfig::graph500(rmat_scale);
+    let mut edges = remo_gen::rmat::generate(&cfg);
+    stream::shuffle(&mut edges, 61);
+    let weighted: Vec<(VertexId, VertexId, Weight)> = edges
+        .iter()
+        .map(|&(s, d)| (s, d, edge_weight(s, d)))
+        .collect();
+    let source = edges[0].0;
+    let expected_vertices = 1usize << rmat_scale;
+
+    let grid: Vec<(&str, Durability)> = vec![
+        ("plain", Durability::Off),
+        ("off", Durability::Off),
+        ("wal", Durability::Wal { fsync: false }),
+        ("wal-fsync", Durability::Wal { fsync: true }),
+    ];
+
+    // Rep-major sweep keeping each cell's minimum wall-clock (see
+    // ablate_coalescing: interleaving beats rep count against load
+    // drift). Counters and states come from the final rep.
+    let mut cells: Vec<Option<Cell>> = grid.iter().map(|_| None).collect();
+    for _ in 0..bench_reps() {
+        for (slot, (tag, mode)) in cells.iter_mut().zip(&grid) {
+            let mut cell = run_once(mode, tag, expected_vertices, &weighted, source);
+            if let Some(prev) = slot.take() {
+                cell.elapsed = cell.elapsed.min(prev.elapsed);
+            }
+            *slot = Some(cell);
+        }
+    }
+    let cells: Vec<Cell> = cells.into_iter().map(|c| c.expect("reps >= 1")).collect();
+    let plain = &cells[0];
+    let off = &cells[1];
+
+    for ((tag, mode), cell) in grid.iter().zip(&cells) {
+        assert_eq!(
+            plain.states, cell.states,
+            "{tag}: SSSP fixpoint diverged across durability modes"
+        );
+        match mode {
+            Durability::Off => assert_eq!(
+                (cell.wal_records, cell.wal_bytes, cell.checkpoints),
+                (0, 0, 0),
+                "{tag}: durability off must do zero durability work"
+            ),
+            Durability::Wal { .. } => {
+                assert!(
+                    cell.wal_records > 0 && cell.checkpoints > 0,
+                    "{tag}: durable cell wrote no WAL/checkpoints"
+                );
+            }
+        }
+    }
+
+    // Acceptance gate: the durability-off data path costs nothing. Guarded
+    // like ablate_transport's telemetry gate — at smoke scales the runs are
+    // too short to resolve 1%, and with fewer cores than shards the wall
+    // delta measures the kernel scheduler, not the branch.
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let strict = std::env::var("REMO_BENCH_STRICT_WAL").as_deref() == Ok("1");
+    if scale >= 1.0 && (cores >= SHARDS || strict) {
+        let ratio = off.elapsed.as_secs_f64() / plain.elapsed.as_secs_f64().max(1e-9);
+        assert!(
+            ratio <= OFF_OVERHEAD_CEILING,
+            "durability-off costs {:.2}% wall over the plain reference \
+             (ceiling {:.0}%)",
+            100.0 * (ratio - 1.0),
+            100.0 * (OFF_OVERHEAD_CEILING - 1.0)
+        );
+    } else if scale >= 1.0 {
+        eprintln!(
+            "note: durability-off gate skipped ({cores} cores < {SHARDS} \
+             shards; wall deltas would measure the scheduler)"
+        );
+    }
+
+    let mut rows = Vec::new();
+    for ((tag, _), cell) in grid.iter().zip(&cells) {
+        let wall_delta = if std::ptr::eq(plain, cell) {
+            "base".to_string()
+        } else {
+            format!(
+                "{:+.1}%",
+                100.0 * (cell.elapsed.as_secs_f64() - plain.elapsed.as_secs_f64())
+                    / plain.elapsed.as_secs_f64().max(1e-9)
+            )
+        };
+        let eps = cell.events as f64 / cell.elapsed.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            tag.to_string(),
+            fmt_dur(cell.elapsed),
+            wall_delta,
+            format!("{:.0}", eps),
+            cell.wal_records.to_string(),
+            format!("{:.2}", cell.wal_bytes as f64 / 1e6),
+            cell.checkpoints.to_string(),
+        ]);
+    }
+
+    report(
+        "ablate_wal",
+        &format!(
+            "Ablation: durability (per-shard WAL + checkpoints) on RMAT{rmat_scale} \
+             SSSP ({SHARDS} shards, identical fixpoints verified per cell)"
+        ),
+        &[
+            "Durability",
+            "Wall",
+            "dWall",
+            "Events/s",
+            "WalRecs",
+            "WalMB",
+            "Ckpts",
+        ],
+        &rows,
+    );
+}

@@ -292,7 +292,10 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
             .collect();
         let _ = writeln!(out, "| {} |", padded.join(" | "));
     };
-    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     let _ = writeln!(
         out,
         "|{}|",

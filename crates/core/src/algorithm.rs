@@ -136,6 +136,61 @@ pub trait Algorithm: Send + Sync + 'static {
     {
         None
     }
+
+    /// Serializes one vertex state for the durability layer (WAL envelope
+    /// records and checkpoint images; see [`crate::wal`]). Must be the
+    /// exact inverse of [`Algorithm::decode_state`] — recovery asserts
+    /// byte-identical fixpoints on it. The default panics: implement both
+    /// codec hooks before enabling
+    /// [`EngineConfig::with_durability`](crate::EngineConfig::with_durability).
+    /// Durability-off engines never call either hook.
+    fn encode_state(_state: &Self::State, _out: &mut Vec<u8>)
+    where
+        Self: Sized,
+    {
+        panic!("Algorithm::encode_state is required when durability is enabled");
+    }
+
+    /// Deserializes one vertex state previously written by
+    /// [`Algorithm::encode_state`]. May panic on corrupt input (the WAL
+    /// and checkpoint layers CRC-validate frames before decoding, so this
+    /// only sees bytes the same algorithm produced).
+    fn decode_state(_bytes: &[u8]) -> Self::State
+    where
+        Self: Sized,
+    {
+        panic!("Algorithm::decode_state is required when durability is enabled");
+    }
+}
+
+/// Little-endian `u64` state codec helpers for the common `State = u64`
+/// case — most REMO lattice states (levels, distances, component labels)
+/// encode this way.
+pub mod codec {
+    /// Appends `v` little-endian.
+    pub fn put_u64(v: u64, out: &mut Vec<u8>) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64` from the front of `bytes`. Panics on
+    /// short input (corrupt durable data).
+    pub fn get_u64(bytes: &[u8]) -> u64 {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes[..8]);
+        u64::from_le_bytes(w)
+    }
+
+    /// Appends `v` little-endian.
+    pub fn put_u32(v: u32, out: &mut Vec<u8>) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32` from the front of `bytes`.
+    pub fn get_u32(bytes: &[u8]) -> u32 {
+        let mut w = [0u8; 4];
+        w.copy_from_slice(&bytes[..4]);
+        u32::from_le_bytes(w)
+    }
 }
 
 /// Callback context: the visited vertex's state, adjacency, and propagation

@@ -191,6 +191,26 @@ macro_rules! forward_both {
 impl<A: Algorithm, B: Algorithm> Algorithm for Pair<A, B> {
     type State = (A::State, B::State);
 
+    fn encode_state(state: &Self::State, out: &mut Vec<u8>) {
+        // Length-prefix the first component so decode can split the pair
+        // without knowing either codec's width.
+        let mut a = Vec::new();
+        A::encode_state(&state.0, &mut a);
+        out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+        out.extend_from_slice(&a);
+        B::encode_state(&state.1, out);
+    }
+
+    fn decode_state(bytes: &[u8]) -> Self::State {
+        let mut w = [0u8; 4];
+        w.copy_from_slice(&bytes[..4]);
+        let n = u32::from_le_bytes(w) as usize;
+        (
+            A::decode_state(&bytes[4..4 + n]),
+            B::decode_state(&bytes[4 + n..]),
+        )
+    }
+
     fn init(&self, ctx: &mut impl AlgoCtx<Self::State>) {
         self.first.init(&mut proj_a(ctx));
         self.second.init(&mut proj_b(ctx));
@@ -412,16 +432,25 @@ mod tests {
     fn pair_join_is_all_or_nothing() {
         // Touch has no join: the pair must decline and leave `into` alone.
         let mut into = (1u64, 5u64);
-        assert!(!<Pair<Touch, MinFlood> as Algorithm>::join(&mut into, &(2, 3)));
+        assert!(!<Pair<Touch, MinFlood> as Algorithm>::join(
+            &mut into,
+            &(2, 3)
+        ));
         assert_eq!(into, (1, 5));
         let mut into = (5u64, 5u64);
-        assert!(<Pair<MinFlood, MinFlood> as Algorithm>::join(&mut into, &(3, 7)));
+        assert!(<Pair<MinFlood, MinFlood> as Algorithm>::join(
+            &mut into,
+            &(3, 7)
+        ));
         assert_eq!(into, (3, 5));
         assert_eq!(
             <Pair<MinFlood, MinFlood> as Algorithm>::priority(&(4, 9)),
             Some(4)
         );
-        assert_eq!(<Pair<Touch, MinFlood> as Algorithm>::priority(&(4, 9)), None);
+        assert_eq!(
+            <Pair<Touch, MinFlood> as Algorithm>::priority(&(4, 9)),
+            None
+        );
     }
 
     #[test]

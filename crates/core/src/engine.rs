@@ -43,6 +43,7 @@ use crate::telemetry::{TelemetryHub, TelemetryShared};
 use crate::termination::{Backoff, Deadline, DetectionTimer, SharedCounters};
 use crate::transport::{LaneHandles, ParkBoard, TransportMode, MAX_LANE_SHARDS};
 use crate::trigger::{TriggerDef, TriggerFire, MAX_TRIGGERS};
+use crate::wal;
 
 /// Builds an [`Engine`], registering triggers before the shards start.
 pub struct EngineBuilder<A: Algorithm> {
@@ -88,6 +89,33 @@ impl<A: Algorithm> EngineBuilder<A> {
         let config = self.config;
         let shards = config.num_shards;
         assert!(shards > 0, "need at least one shard");
+
+        // Durable engines stamp their shape into the root directory so a
+        // later cold restart ([`Engine::open`]) can refuse a mismatched
+        // config (vertex ownership is a function of the shard count — a
+        // different count would silently misassign recovered vertices).
+        if let Some(d) = &config.durability {
+            match wal::read_manifest(&d.dir) {
+                Ok(Some((s, u))) if s != shards || u != config.undirected => panic!(
+                    "durability dir {} was written by a {s}-shard undirected={u} engine; \
+                     refusing to reuse it with {shards} shards undirected={} \
+                     (use Engine::open to validate, or point at a fresh directory)",
+                    d.dir.display(),
+                    config.undirected
+                ),
+                Err(e) => panic!(
+                    "durability: cannot read MANIFEST under {}: {e}",
+                    d.dir.display()
+                ),
+                _ => {}
+            }
+            if let Err(e) = wal::write_manifest(&d.dir, shards, config.undirected) {
+                panic!(
+                    "durability: cannot write MANIFEST under {}: {e}",
+                    d.dir.display()
+                );
+            }
+        }
 
         let shared = Arc::new(SharedCounters::new(shards));
         let board = Arc::new(FailureBoard::new());
@@ -195,8 +223,7 @@ where
     St: ShardStore<A::State>,
 {
     let worker: ShardWorker<A, St> = ShardWorker::new(
-        id, algo, config, rx, senders, shared, board, triggers, trigger_tx, quiesce_tx, lanes,
-        tele,
+        id, algo, config, rx, senders, shared, board, triggers, trigger_tx, quiesce_tx, lanes, tele,
     );
     std::thread::Builder::new()
         .name(format!("remo-shard-{id}"))
@@ -263,6 +290,48 @@ impl<A: Algorithm> Engine<A> {
     /// Convenience: build with no triggers.
     pub fn new(algo: A, config: EngineConfig) -> Self {
         EngineBuilder::new(algo, config).build()
+    }
+
+    /// Cold restart: opens an engine over an existing durable directory
+    /// (`config.durability.dir`), validating its `MANIFEST` against the
+    /// config before any shard starts. Each shard then restores its
+    /// latest checkpoint and replays its WAL tail during startup, so the
+    /// engine resumes from the last durable state — ingest more events,
+    /// snapshot, or [`Engine::try_finish`] as usual. A fresh (empty)
+    /// directory is also accepted, making `open` a drop-in for
+    /// [`Engine::new`] on first boot.
+    ///
+    /// Fails with [`EngineError::DurabilityMismatch`] when the config has
+    /// no durability, or when the directory was written by an engine of a
+    /// different shape (shard count / undirectedness).
+    pub fn open(algo: A, config: EngineConfig) -> Result<Self, EngineError> {
+        let Some(d) = &config.durability else {
+            return Err(EngineError::DurabilityMismatch {
+                message: "Engine::open requires EngineConfig::with_durability".to_string(),
+            });
+        };
+        match wal::read_manifest(&d.dir) {
+            Ok(Some((shards, undirected))) => {
+                if shards != config.num_shards || undirected != config.undirected {
+                    return Err(EngineError::DurabilityMismatch {
+                        message: format!(
+                            "{} holds state from a {shards}-shard undirected={undirected} \
+                             engine, but the config asks for {} shards undirected={}",
+                            d.dir.display(),
+                            config.num_shards,
+                            config.undirected
+                        ),
+                    });
+                }
+            }
+            Ok(None) => {} // fresh directory: first boot
+            Err(e) => {
+                return Err(EngineError::DurabilityMismatch {
+                    message: format!("cannot read MANIFEST under {}: {e}", d.dir.display()),
+                });
+            }
+        }
+        Ok(EngineBuilder::new(algo, config).build())
     }
 
     /// Number of shard threads.
@@ -372,8 +441,9 @@ impl<A: Algorithm> Engine<A> {
         to_event: impl Fn(T) -> TopoEvent,
     ) -> Result<(), EngineError> {
         let k = self.config.num_shards;
-        let mut streams: Vec<Vec<TopoEvent>> =
-            (0..k).map(|_| Vec::with_capacity(items.len().div_ceil(k))).collect();
+        let mut streams: Vec<Vec<TopoEvent>> = (0..k)
+            .map(|_| Vec::with_capacity(items.len().div_ceil(k)))
+            .collect();
         for (i, &item) in items.iter().enumerate() {
             streams[i % k].push(to_event(item));
         }
@@ -780,6 +850,7 @@ impl<A: Algorithm> Engine<A> {
         metrics.flush = self.tele.flush_snapshot();
         metrics.quiesce = self.tele.quiesce_snapshot();
         metrics.ingest_fixpoint = self.tele.ingest_fixpoint_snapshot();
+        metrics.checkpoint = self.tele.checkpoint_snapshot();
         // Satellite invariant: on a clean, quiesced harvest every envelope
         // counted as sent was accounted for exactly once. Lost shards void
         // the equation (their in-flight envelopes retired as
@@ -800,10 +871,7 @@ impl<A: Algorithm> Engine<A> {
             num_edges,
             adjacency_bytes,
             store_bytes,
-            tables: tables
-                .into_iter()
-                .map(|t| t.unwrap_or_default())
-                .collect(),
+            tables: tables.into_iter().map(|t| t.unwrap_or_default()).collect(),
             failures,
         })
     }

@@ -88,6 +88,7 @@ pub mod termination;
 pub mod transport;
 pub mod trigger;
 pub mod vertex_state;
+pub mod wal;
 
 pub use algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
 pub use compose::Pair;
@@ -109,6 +110,7 @@ pub use termination::{Backoff, Deadline, DetectionTimer, TerminationMode};
 pub use transport::TransportMode;
 pub use trigger::{TriggerFire, MAX_TRIGGERS};
 pub use vertex_state::{VertexMeta, VertexState};
+pub use wal::DurabilityConfig;
 
 /// Re-exports of the storage layer's core identifiers.
 pub use remo_store::{EdgeMeta, VertexId, Weight};

@@ -5,7 +5,7 @@
 //! message-amplification statistics the per-algorithm comparisons need
 //! (how many Update events did one topology event fan out into?).
 //!
-//! Since PR 5 the counter set is declared once through [`shard_metrics!`]
+//! Since PR 5 the counter set is declared once through `shard_metrics!`
 //! so that the struct, `merge`, and the word-array serialization used by
 //! the live telemetry snapshot cells ([`crate::telemetry`]) can never
 //! drift apart: every counter added here automatically shows up in
@@ -129,10 +129,25 @@ shard_metrics! {
     /// publishing work for it (event-driven wakeups that fired).
     unparks,
     /// Times this shard went to sleep in its idle loop (parked on the
-    /// [`ParkBoard`](crate::transport::ParkBoard) or timed out on the
+    /// `ParkBoard` or timed out on the
     /// channel receive). `idle_parks / (idle_parks + events_processed)`
     /// is the park-ratio gauge.
     idle_parks,
+    /// WAL records appended (accepted external envelopes + pulled topology
+    /// events). 0 when durability is off.
+    wal_records_appended,
+    /// Bytes fsynced into the WAL, framing included.
+    wal_bytes,
+    /// Checkpoints staged *and* published by this shard.
+    checkpoints_written,
+    /// WAL records re-processed during recovery replay (warm respawn or
+    /// cold restart).
+    replayed_records,
+    /// Times this shard was respawned in place after a contained panic.
+    shard_respawns,
+    /// Envelopes retired unprocessed by the post-panic custody sweep so the
+    /// termination books stay balanced; replay re-derives their effects.
+    envelopes_recovered,
 }
 
 impl ShardMetrics {
@@ -236,7 +251,11 @@ impl LatencyHistogram {
                 continue;
             }
             if seen + c >= rank {
-                let lo = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
                 let hi = if i == 0 { 1.0 } else { (i as f64).exp2() };
                 let frac = (rank - seen) as f64 / c as f64;
                 return lo + frac * (hi - lo);
@@ -288,6 +307,9 @@ pub struct RunMetrics {
     /// Ingest→fixpoint latency: first ingest after a quiescent point until
     /// the next detected quiescence (one sample per settled epoch).
     pub ingest_fixpoint: LatencyHistogram,
+    /// Checkpoint duration: staging through publish of one durable
+    /// checkpoint (empty when durability is off).
+    pub checkpoint: LatencyHistogram,
 }
 
 impl RunMetrics {
@@ -318,12 +340,17 @@ impl RunMetrics {
     /// envelopes_sent + controller_sent
     ///   == events_processed + updates_dominated
     ///    + envelopes_undeliverable + envelopes_dropped
+    ///    + envelopes_recovered
     /// ```
     ///
     /// Coalesced envelopes are absorbed *before* sending and never counted
     /// as sent (the surviving carrier envelope is counted once); likewise
     /// `updates_suppressed` never enter the sent side. Dominance-retired
-    /// envelopes were sent, so they appear on the right.
+    /// envelopes were sent, so they appear on the right. Envelopes swept
+    /// out of a panicked shard's queues before an in-place respawn were
+    /// sent but never serviced; the custody sweep retires them under
+    /// `envelopes_recovered` (their effects are re-derived from the WAL,
+    /// and replay-generated traffic is fresh-counted on both sides).
     ///
     /// The equation only closes on runs that reached quiescence with all
     /// shards alive: a lost shard's last snapshot can trail its true
@@ -336,14 +363,15 @@ impl RunMetrics {
         let accounted = t.events_processed()
             + t.updates_dominated
             + t.envelopes_undeliverable
-            + t.envelopes_dropped;
+            + t.envelopes_dropped
+            + t.envelopes_recovered;
         if sent == accounted {
             Ok(())
         } else {
             Err(format!(
                 "envelope balance violated: sent {} (shards {} + controller {}) \
                  != accounted {} (processed {} + dominated {} + undeliverable {} \
-                 + dropped {})",
+                 + dropped {} + recovered {})",
                 sent,
                 t.envelopes_sent,
                 self.controller_sent,
@@ -352,6 +380,7 @@ impl RunMetrics {
                 t.updates_dominated,
                 t.envelopes_undeliverable,
                 t.envelopes_dropped,
+                t.envelopes_recovered,
             ))
         }
     }
@@ -427,7 +456,10 @@ mod tests {
 
     #[test]
     fn words_roundtrip_and_names_align() {
-        assert_eq!(ShardMetrics::COUNTER_NAMES.len(), ShardMetrics::COUNTER_WORDS);
+        assert_eq!(
+            ShardMetrics::COUNTER_NAMES.len(),
+            ShardMetrics::COUNTER_WORDS
+        );
         // Every name unique.
         for (i, a) in ShardMetrics::COUNTER_NAMES.iter().enumerate() {
             for b in &ShardMetrics::COUNTER_NAMES[i + 1..] {
@@ -483,8 +515,8 @@ mod tests {
                 add_events: 6,
                 update_events: 2,
                 updates_dominated: 2,
-                envelopes_coalesced: 3,  // absorbed pre-send: not in equation
-                updates_suppressed: 4,   // suppressed pre-send: not in equation
+                envelopes_coalesced: 3, // absorbed pre-send: not in equation
+                updates_suppressed: 4,  // suppressed pre-send: not in equation
                 ..Default::default()
             }],
             controller_sent: 0,

@@ -159,7 +159,10 @@ impl<A: Algorithm> SequentialEngine<A> {
                 } else {
                     0
                 };
-                if rec.adj.insert_weight_min(visitor, EdgeMeta { weight, cached }) {
+                if rec
+                    .adj
+                    .insert_weight_min(visitor, EdgeMeta { weight, cached })
+                {
                     self.edges += 1;
                     self.metrics.edges_inserted += 1;
                 } else {

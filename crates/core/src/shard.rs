@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use remo_store::{EdgeMeta, VertexId, VertexTable};
+use remo_store::{Adjacency, EdgeMeta, VertexId, VertexTable};
 
 use crate::algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
 use crate::event::{Envelope, Epoch, EventKind, TopoEvent};
@@ -39,7 +39,8 @@ use crate::telemetry::{FlightTag, TelemetryConfig, TelemetryShared, PUBLISH_EVER
 use crate::termination::{SafraState, SharedCounters, TerminationMode, Token, TokenAction};
 use crate::transport::{LaneHandles, LaneMesh};
 use crate::trigger::{TriggerDef, TriggerFire};
-use crate::vertex_state::VertexState;
+use crate::vertex_state::{VertexMeta, VertexState};
+use crate::wal::{self, DurabilityConfig, RawRecord, ShardWal};
 
 pub use crate::storage::StorageLayout;
 pub use crate::transport::TransportMode;
@@ -266,6 +267,11 @@ pub struct EngineConfig {
     /// default to 1-in-64 sampling; [`TelemetryConfig::off`] removes
     /// every observation from the hot path for ablation baselines.
     pub telemetry: TelemetryConfig,
+    /// Per-shard durability (WAL + checkpoints + in-place respawn of
+    /// panicked shards). `None` (the default) takes no code path through
+    /// [`crate::wal`] — the data path is byte-identical to a
+    /// durability-free build. See DESIGN.md §14.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl EngineConfig {
@@ -286,6 +292,7 @@ impl EngineConfig {
             storage: StorageLayout::default(),
             transport: TransportMode::default(),
             telemetry: TelemetryConfig::default(),
+            durability: None,
         }
     }
 
@@ -324,6 +331,23 @@ impl EngineConfig {
     /// Same config with a different telemetry configuration.
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Same config with durability enabled (WAL + checkpoints + in-place
+    /// shard respawn). Requires the algorithm to implement
+    /// [`Algorithm::encode_state`] / [`Algorithm::decode_state`].
+    ///
+    /// [`Algorithm::encode_state`]: crate::Algorithm::encode_state
+    /// [`Algorithm::decode_state`]: crate::Algorithm::decode_state
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// Same config with a chaos-injection plan (tests and fault drills).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 }
@@ -434,6 +458,46 @@ pub(crate) struct ShardWorker<A: Algorithm, St: ShardStore<A::State>> {
     /// Epoch last acked in phase 2 (flight-recorder epoch context and the
     /// `EpochAck` edge detector).
     cur_epoch: Epoch,
+
+    // ---- durability (every field inert when `durable` is false) ----
+    /// Cached `config.durability.is_some()` — the durability-off data path
+    /// pays one predictable branch per custody point, nothing else.
+    durable: bool,
+    /// The shard's WAL append handle, opened inside the supervised region
+    /// on the first (re)entry so open failures surface as a recorded
+    /// [`ShardFailure`], not an engine-thread panic.
+    wal: Option<ShardWal>,
+    /// Scratch buffer for `Algorithm::encode_state` at WAL-append time.
+    wal_scratch: Vec<u8>,
+    /// Envelopes received but not yet admitted: custody is WAL-logged and
+    /// committed *before* any of them is processed, so a record is durable
+    /// before its effects can escape the shard.
+    inbox: VecDeque<Envelope<A::State>>,
+    /// Epoch of the envelope currently inside `process_inner` (set only
+    /// for counted inputs): the post-panic custody sweep must retire that
+    /// half-processed envelope too.
+    mid_process: Option<Epoch>,
+    /// Custody records since the last published checkpoint (drives
+    /// `DurabilityConfig::checkpoint_every`).
+    events_since_ckpt: u64,
+    /// Set by the supervisor (panic respawn) or cold-start detection;
+    /// cleared once `recover` finishes.
+    needs_recovery: bool,
+    /// True for the first recovery of a re-opened engine: the previous
+    /// process's epoch timeline is meaningless here, so restore clears
+    /// forks and replays everything at epoch 0.
+    cold_start: bool,
+    /// In-place respawns performed so far (bounded by
+    /// `DurabilityConfig::max_respawns`).
+    respawns_done: u32,
+    /// `FaultPlan::panic_at` firings so far (bounded by
+    /// `FaultPlan::panic_repeats` once respawn makes refiring possible).
+    panics_fired: u32,
+    /// Checkpoint attempts so far (drives `FaultPlan::panic_in_checkpoint`).
+    ckpt_attempts: u64,
+    /// One-shot latches for the replay/checkpoint fault injections.
+    replay_fault_fired: bool,
+    ckpt_fault_fired: bool,
 }
 
 impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
@@ -461,6 +525,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         let sample_mask = config.telemetry.sample_mask();
         let lattice = config.lattice;
         let lattice_on = lattice.coalesce || lattice.priority;
+        let durable = config.durability.is_some();
         // Per-shard share of the capacity hint, with 1/8 headroom for the
         // hash partitioner's imbalance (0 stays 0: start empty).
         let shard_cap = config.expected_vertices.div_ceil(num_shards);
@@ -514,34 +579,103 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             sample_mask,
             pub_ticker: 0,
             cur_epoch: 0,
+            durable,
+            wal: None,
+            wal_scratch: Vec::new(),
+            inbox: VecDeque::new(),
+            mid_process: None,
+            events_since_ckpt: 0,
+            needs_recovery: false,
+            cold_start: false,
+            respawns_done: 0,
+            panics_fired: 0,
+            ckpt_attempts: 0,
+            replay_fault_fired: false,
+            ckpt_fault_fired: false,
         }
     }
 
     /// Supervised entry point: runs the worker loop under `catch_unwind`.
-    /// A panicking shard publishes a structured [`ShardFailure`] to the
-    /// engine's failure board instead of silently dying (and taking the
-    /// whole run's liveness with it). Returns `None` on panic.
-    pub(crate) fn run_supervised(self) -> Option<ShardReport<A::State>> {
+    ///
+    /// Without durability this is the seed behaviour: a panicking shard
+    /// publishes a structured [`ShardFailure`] to the engine's failure
+    /// board (the run degrades to the survivors) and returns `None`.
+    ///
+    /// With durability on, a contained panic is *recoverable*: the worker
+    /// sweeps the envelopes still in its custody (retiring them against
+    /// the termination books), re-enters the supervised region, restores
+    /// its latest checkpoint, replays the WAL tail, and resumes — same
+    /// thread, same transport endpoints, nothing on the failure board, so
+    /// peers never reclaim its lanes and supervised waits stay clean.
+    /// Recovery itself runs *inside* `catch_unwind`, so a panic during
+    /// replay or checkpointing consumes another respawn instead of
+    /// wedging. Only an exhausted `max_respawns` budget records the
+    /// permanent failure and degrades exactly as with durability off.
+    pub(crate) fn run_supervised(mut self) -> Option<ShardReport<A::State>> {
         let id = self.id;
         let shared = Arc::clone(&self.shared);
         let board = Arc::clone(&self.board);
         let tele = Arc::clone(&self.tele);
-        // The worker owns its whole world (table, queues, channels); a
-        // panic aborts this shard only, so observing no state across the
-        // unwind boundary is exactly right — hence AssertUnwindSafe.
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run())) {
-            Ok(report) => Some(report),
-            Err(payload) => {
-                use std::sync::atomic::Ordering;
-                // The dying shard dumps its own recorder: the writer has
-                // provably stopped, so the window is exact, not racy.
-                board.record(ShardFailure {
-                    id,
-                    payload: panic_payload_string(payload),
-                    last_epoch: shared.slot(id).epoch_ack.load(Ordering::SeqCst),
-                    trace: tele.dump_flight(id),
-                });
-                None
+        // Cold restart: durable state left by a previous process means
+        // this engine is re-opening — restore before taking any new work.
+        if self.durable && self.has_durable_state() {
+            self.needs_recovery = true;
+            self.cold_start = true;
+            // Gate termination detection until the cold replay finishes
+            // (see SharedCounters::recovery_begin).
+            self.shared.recovery_begin();
+        }
+        loop {
+            // The worker owns its whole world (table, queues, channels); a
+            // panic aborts this shard only, so observing no state across
+            // the unwind boundary is exactly right — hence
+            // AssertUnwindSafe. On a recoverable panic the same `self`
+            // re-enters here with `needs_recovery` set.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if self.durable && self.wal.is_none() {
+                    self.open_wal();
+                }
+                if self.needs_recovery {
+                    self.recover();
+                }
+                self.run_loop()
+            }));
+            match outcome {
+                Ok(()) => return Some(self.report()),
+                Err(payload) => {
+                    use std::sync::atomic::Ordering;
+                    let budget = self
+                        .config
+                        .durability
+                        .as_ref()
+                        .map_or(0, |d| d.max_respawns);
+                    if self.durable && self.respawns_done < budget {
+                        // Transient: sweep custody, then loop back into
+                        // the supervised region to restore + replay. The
+                        // failure stays OFF the board — the shard is
+                        // coming back.
+                        self.respawns_done += 1;
+                        self.prepare_recovery();
+                        continue;
+                    }
+                    // Permanent (durability off, or budget exhausted):
+                    // the dying shard dumps its own recorder — the writer
+                    // has provably stopped, so the window is exact. Lift
+                    // the recovery gate if one is pending — nobody will
+                    // finish this recovery, and the degraded paths detect
+                    // the loss through the failure board, not the probe.
+                    if self.needs_recovery {
+                        self.needs_recovery = false;
+                        self.shared.recovery_end();
+                    }
+                    board.record(ShardFailure {
+                        id,
+                        payload: panic_payload_string(payload),
+                        last_epoch: shared.slot(id).epoch_ack.load(Ordering::SeqCst),
+                        trace: tele.dump_flight(id),
+                    });
+                    return None;
+                }
             }
         }
     }
@@ -563,8 +697,12 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         }
         if let Some((shard, nth)) = plan.panic_at {
             // `seq` was incremented at the top of `process`, so it is the
-            // 1-based index of the event being processed right now.
-            if shard == self.id && self.seq >= nth {
+            // 1-based index of the event being processed right now. A
+            // respawned shard re-arms the same fault until the plan's
+            // `panic_repeats` budget is spent (the counter moves *before*
+            // the panic, so a recovered worker remembers the firing).
+            if shard == self.id && self.seq >= nth && self.panics_fired < plan.panic_repeats {
+                self.panics_fired += 1;
                 self.metrics.faults_injected += 1;
                 // Last words: the fault entry makes the dump non-empty
                 // even at the widest sampling, and the final cell publish
@@ -585,8 +723,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         }
     }
 
-    /// The worker loop. Returns the shard's final report on shutdown.
-    pub(crate) fn run(mut self) -> ShardReport<A::State> {
+    /// The worker loop. Returns on shutdown (or when every sender is
+    /// gone); the caller then consumes `self` into the final report.
+    pub(crate) fn run_loop(&mut self) {
         use std::sync::atomic::Ordering;
         if let Some(lanes) = &self.lanes {
             lanes.parks.register(self.id);
@@ -604,7 +743,8 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 while let Ok(msg) = self.rx.try_recv() {
                     round = true;
                     if self.dispatch(msg) {
-                        return self.report();
+                        self.maybe_checkpoint(true);
+                        return;
                     }
                 }
                 while let Some(env) = self.local_q.pop_front() {
@@ -634,8 +774,13 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 .store(epoch, Ordering::SeqCst);
             if epoch != self.cur_epoch {
                 if self.tele_rec {
-                    self.tele
-                        .record_flight(self.id, FlightTag::EpochAck, epoch, u64::from(epoch), 0);
+                    self.tele.record_flight(
+                        self.id,
+                        FlightTag::EpochAck,
+                        epoch,
+                        u64::from(epoch),
+                        0,
+                    );
                 }
                 self.cur_epoch = epoch;
             }
@@ -644,15 +789,29 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             if let Some(ev) = self.next_topo() {
                 self.metrics.topo_ingested += 1;
                 self.ingested_local += 1;
-                self.shared
-                    .slot(self.id)
-                    .ingested
-                    .store(self.ingested_local, Ordering::Release);
                 if self.tele_rec && self.metrics.topo_ingested & self.sample_mask == 0 {
                     self.tele
                         .record_flight(self.id, FlightTag::TopoIngest, epoch, ev.src, ev.dst);
                 }
+                if self.durable {
+                    // Log the pull (with its ingestion epoch) before any
+                    // envelope it spawns can leave the shard.
+                    self.log_topo(&ev, epoch);
+                    self.wal_commit();
+                }
                 self.route_topo(ev, epoch);
+                // Publish the pull only after `route_topo` published the
+                // spawned envelope's `sent` count. The reverse order opens
+                // a false-quiescence window: with `ingested == injected`
+                // satisfied and the envelope not yet counted, a probe
+                // between the two stores reads balanced books while work
+                // is still materialising — and the WAL write above makes
+                // that window syscall-wide. Publishing late only delays
+                // the probe (a benign false negative).
+                self.shared
+                    .slot(self.id)
+                    .ingested
+                    .store(self.ingested_local, Ordering::Release);
                 continue;
             }
             if did_work {
@@ -668,15 +827,23 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             if self.tele_counters {
                 self.publish_telemetry();
             }
+            // Durability: idle with every queue drained is the one moment
+            // the store is a complete, self-consistent image — checkpoint
+            // here if the WAL has grown past the configured interval.
+            self.maybe_checkpoint(false);
             self.idle_step();
             match self.idle_wait() {
                 IdleWait::Message(msg) => {
                     if self.dispatch(msg) {
-                        return self.report();
+                        self.maybe_checkpoint(true);
+                        return;
                     }
                 }
                 IdleWait::Heartbeat => {}
-                IdleWait::Disconnected => return self.report(),
+                IdleWait::Disconnected => {
+                    self.maybe_checkpoint(true);
+                    return;
+                }
             }
         }
     }
@@ -732,13 +899,31 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         match msg {
             Message::Event(env) => {
                 self.safra.on_receive();
-                self.admit(env);
+                if self.durable {
+                    self.log_custody(&env);
+                    self.inbox.push_back(env);
+                    self.commit_and_admit_inbox();
+                } else {
+                    self.admit(env);
+                }
                 false
             }
             Message::Batch(batch) => {
-                for env in batch {
-                    self.safra.on_receive();
-                    self.admit(env);
+                if self.durable {
+                    // Memory-only first pass (panic-free), then one WAL
+                    // commit for the whole batch, *then* processing: a
+                    // record is durable before any effect escapes.
+                    for env in batch {
+                        self.safra.on_receive();
+                        self.log_custody(&env);
+                        self.inbox.push_back(env);
+                    }
+                    self.commit_and_admit_inbox();
+                } else {
+                    for env in batch {
+                        self.safra.on_receive();
+                        self.admit(env);
+                    }
                 }
                 false
             }
@@ -802,9 +987,18 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 // sender's Acquire read, ordering its next lane pushes
                 // strictly after this admission).
                 self.drain_lane_from(from);
-                for env in batch.drain(..) {
-                    self.safra.on_receive();
-                    self.admit(env);
+                if self.durable {
+                    for env in batch.drain(..) {
+                        self.safra.on_receive();
+                        self.log_custody(&env);
+                        self.inbox.push_back(env);
+                    }
+                    self.commit_and_admit_inbox();
+                } else {
+                    for env in batch.drain(..) {
+                        self.safra.on_receive();
+                        self.admit(env);
+                    }
                 }
                 if let Some(lanes) = &self.lanes {
                     lanes.mesh.give_recycled(from, self.id, batch);
@@ -860,11 +1054,21 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         let mut any = false;
         while let Some(mut batch) = mesh.recv(from, self.id) {
             any = true;
-            for env in batch.drain(..) {
-                self.safra.on_receive();
-                self.admit(env);
+            if self.durable {
+                for env in batch.drain(..) {
+                    self.safra.on_receive();
+                    self.log_custody(&env);
+                    self.inbox.push_back(env);
+                }
+                mesh.give_recycled(from, self.id, batch);
+                self.commit_and_admit_inbox();
+            } else {
+                for env in batch.drain(..) {
+                    self.safra.on_receive();
+                    self.admit(env);
+                }
+                mesh.give_recycled(from, self.id, batch);
             }
-            mesh.give_recycled(from, self.id, batch);
         }
         any
     }
@@ -1024,10 +1228,29 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         None
     }
 
-    /// Processes one algorithmic envelope.
+    /// Processes one algorithmic envelope (live path: full accounting).
     fn process(&mut self, env: Envelope<A::State>) {
+        self.process_inner(env, true);
+    }
+
+    /// The envelope-processing body. `count_input` is true on the live
+    /// path. Recovery replay passes false: a replayed record was already
+    /// accounted — its producer counted it sent, and either its original
+    /// processing or the custody sweep counted it processed — so replay
+    /// must re-derive its *effects* without re-counting the input
+    /// (termination parity, per-kind event metrics, dominance retires) and
+    /// without re-arming fault injection. Everything *generated* here
+    /// (cascade updates, reverse events) is fresh on either path and is
+    /// always fully counted.
+    fn process_inner(&mut self, env: Envelope<A::State>, count_input: bool) {
         self.seq += 1;
-        if self.fault_armed {
+        // Custody marker for the post-panic sweep: from here until the
+        // closing `note_processed`, this envelope is held by nobody but
+        // this frame.
+        if self.durable && count_input {
+            self.mid_process = Some(env.epoch);
+        }
+        if self.fault_armed && count_input {
             self.inject_faults(env.epoch);
         }
         // Telemetry sampling: 1-in-2^shift events pay two clock reads and
@@ -1059,8 +1282,11 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         // sound because a dominated value is information the target
         // already holds.
         if env.kind == EventKind::Update && self.is_dominated(target, env.epoch, &env.value) {
-            self.metrics.updates_dominated += 1;
-            self.note_processed(env.epoch);
+            if count_input {
+                self.metrics.updates_dominated += 1;
+                self.note_processed(env.epoch);
+            }
+            self.mid_process = None;
             self.finish_service(t0);
             return;
         }
@@ -1116,33 +1342,47 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         let mut reverse_value: Option<A::State> = None;
         {
             let mut ctx = EventCtx::new(target, parts, &mut self.out, env.epoch);
+            // Per-kind counters sit on the accounted side of the envelope
+            // balance, so replayed inputs must not move them.
             match env.kind {
                 EventKind::Init => {
-                    self.metrics.init_events += 1;
+                    if count_input {
+                        self.metrics.init_events += 1;
+                    }
                     self.algo.init(&mut ctx);
                 }
                 EventKind::Add => {
-                    self.metrics.add_events += 1;
+                    if count_input {
+                        self.metrics.add_events += 1;
+                    }
                     self.algo
                         .on_add(&mut ctx, env.visitor, &env.value, env.weight);
                 }
                 EventKind::ReverseAdd => {
-                    self.metrics.reverse_add_events += 1;
+                    if count_input {
+                        self.metrics.reverse_add_events += 1;
+                    }
                     self.algo
                         .on_reverse_add(&mut ctx, env.visitor, &env.value, env.weight);
                 }
                 EventKind::Update => {
-                    self.metrics.update_events += 1;
+                    if count_input {
+                        self.metrics.update_events += 1;
+                    }
                     self.algo
                         .on_update(&mut ctx, env.visitor, &env.value, env.weight);
                 }
                 EventKind::Remove => {
-                    self.metrics.remove_events += 1;
+                    if count_input {
+                        self.metrics.remove_events += 1;
+                    }
                     self.algo
                         .on_remove(&mut ctx, env.visitor, &env.value, env.weight);
                 }
                 EventKind::ReverseRemove => {
-                    self.metrics.remove_events += 1;
+                    if count_input {
+                        self.metrics.remove_events += 1;
+                    }
                     self.algo
                         .on_reverse_remove(&mut ctx, env.visitor, &env.value, env.weight);
                 }
@@ -1212,7 +1452,10 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
 
         // Retire the envelope only after its children's sends were
         // published (four-counter soundness).
-        self.note_processed(env.epoch);
+        if count_input {
+            self.note_processed(env.epoch);
+        }
+        self.mid_process = None;
         self.finish_service(t0);
     }
 
@@ -1563,6 +1806,507 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         self.store.collect(old_epoch, live)
     }
 
+    // ---- durability: WAL custody, checkpoints, recovery ----------------
+    //
+    // Every method below is reached only when `self.durable` is true (the
+    // callers gate on it), except the panic-free `prepare_recovery` sweep
+    // which the supervisor invokes between unwind and re-entry.
+
+    /// True when a previous process left durable state for this shard.
+    fn has_durable_state(&self) -> bool {
+        match &self.config.durability {
+            Some(d) => wal::has_durable_state(&d.dir, self.id),
+            None => false,
+        }
+    }
+
+    /// Opens the WAL inside the supervised region (an IO failure becomes
+    /// a recorded shard failure, not a silent death).
+    fn open_wal(&mut self) {
+        let Some(d) = &self.config.durability else {
+            return;
+        };
+        match ShardWal::open(&d.dir, self.id, d.fsync) {
+            Ok(w) => self.wal = Some(w),
+            Err(e) => panic!("durability: failed to open WAL for shard {}: {e}", self.id),
+        }
+    }
+
+    /// Buffers one accepted envelope into the WAL (custody point). The
+    /// frame becomes durable at the next [`ShardWorker::wal_commit`].
+    fn log_custody(&mut self, env: &Envelope<A::State>) {
+        self.wal_scratch.clear();
+        A::encode_state(&env.value, &mut self.wal_scratch);
+        if let Some(w) = self.wal.as_mut() {
+            w.append_envelope(
+                env.kind.as_u8(),
+                env.epoch,
+                env.target,
+                env.visitor,
+                env.weight,
+                &self.wal_scratch,
+            );
+            self.metrics.wal_records_appended += 1;
+            self.events_since_ckpt += 1;
+        }
+    }
+
+    /// Buffers one pulled topology event into the WAL.
+    fn log_topo(&mut self, ev: &TopoEvent, epoch: Epoch) {
+        if let Some(w) = self.wal.as_mut() {
+            w.append_topo(ev, epoch);
+            self.metrics.wal_records_appended += 1;
+            self.events_since_ckpt += 1;
+        }
+    }
+
+    /// Writes (and under `DurabilityConfig::fsync`, syncs) the buffered
+    /// WAL frames. Called at batch boundaries, before processing.
+    fn wal_commit(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            match w.commit() {
+                Ok(n) => self.metrics.wal_bytes += n,
+                Err(e) => panic!("durability: WAL commit failed on shard {}: {e}", self.id),
+            }
+        }
+    }
+
+    /// Durable receive tail: commit the batch's WAL frames, then admit the
+    /// staged envelopes. Ordering is the whole point — a record is on disk
+    /// before any of its effects can escape this shard.
+    fn commit_and_admit_inbox(&mut self) {
+        self.wal_commit();
+        while let Some(env) = self.inbox.pop_front() {
+            self.admit(env);
+        }
+    }
+
+    /// All custody drained? (The checkpoint-at-idle precondition: with
+    /// every queue empty the store is a complete description of this
+    /// shard, so checkpoint + empty WAL ≡ current state.)
+    fn custody_clear(&self) -> bool {
+        self.local_q.is_empty()
+            && self.inbox.is_empty()
+            && self.pending.is_empty()
+            && self.pend_staged == 0
+            && self.pend_fifo.is_empty()
+            && self.out.is_empty()
+            && self.outboxes.iter().all(|b| b.is_empty())
+    }
+
+    /// Checkpoints if the WAL has grown past the configured interval (or
+    /// unconditionally on `force`, the shutdown path) — but only from a
+    /// fully drained state.
+    fn maybe_checkpoint(&mut self, force: bool) {
+        if !self.durable || self.events_since_ckpt == 0 {
+            return;
+        }
+        let every = self
+            .config
+            .durability
+            .as_ref()
+            .map_or(u64::MAX, |d| d.checkpoint_every);
+        if (!force && self.events_since_ckpt < every) || !self.custody_clear() {
+            return;
+        }
+        self.write_checkpoint();
+    }
+
+    /// Serializes the store (both layouts stream through
+    /// [`ShardStore::export_records`]) plus the small scalar tail.
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        use crate::wal::{put_bytes, put_u32, put_u64};
+        let mut body = Vec::with_capacity(64 + self.store.num_vertices() * 48);
+        put_u64(&mut body, self.seq);
+        put_u32(&mut body, self.cur_epoch);
+        put_u64(&mut body, self.edges);
+        put_u64(&mut body, self.store.num_vertices() as u64);
+        let mut scratch = Vec::new();
+        self.store.export_records(&mut |v, live, prev, meta, adj| {
+            put_u64(&mut body, v);
+            put_u32(&mut body, meta.forked_epoch);
+            put_u32(&mut body, meta.fired);
+            scratch.clear();
+            A::encode_state(live, &mut scratch);
+            put_bytes(&mut body, &scratch);
+            match prev {
+                Some(p) => {
+                    body.push(1);
+                    scratch.clear();
+                    A::encode_state(p, &mut scratch);
+                    put_bytes(&mut body, &scratch);
+                }
+                None => body.push(0),
+            }
+            put_u32(&mut body, adj.degree() as u32);
+            for (nbr, m) in adj.iter() {
+                put_u64(&mut body, nbr);
+                put_u64(&mut body, m.weight);
+                put_u64(&mut body, m.cached);
+            }
+        });
+        body
+    }
+
+    /// Stage → (chaos window) → publish → truncate WAL. A crash anywhere
+    /// in the sequence leaves a recoverable pair: old checkpoint + full
+    /// WAL, or new checkpoint + (possibly still-full) WAL whose replay is
+    /// idempotent.
+    #[cold]
+    fn write_checkpoint(&mut self) {
+        let root = match &self.config.durability {
+            Some(d) => d.dir.clone(),
+            None => return,
+        };
+        let t0 = Instant::now();
+        self.ckpt_attempts += 1;
+        let body = self.encode_checkpoint();
+        if let Err(e) = wal::stage_checkpoint(&root, self.id, &body) {
+            panic!(
+                "durability: checkpoint staging failed on shard {}: {e}",
+                self.id
+            );
+        }
+        if self.fault_armed {
+            self.inject_checkpoint_fault();
+        }
+        if let Err(e) = wal::publish_checkpoint(&root, self.id) {
+            panic!(
+                "durability: checkpoint publish failed on shard {}: {e}",
+                self.id
+            );
+        }
+        if let Some(w) = self.wal.as_mut() {
+            if let Err(e) = w.reset() {
+                panic!("durability: WAL reset failed on shard {}: {e}", self.id);
+            }
+        }
+        self.events_since_ckpt = 0;
+        self.metrics.checkpoints_written += 1;
+        self.tele.record_checkpoint(t0.elapsed().as_nanos() as u64);
+        if self.tele_rec {
+            self.tele.record_flight(
+                self.id,
+                FlightTag::Flush,
+                self.cur_epoch,
+                u64::MAX,
+                body.len() as u64,
+            );
+        }
+    }
+
+    /// Chaos: die between checkpoint staging and publish (fires once).
+    #[cold]
+    fn inject_checkpoint_fault(&mut self) {
+        if let Some((shard, nth)) = self.config.fault_plan.panic_in_checkpoint {
+            if shard == self.id && self.ckpt_attempts >= nth && !self.ckpt_fault_fired {
+                self.ckpt_fault_fired = true;
+                self.metrics.faults_injected += 1;
+                if self.tele_counters {
+                    self.publish_telemetry();
+                }
+                panic!(
+                    "{CHAOS_PANIC_MARKER}: shard {} during checkpoint {}",
+                    self.id, self.ckpt_attempts
+                );
+            }
+        }
+    }
+
+    /// Chaos: die while replaying the `nth` WAL record (fires once).
+    #[cold]
+    fn inject_replay_fault(&mut self, nth: u64) {
+        if let Some((shard, at)) = self.config.fault_plan.panic_in_replay {
+            if shard == self.id && nth >= at && !self.replay_fault_fired {
+                self.replay_fault_fired = true;
+                self.metrics.faults_injected += 1;
+                if self.tele_counters {
+                    self.publish_telemetry();
+                }
+                panic!(
+                    "{CHAOS_PANIC_MARKER}: shard {} during replay record {nth}",
+                    self.id
+                );
+            }
+        }
+    }
+
+    /// Replaces the in-memory store with the latest published checkpoint
+    /// (or an empty store when none exists yet). On a cold start the
+    /// previous process's epoch timeline is void: forks are dropped and
+    /// fork epochs zeroed; fired-trigger bits survive either way so
+    /// at-most-once firing spans the restart.
+    fn restore_checkpoint(&mut self, root: &std::path::Path, cold: bool) {
+        let shard_cap = self
+            .config
+            .expected_vertices
+            .div_ceil(self.config.num_shards);
+        let shard_cap = shard_cap + shard_cap / 8;
+        self.store = St::with_capacity(shard_cap);
+        self.edges = 0;
+        let body = match wal::read_checkpoint(root, self.id) {
+            Ok(b) => b,
+            Err(e) => panic!(
+                "durability: checkpoint read failed on shard {}: {e}",
+                self.id
+            ),
+        };
+        let Some(body) = body else {
+            return;
+        };
+        let mut r = wal::ByteReader::new(&body);
+        let parsed = (|| -> std::io::Result<()> {
+            let seq = r.u64()?;
+            let _epoch = r.u32()?;
+            let edges = r.u64()?;
+            let vertices = r.u64()?;
+            for _ in 0..vertices {
+                let v = r.u64()?;
+                let forked_epoch = r.u32()?;
+                let fired = r.u32()?;
+                let live = A::decode_state(r.bytes()?);
+                let prev = if r.u8()? == 1 {
+                    Some(A::decode_state(r.bytes()?))
+                } else {
+                    None
+                };
+                let degree = r.u32()?;
+                let mut adj = Adjacency::new();
+                for _ in 0..degree {
+                    let nbr = r.u64()?;
+                    let weight = r.u64()?;
+                    let cached = r.u64()?;
+                    adj.insert(nbr, EdgeMeta { weight, cached });
+                }
+                let meta = VertexMeta {
+                    forked_epoch: if cold { 0 } else { forked_epoch },
+                    fired,
+                };
+                self.store
+                    .restore_record(v, live, if cold { None } else { prev }, meta, adj);
+            }
+            self.seq = self.seq.max(seq);
+            self.edges = edges;
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            panic!("durability: malformed checkpoint on shard {}: {e}", self.id);
+        }
+    }
+
+    /// Restore + replay, inside the supervised region (a panic here —
+    /// chaos-injected or real — consumes another respawn). Replayed
+    /// records run uncounted ([`ShardWorker::process_inner`] with
+    /// `count_input = false`); the traffic they *generate* is fresh and
+    /// fully counted, which is what keeps the four-counter books balanced
+    /// over at-least-once replay.
+    #[cold]
+    fn recover(&mut self) {
+        let cold = self.cold_start;
+        self.cold_start = false;
+        let root = match &self.config.durability {
+            Some(d) => d.dir.clone(),
+            None => return,
+        };
+        self.restore_checkpoint(&root, cold);
+        let records = match wal::read_wal(&root, self.id) {
+            Ok(r) => r,
+            Err(e) => panic!("durability: WAL read failed on shard {}: {e}", self.id),
+        };
+        let total = records.len() as u64;
+        let mut replayed = 0u64;
+        for rec in records {
+            replayed += 1;
+            if self.fault_armed {
+                self.inject_replay_fault(replayed);
+            }
+            match rec {
+                RawRecord::Envelope {
+                    kind,
+                    epoch,
+                    target,
+                    visitor,
+                    weight,
+                    state,
+                } => {
+                    let Some(kind) = EventKind::from_u8(kind) else {
+                        panic!(
+                            "durability: unknown envelope kind {kind} in shard {} WAL",
+                            self.id
+                        );
+                    };
+                    let env = Envelope {
+                        target,
+                        visitor,
+                        value: A::decode_state(&state),
+                        weight,
+                        kind,
+                        epoch: if cold { 0 } else { epoch },
+                    };
+                    self.process_inner(env, false);
+                }
+                RawRecord::Topo { ev, epoch } => {
+                    // Fresh sends (the pull itself was already counted
+                    // ingested by the original run; replay must not move
+                    // `ingested` or the stream books would overrun).
+                    self.route_topo(ev, if cold { 0 } else { epoch });
+                }
+            }
+            self.metrics.replayed_records += 1;
+            // Drain the cascades each replayed record spawns before the
+            // next record, preserving the WAL's custody order the same
+            // way the live loop drains local work between admissions.
+            self.drain_replay_backlog();
+        }
+        // Everything replayed is still in the WAL (reset happens only at
+        // checkpoint publish), so the next idle checkpoint covers it.
+        self.events_since_ckpt = total;
+        self.needs_recovery = false;
+        // Replay is complete: every swept envelope's effects are
+        // re-derived and re-counted, so lift the termination gate.
+        self.shared.recovery_end();
+        // Rejoin the transport mesh. `drain_lanes` claims (clears) the
+        // pending bitmap before draining, so a panic that unwound between
+        // the claim and the drain left delivered batches in the rings
+        // with no bit to flag them — if no peer pushes on that lane
+        // again, the bit-probe never finds them and their senders' books
+        // stay open forever. One unconditional full-mesh sweep re-admits
+        // them as ordinary live input.
+        for from in 0..self.config.num_shards {
+            if from != self.id {
+                self.drain_lane_from(from);
+            }
+        }
+        if self.tele_rec {
+            self.tele.record_flight(
+                self.id,
+                FlightTag::Respawn,
+                self.cur_epoch,
+                u64::from(self.respawns_done),
+                replayed,
+            );
+        }
+        self.flush_all();
+        if self.tele_counters {
+            self.publish_telemetry();
+        }
+    }
+
+    /// Drains self-routed work generated by replay (full accounting —
+    /// this is live traffic, merely born during recovery).
+    fn drain_replay_backlog(&mut self) {
+        loop {
+            let mut round = false;
+            while let Some(env) = self.local_q.pop_front() {
+                round = true;
+                self.safra.on_receive();
+                self.process(env);
+            }
+            while let Some(p) = self.pop_pending() {
+                round = true;
+                if p.from_self {
+                    self.safra.on_receive();
+                }
+                self.process(p.env);
+            }
+            if !round {
+                break;
+            }
+        }
+    }
+
+    /// Post-panic custody sweep, run *outside* the supervised region — it
+    /// must be panic-free (queue drains, counter stores, no IO, no user
+    /// code). Every envelope still held by this worker is retired against
+    /// the termination books exactly once, mirroring
+    /// [`ShardWorker::retire_batch`]'s counter motion: envelopes this
+    /// shard *sent* but never received (outboxes, local queue, self-staged
+    /// pending) cancel their Safra count and owe a processed mark;
+    /// envelopes already receive-accounted at custody (inbox, staged
+    /// received, the half-processed one) owe only the processed mark.
+    /// Replay re-derives all of their effects from the WAL.
+    fn prepare_recovery(&mut self) {
+        use std::sync::atomic::Ordering;
+        // Gate termination detection BEFORE the first retirement below:
+        // the sweep balances the books without having re-derived the
+        // swept work, and the probe must be able to tell. Idempotent
+        // across a panic-during-replay (needs_recovery is still set).
+        if !self.needs_recovery {
+            self.needs_recovery = true;
+            self.shared.recovery_begin();
+        }
+        self.metrics.shard_respawns += 1;
+        if let Some(epoch) = self.mid_process.take() {
+            self.retire_recovered(epoch, false);
+        }
+        // Un-routed callback output and un-sent trigger fires: never
+        // entered any book, just dropped (replay regenerates them).
+        self.out.clear();
+        self.pending_fires.clear();
+        for owner in 0..self.outboxes.len() {
+            self.outbox_index[owner].clear();
+            for env in std::mem::take(&mut self.outboxes[owner]) {
+                self.retire_recovered(env.epoch, true);
+            }
+        }
+        while let Some(env) = self.local_q.pop_front() {
+            self.retire_recovered(env.epoch, true);
+        }
+        while let Some(env) = self.inbox.pop_front() {
+            self.retire_recovered(env.epoch, false);
+        }
+        // The priority buckets carry received envelopes inline (plus
+        // lazily-deleted keys); the pending map holds every self-staged
+        // one. Collect first — the drains borrow the queues.
+        let mut swept: Vec<(Epoch, bool)> = Vec::new();
+        for bucket in &mut self.pend_buckets {
+            for (_, item) in bucket.drain(..) {
+                if let DrainItem::Env(p) = item {
+                    swept.push((p.env.epoch, p.from_self));
+                }
+            }
+        }
+        for (_, p) in self.pending.drain() {
+            swept.push((p.env.epoch, p.from_self));
+        }
+        self.pend_fifo.clear();
+        self.pend_cursor = PRIO_BUCKETS;
+        self.pend_staged = 0;
+        self.pend_max_popped = 0;
+        for (epoch, in_flight) in swept {
+            self.retire_recovered(epoch, in_flight);
+        }
+        // WAL frames buffered but not committed belong to envelopes just
+        // swept: discard them, replay must not see them.
+        if let Some(w) = self.wal.as_mut() {
+            w.discard_pending();
+        }
+        // A panic between a topo pull's local increment and its slot store
+        // (the WAL write sits in that region) would otherwise leave the
+        // published `ingested` permanently one behind — re-publish it.
+        self.shared
+            .slot(self.id)
+            .ingested
+            .store(self.ingested_local, Ordering::Release);
+        // Invalidate any in-progress Safra round: counters moved while
+        // the token was circulating.
+        self.safra.black = true;
+        if self.tele_counters {
+            self.publish_telemetry();
+        }
+    }
+
+    /// One swept envelope. `in_flight` marks sender-side custody (counted
+    /// sent, the receive still owed) — those also cancel the Safra count,
+    /// exactly as in [`ShardWorker::retire_batch`].
+    fn retire_recovered(&mut self, epoch: Epoch, in_flight: bool) {
+        if in_flight {
+            self.safra.count -= 1;
+        }
+        self.metrics.envelopes_recovered += 1;
+        self.note_processed(epoch);
+    }
+
     fn report(mut self) -> ShardReport<A::State> {
         // Final cell publish: metrics_now observers see the exact counters
         // this report carries, even after the thread is gone.
@@ -1690,7 +2434,10 @@ mod tests {
         assert!(!f.shared.quiescent_probe(), "buffered envelopes in flight");
         f.worker.flush_all();
         assert_eq!(f.worker.metrics.envelopes_undeliverable, 10);
-        assert_eq!(f.worker.safra.count, 0, "Safra count cancelled per envelope");
+        assert_eq!(
+            f.worker.safra.count, 0,
+            "Safra count cancelled per envelope"
+        );
         assert_eq!(f.worker.sent_local[0], f.worker.processed_local[0]);
         assert!(
             f.shared.quiescent_probe(),
@@ -1797,6 +2544,9 @@ mod tests {
         f.worker.send_envelope(env(targets[1]));
         f.worker.flush_all();
         assert_eq!(f.worker.metrics.lane_batches, 2);
-        assert_eq!(f.worker.metrics.batches_recycled, 2, "second flush hit the pool");
+        assert_eq!(
+            f.worker.metrics.batches_recycled, 2,
+            "second flush hit the pool"
+        );
     }
 }

@@ -27,8 +27,9 @@
 
 use crate::event::Epoch;
 use crate::vertex_state::{VertexMeta, VertexState};
-use remo_store::{Adjacency, DenseVertexTable, LocalIdx, RhhMap, VertexId, VertexRecord,
-    VertexTable};
+use remo_store::{
+    Adjacency, DenseVertexTable, LocalIdx, RhhMap, VertexId, VertexRecord, VertexTable,
+};
 
 /// Which physical layout each shard uses for its vertex storage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +57,11 @@ pub struct VertexParts<'a, S> {
     /// Out-edges.
     pub adj: &'a mut Adjacency,
 }
+
+/// Visitor handed to [`ShardStore::export_records`]: receives each
+/// vertex's `(id, live state, snapshot fork, meta word, adjacency)`.
+pub(crate) type RecordVisitor<'a, S> =
+    dyn FnMut(VertexId, &S, Option<&S>, VertexMeta, &Adjacency) + 'a;
 
 impl<'a, S> VertexParts<'a, S> {
     /// Assembles parts from a record-style vertex (legacy layout and the
@@ -129,6 +135,22 @@ where
     /// Converts into the record-style table handed to callers via
     /// `RunResult::tables` (one-time shutdown cost for the dense layout).
     fn into_table(self) -> VertexTable<VertexState<S>>;
+
+    /// Streams every vertex record — live state, outstanding snapshot
+    /// fork, meta word, adjacency — to `f`. The checkpoint serializer's
+    /// walk (cold path; only durability-enabled shards call it).
+    fn export_records(&self, f: &mut RecordVisitor<S>);
+
+    /// Reinstates one checkpointed vertex record. The store must be
+    /// freshly constructed — restore never merges into existing records.
+    fn restore_record(
+        &mut self,
+        v: VertexId,
+        live: S,
+        prev: Option<S>,
+        meta: VertexMeta,
+        adj: Adjacency,
+    );
 }
 
 /// The seed layout: one Robin Hood map of fat `VertexRecord`s.
@@ -218,6 +240,30 @@ where
 
     fn into_table(self) -> VertexTable<VertexState<S>> {
         self.table
+    }
+
+    fn export_records(&self, f: &mut RecordVisitor<S>) {
+        for (v, rec) in self.table.iter() {
+            f(
+                v,
+                &rec.state.live,
+                rec.state.prev.as_ref(),
+                rec.state.meta,
+                &rec.adj,
+            );
+        }
+    }
+
+    fn restore_record(
+        &mut self,
+        v: VertexId,
+        live: S,
+        prev: Option<S>,
+        meta: VertexMeta,
+        adj: Adjacency,
+    ) {
+        self.table
+            .insert_record(v, VertexState { live, prev, meta }, adj);
     }
 }
 
@@ -376,6 +422,28 @@ where
         }
         table
     }
+
+    fn export_records(&self, f: &mut RecordVisitor<S>) {
+        for (i, (v, hot, adj)) in self.table.iter().enumerate() {
+            f(v, &hot.live, self.forks.get(i as LocalIdx), hot.meta, adj);
+        }
+    }
+
+    fn restore_record(
+        &mut self,
+        v: VertexId,
+        live: S,
+        prev: Option<S>,
+        meta: VertexMeta,
+        adj: Adjacency,
+    ) {
+        let (h, _) = self.table.intern(v);
+        *self.table.state_mut(h) = HotVertex { live, meta };
+        *self.table.adj_mut(h) = adj;
+        if let Some(p) = prev {
+            self.forks.insert(h, p);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -459,16 +527,49 @@ mod tests {
         );
     }
 
+    fn exercise_export_restore<St: ShardStore<u64>>() {
+        use remo_store::EdgeMeta;
+        let mut st = St::with_capacity(0);
+        let h = st.intern(1);
+        {
+            let (_, parts) = st.fork_and_parts(h, 0);
+            *parts.live = 5;
+            parts.meta.fired = 0b10;
+            parts.adj.insert(2, EdgeMeta::weighted(3));
+        }
+        // Fork at epoch 1 so an outstanding prev rides the checkpoint.
+        let _ = st.fork_and_parts(h, 1);
+        let _ = st.intern(9);
+
+        let mut restored = St::with_capacity(0);
+        st.export_records(&mut |v, live, prev, meta, adj| {
+            restored.restore_record(v, *live, prev.copied(), meta, adj.clone());
+        });
+        assert_eq!(restored.num_vertices(), 2);
+        let h = restored.lookup(1).unwrap_or_else(|| unreachable!());
+        assert_eq!(*restored.live(h), 5);
+        assert!(
+            restored.applies_to_prev(h, 0),
+            "fork survives the roundtrip"
+        );
+        let (_, parts) = restored.fork_and_parts(h, 0);
+        assert_eq!(parts.prev.as_deref().copied(), Some(5));
+        assert_eq!(parts.meta.fired, 0b10);
+        assert_eq!(parts.adj.get(2).map(|m| m.weight), Some(3));
+    }
+
     #[test]
     fn dense_store_semantics() {
         exercise::<DenseStore<u64>>();
         exercise_fused::<DenseStore<u64>>();
+        exercise_export_restore::<DenseStore<u64>>();
     }
 
     #[test]
     fn legacy_store_semantics() {
         exercise::<LegacyStore<u64>>();
         exercise_fused::<LegacyStore<u64>>();
+        exercise_export_restore::<LegacyStore<u64>>();
     }
 
     #[test]
@@ -501,7 +602,10 @@ mod tests {
         use remo_store::EdgeMeta;
         let mut st: DenseStore<u64> = DenseStore::with_capacity(0);
         let h = st.intern(1);
-        st.fork_and_parts(h, 0).1.adj.insert(2, EdgeMeta::weighted(4));
+        st.fork_and_parts(h, 0)
+            .1
+            .adj
+            .insert(2, EdgeMeta::weighted(4));
         assert_eq!(st.fork_and_parts(h, 0).1.adj.degree(), 1);
         assert!(st.adjacency_heap_bytes() < st.heap_bytes());
     }

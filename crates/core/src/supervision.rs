@@ -84,6 +84,13 @@ pub enum EngineError {
         /// Shards that were asked.
         expected: usize,
     },
+    /// The durable directory cannot back this engine: no durability in
+    /// the config, an unreadable/malformed `MANIFEST`, or state written
+    /// by an engine of a different shape (shard count, undirectedness).
+    DurabilityMismatch {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -111,6 +118,9 @@ impl fmt::Display for EngineError {
                 "degraded collection: {answered}/{expected} shards answered, {} failure(s)",
                 failures.len()
             ),
+            EngineError::DurabilityMismatch { message } => {
+                write!(f, "durability mismatch: {message}")
+            }
         }
     }
 }
@@ -222,7 +232,7 @@ pub(crate) fn panic_payload_string(payload: Box<dyn std::any::Any + Send>) -> St
 /// whether the plan targets it at spawn time), so the plan can stay a plain
 /// runtime field of [`EngineConfig`](crate::EngineConfig) rather than a
 /// compile-time feature.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Panic shard `.0` when it is about to process its `.1`-th
     /// algorithmic event (1-based): the classic fail-stop fault.
@@ -236,6 +246,31 @@ pub struct FaultPlan {
     /// in transit, so quiescence is never reached — exercising the
     /// controller's deadline paths.
     pub drop_fraction: Option<(usize, f64)>,
+    /// How many times `panic_at` fires in total (default 1): with
+    /// durability enabled a respawned shard re-arms the same fault until
+    /// this budget is spent, so a plan can kill the same shard repeatedly
+    /// across recoveries.
+    pub panic_repeats: u32,
+    /// Panic shard `.0` while it is *replaying* its `.1`-th WAL record
+    /// (1-based) during recovery: the twice-dying shard case. Fires once.
+    pub panic_in_replay: Option<(usize, u64)>,
+    /// Panic shard `.0` while writing its `.1`-th checkpoint (1-based),
+    /// after staging but before publish: exercises checkpoint atomicity.
+    /// Fires once.
+    pub panic_in_checkpoint: Option<(usize, u64)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            panic_at: None,
+            delay: None,
+            drop_fraction: None,
+            panic_repeats: 1,
+            panic_in_replay: None,
+            panic_in_checkpoint: None,
+        }
+    }
 }
 
 impl FaultPlan {
@@ -264,12 +299,42 @@ impl FaultPlan {
         }
     }
 
+    /// Re-arms `panic_at` to fire `repeats` times in total instead of once
+    /// (each respawn under durability re-counts events from zero).
+    pub fn repeat_panics(mut self, repeats: u32) -> Self {
+        self.panic_repeats = repeats;
+        self
+    }
+
+    /// A plan that panics `shard` while replaying its `nth` WAL record
+    /// (1-based) during recovery.
+    pub fn panic_in_replay_at(shard: usize, nth: u64) -> Self {
+        FaultPlan {
+            panic_in_replay: Some((shard, nth)),
+            ..Default::default()
+        }
+    }
+
+    /// A plan that panics `shard` while writing its `nth` checkpoint
+    /// (1-based), after staging but before publish.
+    pub fn panic_in_checkpoint_at(shard: usize, nth: u64) -> Self {
+        FaultPlan {
+            panic_in_checkpoint: Some((shard, nth)),
+            ..Default::default()
+        }
+    }
+
     /// True when this plan injects at least one fault on shard `id` —
     /// precomputed by each worker so the clean path is one branch.
     pub(crate) fn targets(&self, id: usize) -> bool {
         self.panic_at.map(|(s, _)| s == id).unwrap_or(false)
             || self.delay.map(|(s, _)| s == id).unwrap_or(false)
             || self.drop_fraction.map(|(s, _)| s == id).unwrap_or(false)
+            || self.panic_in_replay.map(|(s, _)| s == id).unwrap_or(false)
+            || self
+                .panic_in_checkpoint
+                .map(|(s, _)| s == id)
+                .unwrap_or(false)
     }
 
     /// Deterministic per-sequence-number drop decision.
@@ -372,6 +437,8 @@ mod tests {
         assert_eq!(err.failures().len(), 1);
         let t = EngineError::ChannelClosed { shard: 3 }.to_string();
         assert!(t.contains("3"));
-        assert!(EngineError::ChannelClosed { shard: 3 }.failures().is_empty());
+        assert!(EngineError::ChannelClosed { shard: 3 }
+            .failures()
+            .is_empty());
     }
 }

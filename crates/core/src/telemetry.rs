@@ -9,19 +9,19 @@
 //!
 //! Four pieces, all allocation-free on the data path:
 //!
-//! - **Snapshot cells** ([`MetricsCell`]): each shard republishes its
+//! - **Snapshot cells** (`MetricsCell`): each shard republishes its
 //!   [`ShardMetrics`] into a per-shard seqlock-protected word array at
 //!   batch boundaries (every [`PUBLISH_EVERY`] retired envelopes, at idle
 //!   transitions, and — crucially — right before an injected panic).
 //!   `Engine::metrics_now` assembles a coherent cross-shard [`RunMetrics`]
 //!   from these cells at any time.
-//! - **Histograms** ([`AtomicHistogram`]): single-writer log2-bucketed
+//! - **Histograms** (`AtomicHistogram`): single-writer log2-bucketed
 //!   latency histograms (see [`LatencyHistogram`] for the bucket scheme)
 //!   for event service time and lane-flush latency (shard-owned) plus
 //!   quiescence-detection and ingest→fixpoint latency (controller-owned).
 //!   Service-time sampling is gated by [`TelemetryConfig::sample_shift`]
 //!   so the `Instant::now()` pair stays off the common path.
-//! - **Flight recorder** ([`FlightRecorder`]): a bounded per-shard ring of
+//! - **Flight recorder** (`FlightRecorder`): a bounded per-shard ring of
 //!   recent structured events (processed envelopes, topology ingests,
 //!   flushes, park/wake, fault injections, epoch acks). `supervision`
 //!   dumps it into [`ShardFailure`](crate::ShardFailure) when a shard
@@ -234,7 +234,7 @@ impl AtomicHistogram {
     }
 }
 
-/// Kinds of structured events a shard's [`FlightRecorder`] captures.
+/// Kinds of structured events a shard's `FlightRecorder` captures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum FlightTag {
@@ -260,6 +260,9 @@ pub enum FlightTag {
     Fallback = 10,
     /// The shard observed shutdown and is draining.
     Shutdown = 11,
+    /// The shard was respawned in place after a contained panic
+    /// (`a` = respawn attempt number, `b` = WAL records replayed).
+    Respawn = 12,
 }
 
 impl FlightTag {
@@ -276,6 +279,7 @@ impl FlightTag {
             9 => FlightTag::Collect,
             10 => FlightTag::Fallback,
             11 => FlightTag::Shutdown,
+            12 => FlightTag::Respawn,
             _ => return None,
         })
     }
@@ -331,6 +335,9 @@ impl FlightEntry {
             FlightTag::Collect => format!("collect live={}", self.a),
             FlightTag::Fallback => format!("lane-fallback dest={} len={}", self.a, self.b),
             FlightTag::Shutdown => "shutdown".to_string(),
+            FlightTag::Respawn => {
+                format!("respawn attempt={} replayed={}", self.a, self.b)
+            }
         };
         format!("#{} e{} {body}", self.seq, self.epoch)
     }
@@ -464,6 +471,7 @@ pub(crate) struct TelemetryShared {
     recorders: Vec<FlightRecorder>,
     quiesce: AtomicHistogram,
     ingest_fixpoint: AtomicHistogram,
+    checkpoint: AtomicHistogram,
     /// Nanoseconds-since-start + 1 of the first ingest after the last
     /// quiescent point; 0 = unarmed. Controller-written.
     ingest_mark: AtomicU64,
@@ -485,7 +493,13 @@ impl TelemetryShared {
         let service = (0..shards).map(|_| AtomicHistogram::new()).collect();
         let flush = (0..shards).map(|_| AtomicHistogram::new()).collect();
         let recorders = (0..shards)
-            .map(|_| FlightRecorder::new(if config.flight_recorder { config.flight_capacity } else { 0 }))
+            .map(|_| {
+                FlightRecorder::new(if config.flight_recorder {
+                    config.flight_capacity
+                } else {
+                    0
+                })
+            })
             .collect();
         TelemetryShared {
             config,
@@ -496,6 +510,7 @@ impl TelemetryShared {
             recorders,
             quiesce: AtomicHistogram::new(),
             ingest_fixpoint: AtomicHistogram::new(),
+            checkpoint: AtomicHistogram::new(),
             ingest_mark: AtomicU64::new(0),
             counters,
             board,
@@ -546,7 +561,11 @@ impl TelemetryShared {
         if !self.config.flight_recorder {
             return Vec::new();
         }
-        self.recorders[shard].dump().iter().map(FlightEntry::render).collect()
+        self.recorders[shard]
+            .dump()
+            .iter()
+            .map(FlightEntry::render)
+            .collect()
     }
 
     // ---- controller-facing latency API -------------------------------
@@ -558,6 +577,14 @@ impl TelemetryShared {
         }
     }
 
+    /// Records one checkpoint duration sample (shard-written; staging
+    /// through publish of one durable checkpoint).
+    pub(crate) fn record_checkpoint(&self, ns: u64) {
+        if self.config.histograms {
+            self.checkpoint.record(ns);
+        }
+    }
+
     /// Arms the ingest→fixpoint clock at the first ingest after a
     /// quiescent point (no-op while already armed).
     pub(crate) fn mark_ingest(&self) {
@@ -566,7 +593,8 @@ impl TelemetryShared {
         }
         if self.ingest_mark.load(Ordering::Relaxed) == 0 {
             let ns = self.started.elapsed().as_nanos() as u64;
-            self.ingest_mark.store(ns.wrapping_add(1), Ordering::Relaxed);
+            self.ingest_mark
+                .store(ns.wrapping_add(1), Ordering::Relaxed);
         }
     }
 
@@ -627,6 +655,10 @@ impl TelemetryShared {
         self.ingest_fixpoint.snapshot()
     }
 
+    pub(crate) fn checkpoint_snapshot(&self) -> LatencyHistogram {
+        self.checkpoint.snapshot()
+    }
+
     /// Assembles a coherent cross-shard [`RunMetrics`] from the snapshot
     /// cells — the engine's mid-run `metrics_now`.
     pub(crate) fn snapshot_metrics(&self) -> RunMetrics {
@@ -644,6 +676,7 @@ impl TelemetryShared {
             flush: self.flush_snapshot(),
             quiesce: self.quiesce_snapshot(),
             ingest_fixpoint: self.ingest_fixpoint_snapshot(),
+            checkpoint: self.checkpoint_snapshot(),
         }
     }
 
@@ -729,8 +762,8 @@ impl TelemetryHub {
         for id in 0..=c.controller_slot() {
             let slot = c.slot(id);
             sent += slot.sent[0].load(Ordering::SeqCst) + slot.sent[1].load(Ordering::SeqCst);
-            proc += slot.processed[0].load(Ordering::SeqCst)
-                + slot.processed[1].load(Ordering::SeqCst);
+            proc +=
+                slot.processed[0].load(Ordering::SeqCst) + slot.processed[1].load(Ordering::SeqCst);
         }
         let mut ingested = 0u64;
         for id in 0..=c.controller_slot() {
@@ -770,7 +803,10 @@ impl TelemetryHub {
                 "# HELP remo_{name}_total remo-core shard counter `{name}` (see ShardMetrics docs).\n# TYPE remo_{name}_total counter\n"
             ));
             for (s, words) in per_shard_words.iter().enumerate() {
-                out.push_str(&format!("remo_{name}_total{{shard=\"{s}\"}} {}\n", words[i]));
+                out.push_str(&format!(
+                    "remo_{name}_total{{shard=\"{s}\"}} {}\n",
+                    words[i]
+                ));
             }
         }
         let mut gauge = |name: &str, help: &str, value: String| {
@@ -864,6 +900,11 @@ impl TelemetryHub {
             "Ingest-to-fixpoint latency per settled epoch.",
             &self.shared.ingest_fixpoint_snapshot(),
         );
+        summary(
+            "checkpoint_seconds",
+            "Durable checkpoint duration (staging through publish).",
+            &self.shared.checkpoint_snapshot(),
+        );
         out
     }
 
@@ -925,11 +966,12 @@ impl TelemetryHub {
             )
         };
         out.push_str(&format!(
-            "\"histograms\":{{\"service\":{},\"flush\":{},\"quiesce\":{},\"ingest_fixpoint\":{}}}",
+            "\"histograms\":{{\"service\":{},\"flush\":{},\"quiesce\":{},\"ingest_fixpoint\":{},\"checkpoint\":{}}}",
             hist_json(&m.service),
             hist_json(&m.flush),
             hist_json(&m.quiesce),
             hist_json(&m.ingest_fixpoint),
+            hist_json(&m.checkpoint),
         ));
         out.push('}');
         out
@@ -950,7 +992,9 @@ mod tests {
         assert!(!off.counters && !off.histograms && !off.flight_recorder);
         assert_eq!(TelemetryConfig::full(), TelemetryConfig::default());
         assert_eq!(
-            TelemetryConfig::default().with_sample_shift(0).sample_mask(),
+            TelemetryConfig::default()
+                .with_sample_shift(0)
+                .sample_mask(),
             0
         );
     }
@@ -991,10 +1035,7 @@ mod tests {
         let mut got = [0u64; CELL_WORDS];
         for _ in 0..20_000 {
             cell.read(&mut got);
-            assert!(
-                got.iter().all(|&w| w == got[0]),
-                "torn snapshot: {got:?}"
-            );
+            assert!(got.iter().all(|&w| w == got[0]), "torn snapshot: {got:?}");
             assert!(got[0] >= last, "snapshot went backwards");
             last = got[0];
         }
@@ -1022,7 +1063,9 @@ mod tests {
         assert_eq!(dump.len(), 16, "bounded to capacity");
         let seqs: Vec<u64> = dump.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, (24..40).collect::<Vec<u64>>(), "oldest-first window");
-        assert!(dump.iter().all(|e| e.tag == FlightTag::Process && e.epoch == 2));
+        assert!(dump
+            .iter()
+            .all(|e| e.tag == FlightTag::Process && e.epoch == 2));
         let line = dump[0].render();
         assert!(line.contains("process"), "{line}");
         assert!(line.contains("kind=Add"), "{line}");

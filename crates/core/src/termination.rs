@@ -153,6 +153,12 @@ pub struct SharedCounters {
     pub epoch: AtomicU32,
     /// Total topology events handed to shards (controller-written).
     pub injected: AtomicU64,
+    /// Shards currently between a custody sweep and the end of their
+    /// WAL replay. The sweep retires every swept envelope against the
+    /// books (they balance) *before* replay has regenerated the swept
+    /// work, so the four-counter reading alone is no longer a fixpoint
+    /// witness in that window — the probe refuses while this is nonzero.
+    recovering: AtomicU64,
     slots: Vec<CachePadded<ShardSlots>>,
 }
 
@@ -162,10 +168,26 @@ impl SharedCounters {
         SharedCounters {
             epoch: AtomicU32::new(0),
             injected: AtomicU64::new(0),
+            recovering: AtomicU64::new(0),
             slots: (0..=shards)
                 .map(|_| CachePadded::new(ShardSlots::default()))
                 .collect(),
         }
+    }
+
+    /// A shard enters recovery (custody sweep about to retire envelopes,
+    /// or a cold start about to replay). Must be published before the
+    /// first sweep retirement so a probe that observes swept-balanced
+    /// books also observes the gate (the increment is sequenced before
+    /// the sweep's counter stores).
+    pub fn recovery_begin(&self) {
+        self.recovering.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The shard finished replay; every swept envelope's effects have
+    /// been re-derived and re-counted, so the books are trustworthy again.
+    pub fn recovery_end(&self) {
+        self.recovering.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// The slot owned by `id` (shards use their index; the controller uses
@@ -215,7 +237,16 @@ impl SharedCounters {
         let r = [self.sum_processed(0), self.sum_processed(1)];
         // Wave 2: sent counts (S) — strictly after wave 1.
         let s = [self.sum_sent(0), self.sum_sent(1)];
-        s == r
+        if s != r {
+            return false;
+        }
+        // Recovery gate, read strictly after the counters: if the balance
+        // we just read includes a custody sweep's retirements, that
+        // sweep's stores synchronize-with our reads, which makes the
+        // sweeping shard's earlier `recovery_begin` visible here — so a
+        // mid-recovery balance is always rejected. (A nonzero reading is
+        // a false negative at worst; the probe retries.)
+        self.recovering.load(Ordering::SeqCst) == 0
     }
 
     /// Four-counter probe restricted to one epoch's parity class — used by
@@ -227,7 +258,10 @@ impl SharedCounters {
         let p = (epoch & 1) as usize;
         let r = self.sum_processed(p);
         let s = self.sum_sent(p);
-        s == r
+        // Same recovery gate as `quiescent_probe`: a sweep retires the
+        // old parity's swept envelopes too, so a mid-recovery "drained"
+        // reading would let a snapshot cut before replay re-derives them.
+        s == r && self.recovering.load(Ordering::SeqCst) == 0
     }
 }
 

@@ -94,7 +94,10 @@ unsafe impl<T: Send> Sync for SpscRing<T> {}
 impl<T> SpscRing<T> {
     /// `cap` must be a power of two (the index mask depends on it).
     pub(crate) fn with_capacity(cap: usize) -> Self {
-        assert!(cap.is_power_of_two(), "ring capacity must be a power of two");
+        assert!(
+            cap.is_power_of_two(),
+            "ring capacity must be a power of two"
+        );
         SpscRing {
             mask: cap - 1,
             buf: (0..cap)
@@ -203,7 +206,10 @@ pub(crate) struct LaneMesh<S> {
 
 impl<S> LaneMesh<S> {
     pub(crate) fn new(shards: usize) -> Self {
-        assert!(shards <= MAX_LANE_SHARDS, "lane mesh is capped at 64 shards");
+        assert!(
+            shards <= MAX_LANE_SHARDS,
+            "lane mesh is capped at 64 shards"
+        );
         let n = shards * shards;
         LaneMesh {
             shards,
@@ -222,8 +228,12 @@ impl<S> LaneMesh<S> {
                     ring
                 })
                 .collect(),
-            fallback_consumed: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
-            inbound: (0..shards).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            fallback_consumed: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            inbound: (0..shards)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
@@ -542,7 +552,10 @@ mod tests {
         // The pool is primed: LANE_CAP buffers are ready before any ever
         // flowed home, and a returned buffer lands behind them.
         for _ in 0..LANE_CAP {
-            assert!(mesh.take_recycled(0, 1).is_some(), "primed pool feeds flush");
+            assert!(
+                mesh.take_recycled(0, 1).is_some(),
+                "primed pool feeds flush"
+            );
         }
         assert!(mesh.take_recycled(0, 1).is_none());
         batch.clear();

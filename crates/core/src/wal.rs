@@ -1,0 +1,703 @@
+//! Per-shard durability: CRC-framed write-ahead log, atomic checkpoints,
+//! and the engine manifest.
+//!
+//! Durability is opt-in ([`crate::EngineConfig::with_durability`]); with it
+//! off the engine takes no code path through this module. With it on, each
+//! shard owns one directory (`<root>/shard-<id>/`) holding:
+//!
+//! - `wal.log` — the write-ahead log of *accepted external inputs*: every
+//!   envelope the shard took custody of from a peer or the controller, and
+//!   every topology event it pulled from an input stream. Self-routed
+//!   cascade envelopes are deliberately **not** logged: replaying the
+//!   external inputs through the normal event loop re-derives them (REMO
+//!   callbacks are monotone and join-idempotent, so at-least-once replay
+//!   converges to the same fixpoint — see DESIGN.md §14).
+//! - `checkpoint.bin` — a point-in-time image of the shard's vertex store
+//!   (states, forks, metas, adjacency), written only at *idle* (all queues
+//!   drained), so the checkpoint plus the WAL tail is always a complete
+//!   description of the shard. Checkpoints are published atomically: body
+//!   to `checkpoint.tmp`, fsync, rename, fsync the directory — a crash at
+//!   any point leaves either the old checkpoint or the new one, never a
+//!   torn file. After a successful publish the WAL is truncated; a crash
+//!   between the two merely leaves already-checkpointed records in the
+//!   WAL, which replay reapplies idempotently.
+//!
+//! WAL records are length-prefixed frames: `len: u32 | crc32: u32 |
+//! payload`, CRC over the payload. Appends are buffered in memory and
+//! written (plus optionally fsynced) at envelope-batch boundaries —
+//! crucially *before* the batch is processed, so a record is durable
+//! before any of its effects escape the shard. On open the log is scanned
+//! front-to-back and truncated at the first frame whose length or CRC does
+//! not check out (torn tail from a mid-write crash).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::event::{Epoch, TopoEvent, TopoOp};
+use remo_store::VertexId;
+
+/// Runtime durability selection, carried by
+/// [`EngineConfig`](crate::EngineConfig). Constructed with
+/// [`DurabilityConfig::new`] and customized through the builder methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Root directory for the engine's durable state (one subdirectory
+    /// per shard plus a `MANIFEST`). Created on first use.
+    pub dir: PathBuf,
+    /// Custody records (accepted envelopes + pulled topology events)
+    /// between checkpoints. Smaller = shorter replay, more checkpoint
+    /// I/O.
+    pub checkpoint_every: u64,
+    /// Fsync the WAL at each batch-boundary commit. Off trades crash
+    /// durability (a `kill -9` may lose the un-synced tail) for speed;
+    /// panic recovery within a live process is unaffected either way.
+    pub fsync: bool,
+    /// In-process recovery budget: how many times a shard may be revived
+    /// after a panic before the supervisor gives up and records a
+    /// permanent [`ShardFailure`](crate::ShardFailure) (degraded-harvest
+    /// behavior, exactly as with durability off).
+    pub max_respawns: u32,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with defaults: checkpoint every 4096
+    /// custody records, fsync on, up to 3 respawns per shard.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every: 4096,
+            fsync: true,
+            max_respawns: 3,
+        }
+    }
+
+    /// Sets the checkpoint interval in custody records (minimum 1).
+    pub fn checkpoint_every(mut self, records: u64) -> Self {
+        self.checkpoint_every = records.max(1);
+        self
+    }
+
+    /// Enables or disables fsync batching (see [`DurabilityConfig::fsync`]).
+    pub fn fsync(mut self, on: bool) -> Self {
+        self.fsync = on;
+        self
+    }
+
+    /// Sets the per-shard respawn budget.
+    pub fn max_respawns(mut self, n: u32) -> Self {
+        self.max_respawns = n;
+        self
+    }
+}
+
+// ---- CRC32 (IEEE 802.3, table-driven) --------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC32 over `bytes`.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---- little-endian byte cursor ---------------------------------------
+
+fn short(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("durability: truncated {what}"),
+    )
+}
+
+/// Bounds-checked little-endian reader over a byte slice, used by both the
+/// WAL record and checkpoint decoders.
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| short("length"))?;
+        if end > self.buf.len() {
+            return Err(short("payload"));
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        let mut w = [0u8; 4];
+        w.copy_from_slice(b);
+        Ok(u32::from_le_bytes(w))
+    }
+
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(b);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    /// A `u32`-length-prefixed byte run.
+    pub(crate) fn bytes(&mut self) -> io::Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+// ---- WAL records -----------------------------------------------------
+
+const TAG_ENVELOPE: u8 = 1;
+const TAG_TOPO: u8 = 2;
+
+/// One decoded WAL record. State bytes stay opaque here — the shard
+/// decodes them through [`Algorithm::decode_state`](crate::Algorithm).
+pub(crate) enum RawRecord {
+    /// An envelope the shard accepted from a peer or the controller.
+    Envelope {
+        kind: u8,
+        epoch: Epoch,
+        target: VertexId,
+        visitor: VertexId,
+        weight: u64,
+        state: Vec<u8>,
+    },
+    /// A topology event pulled from an input stream, with the epoch it
+    /// was tagged with at ingestion.
+    Topo { ev: TopoEvent, epoch: Epoch },
+}
+
+/// One shard's append handle on its `wal.log`.
+pub(crate) struct ShardWal {
+    file: File,
+    /// Frames accepted since the last [`ShardWal::commit`]; nothing in
+    /// here is visible to recovery yet.
+    buf: Vec<u8>,
+    fsync: bool,
+}
+
+/// `<root>/shard-<id>/`.
+pub(crate) fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
+fn wal_path(root: &Path, shard: usize) -> PathBuf {
+    shard_dir(root, shard).join("wal.log")
+}
+
+/// True when shard `shard` left durable state under `root`: a published
+/// checkpoint, or a non-empty WAL.
+pub(crate) fn has_durable_state(root: &Path, shard: usize) -> bool {
+    let dir = shard_dir(root, shard);
+    if fs::metadata(dir.join("checkpoint.bin")).is_ok() {
+        return true;
+    }
+    fs::metadata(dir.join("wal.log")).is_ok_and(|m| m.len() > 0)
+}
+
+/// Walks frames front-to-back, returning the byte length of the valid
+/// prefix — everything after it is a torn tail to truncate.
+fn valid_prefix(bytes: &[u8]) -> u64 {
+    let mut pos = 0usize;
+    loop {
+        let Some(header) = bytes.get(pos..pos + 8) else {
+            return pos as u64;
+        };
+        let mut w = [0u8; 4];
+        w.copy_from_slice(&header[..4]);
+        let len = u32::from_le_bytes(w) as usize;
+        w.copy_from_slice(&header[4..8]);
+        let crc = u32::from_le_bytes(w);
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            return pos as u64;
+        };
+        if crc32(payload) != crc {
+            return pos as u64;
+        }
+        pos += 8 + len;
+    }
+}
+
+impl ShardWal {
+    /// Opens (creating if needed) the shard's WAL, truncating any torn
+    /// tail left by a crash mid-append.
+    pub(crate) fn open(root: &Path, shard: usize, fsync: bool) -> io::Result<ShardWal> {
+        let dir = shard_dir(root, shard);
+        fs::create_dir_all(&dir)?;
+        let path = wal_path(root, shard);
+        let existing = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let keep = valid_prefix(&existing);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false) // the valid prefix is the whole point
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        if keep < existing.len() as u64 {
+            file.set_len(keep)?;
+        }
+        file.seek(SeekFrom::Start(keep))?;
+        Ok(ShardWal {
+            file,
+            buf: Vec::new(),
+            fsync,
+        })
+    }
+
+    fn frame(&mut self, payload_from: usize) {
+        // `buf[payload_from..]` holds the payload written in place after
+        // an 8-byte header placeholder; backfill len + crc.
+        let len = (self.buf.len() - payload_from) as u32;
+        let crc = crc32(&self.buf[payload_from..]);
+        self.buf[payload_from - 8..payload_from - 4].copy_from_slice(&len.to_le_bytes());
+        self.buf[payload_from - 4..payload_from].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    fn begin_frame(&mut self) -> usize {
+        self.buf.extend_from_slice(&[0u8; 8]);
+        self.buf.len()
+    }
+
+    /// Buffers one accepted-envelope record.
+    pub(crate) fn append_envelope(
+        &mut self,
+        kind: u8,
+        epoch: Epoch,
+        target: VertexId,
+        visitor: VertexId,
+        weight: u64,
+        state: &[u8],
+    ) {
+        let start = self.begin_frame();
+        self.buf.push(TAG_ENVELOPE);
+        self.buf.push(kind);
+        put_u32(&mut self.buf, epoch);
+        put_u64(&mut self.buf, target);
+        put_u64(&mut self.buf, visitor);
+        put_u64(&mut self.buf, weight);
+        put_bytes(&mut self.buf, state);
+        self.frame(start);
+    }
+
+    /// Buffers one pulled-topology-event record.
+    pub(crate) fn append_topo(&mut self, ev: &TopoEvent, epoch: Epoch) {
+        let start = self.begin_frame();
+        self.buf.push(TAG_TOPO);
+        self.buf.push(match ev.op {
+            TopoOp::Add => 0,
+            TopoOp::Remove => 1,
+        });
+        put_u32(&mut self.buf, epoch);
+        put_u64(&mut self.buf, ev.src);
+        put_u64(&mut self.buf, ev.dst);
+        put_u64(&mut self.buf, ev.weight);
+        self.frame(start);
+    }
+
+    /// True when records are buffered but not yet committed.
+    #[cfg(test)]
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Writes buffered frames to the log (and to stable storage when
+    /// fsync batching is on). Called at batch boundaries, *before* the
+    /// batch is processed. Returns bytes written.
+    pub(crate) fn commit(&mut self) -> io::Result<u64> {
+        if self.buf.is_empty() {
+            return Ok(0);
+        }
+        let n = self.buf.len() as u64;
+        self.file.write_all(&self.buf)?;
+        self.buf.clear();
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(n)
+    }
+
+    /// Drops buffered-but-uncommitted frames. Used by the post-panic
+    /// custody sweep: those frames belong to envelopes being retired, and
+    /// replay must not see them.
+    pub(crate) fn discard_pending(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Truncates the log after a successfully published checkpoint.
+    pub(crate) fn reset(&mut self) -> io::Result<()> {
+        self.buf.clear();
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads and decodes every valid record in a shard's WAL (bounded by the
+/// checkpoint interval, so an in-memory `Vec` is fine). Stops cleanly at a
+/// torn tail.
+pub(crate) fn read_wal(root: &Path, shard: usize) -> io::Result<Vec<RawRecord>> {
+    let bytes = match fs::read(wal_path(root, shard)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let valid = valid_prefix(&bytes) as usize;
+    let mut out = Vec::new();
+    let mut r = ByteReader::new(&bytes[..valid]);
+    while !r.is_empty() {
+        let _len = r.u32()?;
+        let _crc = r.u32()?;
+        match r.u8()? {
+            TAG_ENVELOPE => {
+                let kind = r.u8()?;
+                let epoch = r.u32()?;
+                let target = r.u64()?;
+                let visitor = r.u64()?;
+                let weight = r.u64()?;
+                let state = r.bytes()?.to_vec();
+                out.push(RawRecord::Envelope {
+                    kind,
+                    epoch,
+                    target,
+                    visitor,
+                    weight,
+                    state,
+                });
+            }
+            TAG_TOPO => {
+                let op = if r.u8()? == 0 {
+                    TopoOp::Add
+                } else {
+                    TopoOp::Remove
+                };
+                let epoch = r.u32()?;
+                let (src, dst, weight) = (r.u64()?, r.u64()?, r.u64()?);
+                out.push(RawRecord::Topo {
+                    ev: TopoEvent {
+                        src,
+                        dst,
+                        weight,
+                        op,
+                    },
+                    epoch,
+                });
+            }
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("durability: unknown WAL record tag {t}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---- checkpoints -----------------------------------------------------
+
+const CKPT_MAGIC: u32 = 0x524D_4350; // "RMCP"
+const CKPT_VERSION: u32 = 1;
+
+fn ckpt_path(root: &Path, shard: usize) -> PathBuf {
+    shard_dir(root, shard).join("checkpoint.bin")
+}
+
+fn ckpt_tmp_path(root: &Path, shard: usize) -> PathBuf {
+    shard_dir(root, shard).join("checkpoint.tmp")
+}
+
+/// Stage one: write `body` to the shard's `checkpoint.tmp` and fsync it.
+/// Not yet visible to recovery — a crash here abandons the temp file.
+pub(crate) fn stage_checkpoint(root: &Path, shard: usize, body: &[u8]) -> io::Result<()> {
+    let dir = shard_dir(root, shard);
+    fs::create_dir_all(&dir)?;
+    let tmp = ckpt_tmp_path(root, shard);
+    let mut header = Vec::with_capacity(16);
+    put_u32(&mut header, CKPT_MAGIC);
+    put_u32(&mut header, CKPT_VERSION);
+    put_u32(&mut header, crc32(body));
+    put_u32(&mut header, body.len() as u32);
+    let mut f = File::create(&tmp)?;
+    f.write_all(&header)?;
+    f.write_all(body)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Stage two: atomically publish the staged checkpoint via rename, then
+/// fsync the directory so the rename itself is durable.
+pub(crate) fn publish_checkpoint(root: &Path, shard: usize) -> io::Result<()> {
+    let dir = shard_dir(root, shard);
+    fs::rename(ckpt_tmp_path(root, shard), ckpt_path(root, shard))?;
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Reads the shard's published checkpoint body. `Ok(None)` when no
+/// checkpoint has ever been published; `Err` on corruption (the atomic
+/// publish protocol should make that impossible short of disk damage).
+pub(crate) fn read_checkpoint(root: &Path, shard: usize) -> io::Result<Option<Vec<u8>>> {
+    let bytes = match fs::read(ckpt_path(root, shard)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut r = ByteReader::new(&bytes);
+    if r.u32()? != CKPT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "durability: bad checkpoint magic",
+        ));
+    }
+    if r.u32()? != CKPT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "durability: bad checkpoint version",
+        ));
+    }
+    let crc = r.u32()?;
+    let len = r.u32()? as usize;
+    let body = r.take(len)?;
+    if crc32(body) != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "durability: checkpoint CRC mismatch",
+        ));
+    }
+    Ok(Some(body.to_vec()))
+}
+
+// ---- engine manifest -------------------------------------------------
+
+/// Writes `<root>/MANIFEST` describing the engine shape (idempotent).
+pub(crate) fn write_manifest(root: &Path, shards: usize, undirected: bool) -> io::Result<()> {
+    fs::create_dir_all(root)?;
+    let body = format!("remo-manifest v1\nshards={shards}\nundirected={undirected}\n");
+    fs::write(root.join("MANIFEST"), body)
+}
+
+/// Reads `<root>/MANIFEST`: `Ok(None)` when absent (fresh directory).
+pub(crate) fn read_manifest(root: &Path) -> io::Result<Option<(usize, bool)>> {
+    let text = match fs::read_to_string(root.join("MANIFEST")) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut shards = None;
+    let mut undirected = None;
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix("shards=") {
+            shards = v.trim().parse::<usize>().ok();
+        } else if let Some(v) = line.strip_prefix("undirected=") {
+            undirected = v.trim().parse::<bool>().ok();
+        }
+    }
+    match (shards, undirected) {
+        (Some(s), Some(u)) => Ok(Some((s, u))),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "durability: malformed MANIFEST",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("remo-wal-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC32("123456789") is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn wal_roundtrip_and_reset() {
+        let root = tmp_root("roundtrip");
+        let mut wal = ShardWal::open(&root, 0, false).unwrap();
+        wal.append_envelope(3, 1, 10, 20, 7, &42u64.to_le_bytes());
+        wal.append_topo(
+            &TopoEvent {
+                src: 1,
+                dst: 2,
+                weight: 9,
+                op: TopoOp::Remove,
+            },
+            4,
+        );
+        assert!(wal.has_pending());
+        let bytes = wal.commit().unwrap();
+        assert!(bytes > 0);
+        assert!(!wal.has_pending());
+
+        let recs = read_wal(&root, 0).unwrap();
+        assert_eq!(recs.len(), 2);
+        match &recs[0] {
+            RawRecord::Envelope {
+                kind,
+                epoch,
+                target,
+                visitor,
+                weight,
+                state,
+            } => {
+                assert_eq!(
+                    (*kind, *epoch, *target, *visitor, *weight),
+                    (3, 1, 10, 20, 7)
+                );
+                assert_eq!(state.as_slice(), &42u64.to_le_bytes());
+            }
+            _ => panic!("expected envelope record"),
+        }
+        match &recs[1] {
+            RawRecord::Topo { ev, epoch } => {
+                assert_eq!((ev.src, ev.dst, ev.weight, *epoch), (1, 2, 9, 4));
+                assert_eq!(ev.op, TopoOp::Remove);
+            }
+            _ => panic!("expected topo record"),
+        }
+
+        wal.reset().unwrap();
+        assert!(read_wal(&root, 0).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let root = tmp_root("torn");
+        let mut wal = ShardWal::open(&root, 1, false).unwrap();
+        wal.append_envelope(1, 0, 5, 6, 1, &[]);
+        wal.commit().unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: garbage half-frame at the end.
+        let path = shard_dir(&root, 1).join("wal.log");
+        let mut bytes = fs::read(&path).unwrap();
+        let good = bytes.len();
+        bytes.extend_from_slice(&[0x55; 11]);
+        fs::write(&path, &bytes).unwrap();
+
+        let mut wal = ShardWal::open(&root, 1, false).unwrap();
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            good as u64,
+            "tail truncated"
+        );
+        assert_eq!(read_wal(&root, 1).unwrap().len(), 1);
+        // Appends after recovery land where the valid prefix ended.
+        wal.append_envelope(2, 0, 7, 8, 1, &[]);
+        wal.commit().unwrap();
+        assert_eq!(read_wal(&root, 1).unwrap().len(), 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_staged_then_published_atomically() {
+        let root = tmp_root("ckpt");
+        assert_eq!(read_checkpoint(&root, 0).unwrap(), None);
+        stage_checkpoint(&root, 0, b"hello-checkpoint").unwrap();
+        // Staged but unpublished: recovery still sees nothing.
+        assert_eq!(read_checkpoint(&root, 0).unwrap(), None);
+        publish_checkpoint(&root, 0).unwrap();
+        assert_eq!(
+            read_checkpoint(&root, 0).unwrap().as_deref(),
+            Some(&b"hello-checkpoint"[..])
+        );
+        // Re-stage overwrites cleanly.
+        stage_checkpoint(&root, 0, b"v2").unwrap();
+        publish_checkpoint(&root, 0).unwrap();
+        assert_eq!(
+            read_checkpoint(&root, 0).unwrap().as_deref(),
+            Some(&b"v2"[..])
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error() {
+        let root = tmp_root("ckpt-corrupt");
+        stage_checkpoint(&root, 2, b"payload").unwrap();
+        publish_checkpoint(&root, 2).unwrap();
+        let path = shard_dir(&root, 2).join("checkpoint.bin");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(read_checkpoint(&root, 2).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let root = tmp_root("manifest");
+        assert_eq!(read_manifest(&root).unwrap(), None);
+        write_manifest(&root, 4, true).unwrap();
+        assert_eq!(read_manifest(&root).unwrap(), Some((4, true)));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

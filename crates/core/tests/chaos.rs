@@ -7,11 +7,13 @@
 //! hard `timeout`, so a regression to the old block-forever behavior fails
 //! fast instead of wedging the suite.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use remo_core::{
-    AlgoCtx, Algorithm, Engine, EngineConfig, EngineError, FaultPlan, LatticeConfig, Partitioner,
-    TelemetryConfig, TransportMode, VertexId, CHAOS_PANIC_MARKER,
+    algorithm::codec, AlgoCtx, Algorithm, DurabilityConfig, Engine, EngineConfig, EngineError,
+    FaultPlan, LatticeConfig, Partitioner, Snapshot, TelemetryConfig, TransportMode, VertexId,
+    CHAOS_PANIC_MARKER,
 };
 
 /// The paper's §II-A example: count each vertex's degree. Enough to make
@@ -101,6 +103,18 @@ fn cross_shard_pairs() -> Vec<(VertexId, VertexId)> {
     ]
 }
 
+/// Ingest under an active kill-shard fault. The injected panic races the
+/// controller's stream handout: if the shard dies first, the send to it
+/// correctly reports `ShardPanicked`. Both outcomes are valid for these
+/// tests, which assert on the *aftermath* of the death, so only
+/// unexpected error kinds fail here.
+fn ingest_racing_death<A: Algorithm>(engine: &Engine<A>, pairs: &[(VertexId, VertexId)]) {
+    match engine.try_ingest_pairs(pairs) {
+        Ok(()) | Err(EngineError::ShardPanicked { .. }) => {}
+        Err(e) => panic!("unexpected ingest error: {e}"),
+    }
+}
+
 fn chaos_config(plan: FaultPlan) -> EngineConfig {
     EngineConfig {
         quiescence_deadline: Some(Duration::from_secs(5)),
@@ -120,7 +134,7 @@ fn chaos_config(plan: FaultPlan) -> EngineConfig {
 #[test]
 fn await_quiescence_surfaces_shard_panic_within_deadline() {
     let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
-    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+    ingest_racing_death(&engine, &cross_shard_pairs());
 
     let start = Instant::now();
     let err = engine
@@ -133,7 +147,10 @@ fn await_quiescence_surfaces_shard_panic_within_deadline() {
     );
     match err {
         EngineError::ShardPanicked { failures } => {
-            assert!(failures.iter().any(|f| f.id == 1), "shard 1 must be reported");
+            assert!(
+                failures.iter().any(|f| f.id == 1),
+                "shard 1 must be reported"
+            );
             let f = failures.iter().find(|f| f.id == 1).unwrap();
             assert!(
                 f.payload.contains(CHAOS_PANIC_MARKER),
@@ -155,13 +172,16 @@ fn await_quiescence_surfaces_shard_panic_within_deadline() {
 #[test]
 fn finish_degrades_to_surviving_shards() {
     let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
-    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+    ingest_racing_death(&engine, &cross_shard_pairs());
 
     let start = Instant::now();
     let result = engine
         .try_finish()
         .expect("degraded finish must still harvest survivors");
-    assert!(start.elapsed() < Duration::from_secs(10), "no hang on finish");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "no hang on finish"
+    );
 
     assert!(result.is_degraded());
     assert_eq!(result.failures.len(), 1, "exactly one shard died");
@@ -173,7 +193,10 @@ fn finish_degrades_to_surviving_shards() {
     // dying shard's last events, ending in the fault entry it wrote on
     // the way down.
     let trace = &result.failures[0].trace;
-    assert!(!trace.is_empty(), "chaos panic must carry a flight-recorder dump");
+    assert!(
+        !trace.is_empty(),
+        "chaos panic must carry a flight-recorder dump"
+    );
     assert!(
         trace.iter().any(|line| line.contains("fault kind=panic")),
         "the dump must contain the injected fault entry, got: {trace:?}"
@@ -192,7 +215,10 @@ fn finish_degrades_to_surviving_shards() {
     // survivor did contribute state (its local pair was processed).
     let p = Partitioner::new(2);
     assert!(result.states.iter().all(|(v, _)| p.owner(v) == 0));
-    assert!(!result.states.is_empty(), "survivor states must be harvested");
+    assert!(
+        !result.states.is_empty(),
+        "survivor states must be harvested"
+    );
 
     // The dead shard's table slot is an empty placeholder.
     assert_eq!(result.tables.len(), 2);
@@ -206,7 +232,7 @@ fn finish_degrades_to_surviving_shards() {
 #[test]
 fn local_state_on_dead_shard_fails_fast() {
     let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
-    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+    ingest_racing_death(&engine, &cross_shard_pairs());
 
     // Wait (bounded) for the failure to land on the board.
     let start = Instant::now();
@@ -237,7 +263,7 @@ fn local_state_on_dead_shard_fails_fast() {
 #[test]
 fn snapshot_on_degraded_engine_errors_not_hangs() {
     let mut engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
-    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+    ingest_racing_death(&engine, &cross_shard_pairs());
 
     let start = Instant::now();
     while !engine.is_degraded() && start.elapsed() < Duration::from_secs(5) {
@@ -315,7 +341,7 @@ fn drop_without_finish_does_not_hang_on_dead_shard() {
     let start = Instant::now();
     {
         let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
-        engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+        ingest_racing_death(&engine, &cross_shard_pairs());
         let probe = Instant::now();
         while !engine.is_degraded() && probe.elapsed() < Duration::from_secs(5) {
             std::thread::sleep(Duration::from_millis(1));
@@ -334,7 +360,7 @@ fn drop_without_finish_does_not_hang_on_dead_shard() {
 #[test]
 fn failures_accessor_matches_finish_report() {
     let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(0, 1)));
-    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+    ingest_racing_death(&engine, &cross_shard_pairs());
     let start = Instant::now();
     while !engine.is_degraded() && start.elapsed() < Duration::from_secs(5) {
         std::thread::sleep(Duration::from_millis(1));
@@ -383,7 +409,7 @@ fn fault_free_run_is_clean_under_supervised_api() {
 #[test]
 fn metrics_now_remains_readable_through_shard_death() {
     let engine = Engine::new(Degree, chaos_config(FaultPlan::panic_shard_at(1, 1)));
-    engine.try_ingest_pairs(&cross_shard_pairs()).unwrap();
+    ingest_racing_death(&engine, &cross_shard_pairs());
     let start = Instant::now();
     while !engine.is_degraded() && start.elapsed() < Duration::from_secs(5) {
         let m = engine.metrics_now();
@@ -396,6 +422,353 @@ fn metrics_now_remains_readable_through_shard_death() {
     assert_eq!(m.lost_shards, vec![1]);
     // The dying shard's pre-panic publish is visible mid-run too.
     assert!(m.per_shard[1].faults_injected >= 1);
+}
+
+// ---- durability: WAL + checkpoint recovery ---------------------------
+
+/// Max-label propagation (connected components by max id; labels offset
+/// by one so the lattice bottom `0` reads "unlabelled"). Unlike `Degree`,
+/// whose increments observe *how many* events arrived, the max join is
+/// idempotent under duplicated delivery — which is exactly what WAL
+/// replay provides (at-least-once), so a recovered run must land on the
+/// same fixpoint byte for byte.
+struct MaxLabel;
+
+impl MaxLabel {
+    fn absorb(ctx: &mut impl AlgoCtx<u64>, cand: u64) {
+        let changed = ctx.apply(|s| {
+            if cand > *s {
+                *s = cand;
+                true
+            } else {
+                false
+            }
+        });
+        if changed {
+            let label = *ctx.state();
+            ctx.update_nbrs(&label);
+        }
+    }
+}
+
+impl Algorithm for MaxLabel {
+    type State = u64;
+    fn on_add(&self, ctx: &mut impl AlgoCtx<u64>, visitor: VertexId, _val: &u64, _w: u64) {
+        let cand = (ctx.vertex() + 1).max(visitor + 1);
+        Self::absorb(ctx, cand);
+        // A new edge must carry my label to the other endpoint even when
+        // nothing changed here — otherwise the fixpoint depends on edge
+        // arrival order and the byte-identical assertions are vacuous.
+        let label = *ctx.state();
+        ctx.update_single_nbr(visitor, &label);
+    }
+    fn on_reverse_add(&self, ctx: &mut impl AlgoCtx<u64>, visitor: VertexId, value: &u64, _w: u64) {
+        let cand = (ctx.vertex() + 1).max(visitor + 1).max(*value);
+        Self::absorb(ctx, cand);
+        let label = *ctx.state();
+        ctx.update_single_nbr(visitor, &label);
+    }
+    fn on_update(&self, ctx: &mut impl AlgoCtx<u64>, _visitor: VertexId, value: &u64, _w: u64) {
+        Self::absorb(ctx, *value);
+    }
+    fn join(into: &mut u64, from: &u64) -> bool {
+        if *from > *into {
+            *into = *from;
+            true
+        } else {
+            false
+        }
+    }
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        codec::put_u64(*state, out);
+    }
+    fn decode_state(bytes: &[u8]) -> u64 {
+        codec::get_u64(bytes)
+    }
+}
+
+/// Fresh per-test durable root under the OS temp dir.
+fn durable_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remo-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A chain 0-1-…-n: every vertex converges to label `n + 1`, with plenty
+/// of cross-shard traffic on a 2-way engine.
+fn chain_pairs(n: u64) -> Vec<(VertexId, VertexId)> {
+    (0..n).map(|i| (i, i + 1)).collect()
+}
+
+fn fixpoint(states: &Snapshot<u64>) -> Vec<(VertexId, u64)> {
+    states.iter().map(|(v, s)| (v, *s)).collect()
+}
+
+/// The uninterrupted, durability-free reference run.
+fn baseline_fixpoint(pairs: &[(VertexId, VertexId)]) -> Vec<(VertexId, u64)> {
+    let config = EngineConfig {
+        lattice: lattice_mode(),
+        transport: transport_mode(),
+        ..EngineConfig::undirected(2)
+    };
+    let engine = Engine::new(MaxLabel, config);
+    engine.try_ingest_pairs(pairs).unwrap();
+    let result = engine.try_finish().unwrap();
+    assert!(!result.is_degraded());
+    fixpoint(&result.states)
+}
+
+fn durable_chaos_config(plan: FaultPlan, dir: &PathBuf, checkpoint_every: u64) -> EngineConfig {
+    chaos_config(plan).with_durability(
+        DurabilityConfig::new(dir)
+            .checkpoint_every(checkpoint_every)
+            .fsync(false),
+    )
+}
+
+/// Tentpole acceptance: a shard that panics mid-run is respawned in
+/// place — checkpoint restore + WAL replay — and the run finishes
+/// *clean*: no degraded harvest, no failure report, and a fixpoint
+/// byte-identical to an uninterrupted run. The old behavior (harvest
+/// survivors, lose the shard) now applies only when durability is off or
+/// the respawn budget is exhausted.
+#[test]
+fn panicked_shard_respawns_and_converges_byte_identically() {
+    let pairs = chain_pairs(24);
+    let want = baseline_fixpoint(&pairs);
+    let dir = durable_dir("respawn");
+    let engine = Engine::new(
+        MaxLabel,
+        durable_chaos_config(FaultPlan::panic_shard_at(1, 5), &dir, 8),
+    );
+    engine.try_ingest_pairs(&pairs).unwrap();
+    let result = engine
+        .try_finish()
+        .expect("recovered run must finish clean");
+    assert!(
+        !result.is_degraded(),
+        "respawned shard must not degrade the harvest: {:?}",
+        result.failures
+    );
+    let total = result.metrics.total();
+    assert!(
+        total.faults_injected >= 1,
+        "the chaos panic must have fired"
+    );
+    assert!(
+        total.shard_respawns >= 1,
+        "shard 1 must have been respawned"
+    );
+    assert!(
+        total.wal_records_appended > 0,
+        "custody must have been logged"
+    );
+    assert!(
+        total.envelopes_recovered >= 1,
+        "the panicked envelope is swept"
+    );
+    assert_eq!(
+        fixpoint(&result.states),
+        want,
+        "recovery must converge to the byte-identical fixpoint"
+    );
+    // The books close exactly even across the sweep/replay cycle.
+    result.metrics.verify_balance().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: the twice-dying shard. The first panic hits the live event
+/// loop; the second hits *recovery itself* (mid-replay). The supervisor
+/// re-sweeps and re-replays from the checkpoint, and the run still
+/// converges byte-identically.
+#[test]
+fn panic_during_replay_recovers_on_second_attempt() {
+    let pairs = chain_pairs(24);
+    let want = baseline_fixpoint(&pairs);
+    let dir = durable_dir("replay-panic");
+    let plan = FaultPlan {
+        panic_at: Some((1, 5)),
+        panic_in_replay: Some((1, 2)),
+        ..Default::default()
+    };
+    // No checkpoint before the panic: the whole history is in the WAL,
+    // guaranteeing the replay fault a record to fire on.
+    let engine = Engine::new(MaxLabel, durable_chaos_config(plan, &dir, 100_000));
+    engine.try_ingest_pairs(&pairs).unwrap();
+    let result = engine.try_finish().expect("second recovery must succeed");
+    assert!(!result.is_degraded(), "failures: {:?}", result.failures);
+    let total = result.metrics.total();
+    assert!(
+        total.shard_respawns >= 2,
+        "one respawn for the live panic, one for the replay panic; got {}",
+        total.shard_respawns
+    );
+    assert!(total.replayed_records >= 1);
+    assert_eq!(fixpoint(&result.states), want);
+    result.metrics.verify_balance().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: a crash in the stage→publish window of checkpointing. The
+/// staged temp file is abandoned, recovery falls back to (previous
+/// checkpoint + full WAL), and the next attempt publishes cleanly.
+#[test]
+fn panic_during_checkpoint_falls_back_to_wal() {
+    let pairs = chain_pairs(24);
+    let want = baseline_fixpoint(&pairs);
+    let dir = durable_dir("ckpt-panic");
+    let plan = FaultPlan {
+        panic_in_checkpoint: Some((1, 1)),
+        ..Default::default()
+    };
+    // Small interval so shard 1 attempts a checkpoint mid-run.
+    let engine = Engine::new(MaxLabel, durable_chaos_config(plan, &dir, 4));
+    engine.try_ingest_pairs(&pairs).unwrap();
+    let result = engine
+        .try_finish()
+        .expect("checkpoint crash must be recoverable");
+    assert!(!result.is_degraded(), "failures: {:?}", result.failures);
+    let total = result.metrics.total();
+    assert!(
+        total.faults_injected >= 1,
+        "checkpoint fault must have fired"
+    );
+    assert!(total.shard_respawns >= 1);
+    assert!(
+        total.checkpoints_written >= 1,
+        "a later attempt must publish successfully"
+    );
+    assert_eq!(fixpoint(&result.states), want);
+    result.metrics.verify_balance().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: when the respawn budget is exhausted (a deterministic
+/// poison-pill fault that re-fires after every recovery), the shard
+/// degrades exactly as the pre-durability engine did: permanent failure
+/// on the board, survivors harvested.
+#[test]
+fn exhausted_respawn_budget_degrades_cleanly() {
+    let pairs = chain_pairs(24);
+    let dir = durable_dir("budget");
+    let plan = FaultPlan::panic_shard_at(1, 1).repeat_panics(100);
+    let config = chaos_config(plan).with_durability(
+        DurabilityConfig::new(&dir)
+            .checkpoint_every(8)
+            .fsync(false)
+            .max_respawns(2),
+    );
+    let engine = Engine::new(MaxLabel, config);
+    // The budget burns fast (three back-to-back panics), so the permanent
+    // death can race the stream handout exactly like an undurable kill.
+    ingest_racing_death(&engine, &pairs);
+    let start = Instant::now();
+    let result = engine
+        .try_finish()
+        .expect("budget exhaustion must degrade, not hang");
+    assert!(start.elapsed() < Duration::from_secs(20), "no hang");
+    assert!(
+        result.is_degraded(),
+        "the poison pill must exhaust the budget"
+    );
+    assert_eq!(result.failures.len(), 1);
+    assert_eq!(result.failures[0].id, 1);
+    assert!(result.failures[0].payload.contains(CHAOS_PANIC_MARKER));
+    // The survivors' monotone states were still harvested.
+    let p = Partitioner::new(2);
+    assert!(result.states.iter().all(|(v, _)| p.owner(v) == 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole acceptance, cold half: `Engine::open` over a directory a
+/// previous process finished into resumes from the durable state — more
+/// events stream in, and the final fixpoint is byte-identical to one
+/// uninterrupted run over the full input.
+#[test]
+fn cold_restart_resumes_and_matches_uninterrupted_run() {
+    let all = chain_pairs(24);
+    let (first, second) = all.split_at(12);
+    let want = baseline_fixpoint(&all);
+    let dir = durable_dir("cold");
+    let config = || {
+        EngineConfig {
+            lattice: lattice_mode(),
+            transport: transport_mode(),
+            telemetry: telemetry_mode(),
+            ..EngineConfig::undirected(2)
+        }
+        .with_durability(DurabilityConfig::new(&dir).checkpoint_every(6).fsync(false))
+    };
+    {
+        let engine = Engine::new(MaxLabel, config());
+        engine.try_ingest_pairs(first).unwrap();
+        let result = engine.try_finish().unwrap();
+        assert!(!result.is_degraded());
+        // Shutdown force-checkpointed: every shard's durable image is
+        // complete and its WAL is empty.
+        assert!(result.metrics.total().checkpoints_written >= 1);
+    }
+    let engine = Engine::open(MaxLabel, config()).expect("manifest must validate");
+    engine.try_ingest_pairs(second).unwrap();
+    let result = engine.try_finish().unwrap();
+    assert!(!result.is_degraded());
+    assert_eq!(
+        fixpoint(&result.states),
+        want,
+        "cold restart + second half must equal one uninterrupted run"
+    );
+    result.metrics.verify_balance().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `Engine::open` validates the manifest: a mismatched shard count (which
+/// would silently re-partition recovered vertices) is refused, as is
+/// opening without durability configured.
+#[test]
+fn open_rejects_mismatched_or_missing_durability() {
+    let dir = durable_dir("manifest");
+    {
+        let config = EngineConfig::undirected(2)
+            .with_transport(transport_mode())
+            .with_durability(DurabilityConfig::new(&dir).fsync(false));
+        let engine = Engine::new(MaxLabel, config);
+        engine.try_ingest_pairs(&[(0, 1)]).unwrap();
+        engine.try_finish().unwrap();
+    }
+    let mismatched = EngineConfig::undirected(3)
+        .with_transport(transport_mode())
+        .with_durability(DurabilityConfig::new(&dir).fsync(false));
+    let err = match Engine::open(MaxLabel, mismatched) {
+        Err(e) => e,
+        Ok(_) => panic!("a 3-shard open over a 2-shard directory must fail"),
+    };
+    assert!(
+        matches!(err, EngineError::DurabilityMismatch { .. }),
+        "expected DurabilityMismatch, got: {err}"
+    );
+    let err = match Engine::open(MaxLabel, EngineConfig::undirected(2)) {
+        Err(e) => e,
+        Ok(_) => panic!("open without durability must fail"),
+    };
+    assert!(matches!(err, EngineError::DurabilityMismatch { .. }));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Durability off (the default) takes no WAL/checkpoint code path at all:
+/// every durability counter stays zero and a panicked shard is harvested
+/// degraded exactly as before — the seed contract is unchanged.
+#[test]
+fn durability_off_keeps_seed_behavior_and_zero_counters() {
+    let engine = Engine::new(MaxLabel, chaos_config(FaultPlan::default()));
+    engine.try_ingest_pairs(&chain_pairs(8)).unwrap();
+    let result = engine.try_finish().unwrap();
+    let total = result.metrics.total();
+    assert_eq!(total.wal_records_appended, 0);
+    assert_eq!(total.wal_bytes, 0);
+    assert_eq!(total.checkpoints_written, 0);
+    assert_eq!(total.replayed_records, 0);
+    assert_eq!(total.shard_respawns, 0);
+    assert_eq!(total.envelopes_recovered, 0);
 }
 
 /// The legacy rhh-record storage layout remains selectable and behaves

@@ -39,7 +39,9 @@ fn self_loops_terminate_and_count_once_per_side() {
 #[test]
 fn empty_streams_quiesce_immediately() {
     let engine = Engine::new(Touch, EngineConfig::undirected(3));
-    engine.try_ingest(vec![Vec::new(), Vec::new(), Vec::new()]).unwrap();
+    engine
+        .try_ingest(vec![Vec::new(), Vec::new(), Vec::new()])
+        .unwrap();
     engine.try_await_quiescence().unwrap();
     let r = engine.try_finish().unwrap();
     assert_eq!(r.num_vertices, 0);
@@ -125,7 +127,9 @@ fn safra_mode_snapshot_works() {
 fn huge_vertex_ids_are_fine() {
     // Ids are hashed, never used as indices.
     let engine = Engine::new(Touch, EngineConfig::undirected(2));
-    engine.try_ingest_pairs(&[(u64::MAX - 1, u64::MAX), (0, u64::MAX)]).unwrap();
+    engine
+        .try_ingest_pairs(&[(u64::MAX - 1, u64::MAX), (0, u64::MAX)])
+        .unwrap();
     let r = engine.try_finish().unwrap();
     assert_eq!(r.states.get(u64::MAX), Some(&2));
 }
@@ -135,7 +139,9 @@ fn weighted_and_unweighted_batches_interleave() {
     let engine = Engine::new(Touch, EngineConfig::undirected(2));
     engine.try_ingest_pairs(&[(0, 1)]).unwrap();
     engine.try_ingest_weighted(&[(1, 2, 50)]).unwrap();
-    engine.try_ingest(vec![vec![TopoEvent::weighted(2, 3, 7)]]).unwrap();
+    engine
+        .try_ingest(vec![vec![TopoEvent::weighted(2, 3, 7)]])
+        .unwrap();
     let r = engine.try_finish().unwrap();
     assert_eq!(r.num_edges, 6);
 }
@@ -173,7 +179,9 @@ fn partial_batches_flush_at_idle() {
         ..EngineConfig::undirected(4)
     };
     let engine = Engine::new(Touch, config);
-    engine.try_ingest_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+    engine
+        .try_ingest_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)])
+        .unwrap();
     engine.try_await_quiescence().unwrap();
     let r = engine.try_finish().unwrap();
     assert_eq!(r.states.get(1), Some(&2));

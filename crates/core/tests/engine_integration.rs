@@ -230,7 +230,9 @@ fn triggers_fire_exactly_once_with_causal_seq() {
     let t0 = builder.trigger("t>=1", |_, s: &u64| *s >= 1);
     let t1 = builder.trigger("t>=3", |_, s: &u64| *s >= 3);
     let engine = builder.build();
-    engine.try_ingest_pairs(&[(9, 1), (9, 2), (9, 3), (9, 4)]).unwrap();
+    engine
+        .try_ingest_pairs(&[(9, 1), (9, 2), (9, 3), (9, 4)])
+        .unwrap();
     engine.try_await_quiescence().unwrap();
     let fires: Vec<_> = engine.trigger_events().try_iter().collect();
     // t0 fires for every touched vertex (5 of them), t1 only for vertex 9.

@@ -99,7 +99,11 @@ fn point_query_returns_live_state() {
     engine.try_ingest_pairs(&[(5, 6), (6, 7)]).unwrap();
     engine.try_await_quiescence().unwrap();
     assert_eq!(engine.try_local_state(6).unwrap(), Some(6)); // min id 5 -> label 6
-    assert_eq!(engine.try_local_state(999).unwrap(), None, "untouched vertex");
+    assert_eq!(
+        engine.try_local_state(999).unwrap(),
+        None,
+        "untouched vertex"
+    );
     // Query mid-stream: must return the current monotone bound, never
     // something above it.
     engine.try_ingest_pairs(&[(0, 5)]).unwrap();

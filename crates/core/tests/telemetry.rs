@@ -140,8 +140,11 @@ fn metrics_now_is_monotone_under_concurrent_ingest() {
             // report-time publication: processed counts match the harvest
             // exactly, and no cell counter exceeds its harvested value.
             let last = hub.metrics_now();
-            for (shard, (cell, harvested)) in
-                last.per_shard.iter().zip(&result.metrics.per_shard).enumerate()
+            for (shard, (cell, harvested)) in last
+                .per_shard
+                .iter()
+                .zip(&result.metrics.per_shard)
+                .enumerate()
             {
                 assert_eq!(
                     cell.events_processed(),
@@ -216,8 +219,8 @@ fn telemetry_off_is_invisible_to_the_computation() {
 #[test]
 fn histograms_populate_and_quantiles_are_ordered() {
     let edges = edge_stream(2_000, 0x600d);
-    let config = EngineConfig::undirected(2)
-        .with_telemetry(TelemetryConfig::default().with_sample_shift(0));
+    let config =
+        EngineConfig::undirected(2).with_telemetry(TelemetryConfig::default().with_sample_shift(0));
     let engine = Engine::new(Degree, config);
     engine.try_ingest_pairs(&edges).unwrap();
     engine.try_await_quiescence().unwrap();
@@ -319,13 +322,23 @@ fn json_rendering_is_well_formed() {
     }
     assert_eq!(depth, 0, "unbalanced JSON rendering");
     assert!(!in_str, "unterminated string in JSON rendering");
-    for key in ["\"totals\"", "\"per_shard\"", "\"histograms\"", "\"service\"",
-        "\"flush\"", "\"quiesce\"", "\"ingest_fixpoint\"", "\"p999_us\""]
-    {
+    for key in [
+        "\"totals\"",
+        "\"per_shard\"",
+        "\"histograms\"",
+        "\"service\"",
+        "\"flush\"",
+        "\"quiesce\"",
+        "\"ingest_fixpoint\"",
+        "\"p999_us\"",
+    ] {
         assert!(json.contains(key), "missing key {key}");
     }
     for name in ShardMetrics::COUNTER_NAMES {
-        assert!(json.contains(&format!("\"{name}\":")), "missing counter {name}");
+        assert!(
+            json.contains(&format!("\"{name}\":")),
+            "missing counter {name}"
+        );
     }
     // Three shards -> three per_shard objects, each with a queue gauge.
     assert_eq!(json.matches("\"queue_depth\":").count(), 3);

@@ -66,6 +66,18 @@ impl BitSet {
         self.words.iter().all(|&w| w == 0)
     }
 
+    /// Backing words, 64 bits each, low bits first — the serialization
+    /// surface for durable checkpoints/WAL records.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set from backing words (exact inverse of
+    /// [`BitSet::as_words`]).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        BitSet { words }
+    }
+
     /// Unions `other` into `self`; returns `true` when `self` changed.
     ///
     /// This is the monotone join of the multi S-T lattice: state only ever

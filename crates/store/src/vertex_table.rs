@@ -99,7 +99,8 @@ impl<S: Default> VertexTable<S> {
     /// [`Self::index_of`].
     #[inline]
     pub fn ensure_index(&mut self, v: VertexId) -> (usize, bool) {
-        self.map.entry_index_or_insert_with(v, VertexRecord::default)
+        self.map
+            .entry_index_or_insert_with(v, VertexRecord::default)
     }
 
     /// Record at a slot index obtained from [`Self::index_of`] /

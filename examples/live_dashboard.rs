@@ -13,6 +13,10 @@
 //! - `REMO_DASH_SCALE`  — RMAT scale (default 13; edges ≈ 16 × 2^scale)
 //! - `REMO_DASH_SHARDS` — shard threads (default 4)
 //! - `REMO_DASH_TICKS`  — ingest chunks / dashboard refreshes (default 16)
+//! - `REMO_DASH_WAL`    — directory for the durability layer; when set,
+//!   every event is write-ahead logged and checkpointed, and the WAL /
+//!   checkpoint / replay counters show up in both scrapes and the final
+//!   report (default: off)
 //!
 //! Run with: `cargo run --release --example live_dashboard`
 
@@ -43,7 +47,12 @@ fn main() {
         edges.len()
     );
 
-    let engine = Engine::new(DegreeCount, EngineConfig::undirected(shards));
+    let mut config = EngineConfig::undirected(shards);
+    if let Ok(dir) = std::env::var("REMO_DASH_WAL") {
+        println!("durability: WAL + checkpoints under {dir}");
+        config = config.with_durability(DurabilityConfig::new(dir).fsync(false));
+    }
+    let engine = Engine::new(DegreeCount, config);
     // The hub is a cheap clone-able handle: hand it to a dashboard thread,
     // an HTTP endpoint, or (here) poll it inline between ingest chunks.
     let hub = engine.telemetry();
@@ -99,4 +108,17 @@ fn main() {
          ({} samples)  quiesce p50/p99: {q50:.0}/{q99:.0} us",
         m.service.count
     );
+    let t = m.total();
+    if t.wal_records_appended > 0 {
+        let (c50, c99, _) = m.checkpoint.quantiles_us();
+        println!(
+            "durability: {} WAL records / {} bytes, {} checkpoints \
+             (p50/p99 {c50:.0}/{c99:.0} us), {} replayed, {} respawns",
+            t.wal_records_appended,
+            t.wal_bytes,
+            t.checkpoints_written,
+            t.replayed_records,
+            t.shard_respawns
+        );
+    }
 }

@@ -66,16 +66,18 @@ fn main() {
     let engine = Engine::new(algo, EngineConfig::undirected(4));
     engine.try_init_vertex(depot).unwrap();
     // A corridor 0-1-2-3-4 plus a detour 0-10-11-12-4.
-    engine.try_ingest_pairs(&[
-        (0, 1),
-        (1, 2),
-        (2, 3),
-        (3, 4),
-        (0, 10),
-        (10, 11),
-        (11, 12),
-        (12, 4),
-    ]).unwrap();
+    engine
+        .try_ingest_pairs(&[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (0, 10),
+            (10, 11),
+            (11, 12),
+            (12, 4),
+        ])
+        .unwrap();
     engine.try_await_quiescence().unwrap();
     let g0 = generation.current();
     let hops = |s: Option<&remo::algos::GenLevel>, g: u32| {

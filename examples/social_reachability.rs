@@ -40,8 +40,8 @@ fn main() {
         };
         engine.try_ingest_pairs(&friendships[lo..hi]).unwrap();
         engine.try_await_quiescence().unwrap(); // settle this interval for a crisp row
-                                   // Continuous global-state collection (would also work mid-flight,
-                                   // as the quickstart example shows).
+                                                // Continuous global-state collection (would also work mid-flight,
+                                                // as the quickstart example shows).
         let snap = engine.try_snapshot().unwrap();
         let mut sizes: HashMap<u64, usize> = HashMap::new();
         for (_, &label) in snap.iter() {
