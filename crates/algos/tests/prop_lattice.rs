@@ -136,3 +136,49 @@ proptest! {
         assert_lattice_matches_fifo(|| remo_algos::DegreeCount, &edges, None, None, shards)?;
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The adaptive controller composes with the lattice layers: exact
+    /// FIFO, static all-on lattice, and both adaptive bases (controller
+    /// starting from lattice-off and from lattice-on, flipping coalescing
+    /// and batch sizes mid-run) must land on byte-identical fixpoints
+    /// with balanced envelope books.
+    #[test]
+    fn adaptive_lattice_matches_fifo(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        let w = weighted(&edges);
+        let source = edges[0].0;
+        let mut states = Vec::new();
+        for (lattice, adaptive) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut config = EngineConfig::undirected(shards);
+            if lattice {
+                config = config.with_lattice();
+            }
+            if adaptive {
+                config = config.with_adaptive();
+            }
+            let engine = Engine::new(remo_algos::IncSssp, config);
+            engine.try_init_vertex(source).unwrap();
+            engine.try_ingest_weighted(&w).unwrap();
+            engine.try_await_quiescence().unwrap();
+            prop_assert!(
+                engine.counters_balanced(),
+                "counters leaked (lattice={}, adaptive={}, P={})",
+                lattice, adaptive, shards
+            );
+            let result = engine.try_finish().unwrap();
+            let balance = result.metrics.verify_balance();
+            prop_assert!(
+                balance.is_ok(),
+                "balance violated (lattice={}, adaptive={}, P={}): {:?}",
+                lattice, adaptive, shards, balance
+            );
+            states.push(result.states.into_vec());
+        }
+        for s in &states[1..] {
+            prop_assert_eq!(&states[0], s, "adaptive cell diverged from FIFO (P={})", shards);
+        }
+    }
+}

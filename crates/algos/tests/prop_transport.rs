@@ -59,16 +59,20 @@ fn observe<A, F>(
     weights: Option<&[(VertexId, VertexId, Weight)]>,
     init: Option<VertexId>,
     shards: usize,
+    adaptive: bool,
 ) -> Observed<A::State>
 where
     A: remo_core::Algorithm,
     A::State: PartialEq + std::fmt::Debug,
     F: Fn() -> A,
 {
-    let config = EngineConfig::undirected(shards)
+    let mut config = EngineConfig::undirected(shards)
         .with_transport(transport)
         .with_storage(layout)
         .with_expected_vertices(64);
+    if adaptive {
+        config = config.with_adaptive();
+    }
     let mut builder = EngineBuilder::new(make(), config);
     builder.trigger("nonbottom", |_v, s: &A::State| *s != A::State::default());
     let mut engine = builder.build();
@@ -117,6 +121,7 @@ fn assert_transports_agree<A, F>(
     weights: Option<&[(VertexId, VertexId, Weight)]>,
     init: Option<VertexId>,
     shards: usize,
+    adaptive: bool,
 ) -> Result<(), TestCaseError>
 where
     A: remo_core::Algorithm,
@@ -131,6 +136,7 @@ where
         weights,
         init,
         shards,
+        adaptive,
     );
     let channel = observe::<A, F>(
         make,
@@ -140,6 +146,7 @@ where
         weights,
         init,
         shards,
+        adaptive,
     );
     prop_assert_eq!(
         &lanes.fixpoint,
@@ -172,7 +179,7 @@ proptest! {
         let edges = rmat_edges(seed);
         let source = edges[0].0;
         assert_transports_agree::<remo_algos::IncBfs, _>(
-            || remo_algos::IncBfs, StorageLayout::DenseArena, &edges, None, Some(source), shards)?;
+            || remo_algos::IncBfs, StorageLayout::DenseArena, &edges, None, Some(source), shards, false)?;
     }
 
     #[test]
@@ -181,7 +188,7 @@ proptest! {
         let w = weighted(&edges);
         let source = edges[0].0;
         assert_transports_agree::<remo_algos::IncSssp, _>(
-            || remo_algos::IncSssp, StorageLayout::DenseArena, &edges, Some(&w), Some(source), shards)?;
+            || remo_algos::IncSssp, StorageLayout::DenseArena, &edges, Some(&w), Some(source), shards, false)?;
     }
 
     /// The transport choice composes with the storage layout choice: lanes
@@ -190,7 +197,7 @@ proptest! {
     fn cc_transports_agree_on_legacy_layout(seed in any::<u64>(), shards in 1usize..5) {
         let edges = rmat_edges(seed);
         assert_transports_agree::<remo_algos::IncCc, _>(
-            || remo_algos::IncCc, StorageLayout::RhhRecord, &edges, None, None, shards)?;
+            || remo_algos::IncCc, StorageLayout::RhhRecord, &edges, None, None, shards, false)?;
     }
 
     /// The lattice messaging layers compose with the lane transport: all
@@ -223,4 +230,65 @@ proptest! {
         }
         prop_assert_eq!(&states[0], &states[1], "lattice+lanes diverged (P={})", shards);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The adaptive controller is a performance policy, not a semantic
+    /// one: with adaptation flipping coalescing and batch sizes mid-run,
+    /// both transports must still observe byte-identical snapshots,
+    /// fixpoints, and trigger fires vs each other.
+    #[test]
+    fn bfs_adaptive_transports_agree(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        let source = edges[0].0;
+        assert_transports_agree::<remo_algos::IncBfs, _>(
+            || remo_algos::IncBfs, StorageLayout::DenseArena, &edges, None, Some(source), shards, true)?;
+    }
+
+    /// Adaptive-on vs all-static must be observationally identical on the
+    /// SAME transport too — the controller's decisions may change how
+    /// envelopes travel, never what they compute.
+    #[test]
+    fn adaptive_is_observationally_identity(seed in any::<u64>(), shards in 1usize..5) {
+        let edges = rmat_edges(seed);
+        let w = weighted(&edges);
+        let source = edges[0].0;
+        for transport in [TransportMode::Lanes, TransportMode::Channel] {
+            let on = observe::<remo_algos::IncSssp, _>(
+                || remo_algos::IncSssp, transport, StorageLayout::DenseArena,
+                &edges, Some(&w), Some(source), shards, true);
+            let off = observe::<remo_algos::IncSssp, _>(
+                || remo_algos::IncSssp, transport, StorageLayout::DenseArena,
+                &edges, Some(&w), Some(source), shards, false);
+            prop_assert_eq!(&on.fixpoint, &off.fixpoint,
+                "adaptive changed the fixpoint ({:?}, P={})", transport, shards);
+            prop_assert_eq!(&on.snapshot, &off.snapshot,
+                "adaptive changed the snapshot view ({:?}, P={})", transport, shards);
+            prop_assert_eq!(&on.fires, &off.fires,
+                "adaptive changed trigger fires ({:?}, P={})", transport, shards);
+        }
+    }
+}
+
+/// The lane mesh is no longer capped at 64 shards: at 96 shards the
+/// multi-word pending-senders bitmaps must carry the mesh and the
+/// fixpoint must stay identical to the channel transport. (Plain test,
+/// one deterministic stream — 2×96 threads per case is too heavy for a
+/// proptest axis.)
+#[test]
+fn lanes_beyond_64_shards_match_channel() {
+    let edges = rmat_edges(0x96_5eed);
+    let source = edges[0].0;
+    assert_transports_agree::<remo_algos::IncBfs, _>(
+        || remo_algos::IncBfs,
+        StorageLayout::DenseArena,
+        &edges,
+        None,
+        Some(source),
+        96,
+        false,
+    )
+    .unwrap();
 }

@@ -20,6 +20,14 @@
 //! flight recorder, the engine default) must stay within 2% wall clock of
 //! an identical run with telemetry off.
 //!
+//! The grid also carries two adaptive-controller cells (`lanes-adapt`,
+//! `channel-adapt`) whose fixpoints must stay byte-identical to the static
+//! cells, plus two raw-speed gates (with a core per shard, or
+//! `REMO_BENCH_STRICT_LANES=1`): lanes must hold wall-clock parity with
+//! the channel transport per algorithm — BFS's short waves are what the
+//! engine's flush hysteresis exists for — and the all-on adaptive cell
+//! must not lose to the best static cell.
+//!
 //! Run: `cargo bench -p remo-bench --bench ablate_transport`
 
 use std::time::Duration;
@@ -36,27 +44,59 @@ const SHARDS: usize = 8;
 /// asserted at `scale >= 1.0`.
 const TELEMETRY_OVERHEAD_CEILING: f64 = 1.02;
 
-fn transport_grid() -> Vec<(&'static str, TransportMode, TelemetryConfig)> {
+/// Grid cell: display name, transport, telemetry, adaptive controller.
+type GridCell = (&'static str, TransportMode, TelemetryConfig, bool);
+
+fn transport_grid() -> Vec<GridCell> {
     vec![
         (
             "channel",
             TransportMode::Channel,
             TelemetryConfig::default(),
+            false,
         ),
-        ("lanes", TransportMode::Lanes, TelemetryConfig::default()),
-        ("lanes-notel", TransportMode::Lanes, TelemetryConfig::off()),
+        (
+            "lanes",
+            TransportMode::Lanes,
+            TelemetryConfig::default(),
+            false,
+        ),
+        (
+            "lanes-notel",
+            TransportMode::Lanes,
+            TelemetryConfig::off(),
+            false,
+        ),
+        (
+            "lanes-adapt",
+            TransportMode::Lanes,
+            TelemetryConfig::default(),
+            true,
+        ),
+        (
+            "channel-adapt",
+            TransportMode::Channel,
+            TelemetryConfig::default(),
+            true,
+        ),
     ]
 }
 
 fn config(
     transport: TransportMode,
     telemetry: TelemetryConfig,
+    adaptive: bool,
     expected_vertices: usize,
 ) -> EngineConfig {
-    EngineConfig::undirected(SHARDS)
+    let cfg = EngineConfig::undirected(SHARDS)
         .with_transport(transport)
         .with_telemetry(telemetry)
-        .with_expected_vertices(expected_vertices)
+        .with_expected_vertices(expected_vertices);
+    if adaptive {
+        cfg.with_adaptive()
+    } else {
+        cfg
+    }
 }
 
 /// Weight derived from the endpoints only (symmetric), so duplicate and
@@ -72,6 +112,7 @@ struct Cell {
     batches_recycled: u64,
     lane_full_fallbacks: u64,
     unparks: u64,
+    adaptive_decisions: u64,
     states: Vec<(VertexId, u64)>,
 }
 
@@ -79,12 +120,13 @@ fn run_once(
     algo_name: &str,
     transport: TransportMode,
     telemetry: TelemetryConfig,
+    adaptive: bool,
     expected_vertices: usize,
     edges: &[(VertexId, VertexId)],
     weighted: &[(VertexId, VertexId, Weight)],
     source: VertexId,
 ) -> Cell {
-    let cfg = config(transport, telemetry, expected_vertices);
+    let cfg = config(transport, telemetry, adaptive, expected_vertices);
     let run = match algo_name {
         "BFS" => timed_run_with(IncBfs, cfg, edges, &[source]),
         _ => timed_run_weighted_with(IncSssp, cfg, weighted, &[source]),
@@ -97,6 +139,7 @@ fn run_once(
         batches_recycled: total.batches_recycled,
         lane_full_fallbacks: total.lane_full_fallbacks,
         unparks: total.unparks,
+        adaptive_decisions: total.adaptive_decisions,
         states: run.result.states.into_vec(),
     }
 }
@@ -106,7 +149,7 @@ fn run_once(
 /// Counters and states come from the final rep.
 fn measure_grid(
     algo_name: &str,
-    grid: &[(&'static str, TransportMode, TelemetryConfig)],
+    grid: &[GridCell],
     expected_vertices: usize,
     edges: &[(VertexId, VertexId)],
     weighted: &[(VertexId, VertexId, Weight)],
@@ -114,11 +157,12 @@ fn measure_grid(
 ) -> Vec<Cell> {
     let mut cells: Vec<Option<Cell>> = grid.iter().map(|_| None).collect();
     for _ in 0..bench_reps() {
-        for (slot, (_, transport, telemetry)) in cells.iter_mut().zip(grid) {
+        for (slot, (_, transport, telemetry, adaptive)) in cells.iter_mut().zip(grid) {
             let mut cell = run_once(
                 algo_name,
                 *transport,
                 telemetry.clone(),
+                *adaptive,
                 expected_vertices,
                 edges,
                 weighted,
@@ -182,7 +226,38 @@ fn main() {
                  shards; wall deltas would measure the scheduler)"
             );
         }
-        for ((transport, mode, telemetry), cell) in grid.iter().zip(&cells) {
+        // Raw-speed gates, same scheduler caveat as the telemetry gate:
+        // only meaningful with a core per shard (force with
+        // `REMO_BENCH_STRICT_LANES=1`).
+        let strict_lanes = std::env::var("REMO_BENCH_STRICT_LANES").as_deref() == Ok("1");
+        if scale >= 1.0 && (cores >= SHARDS || strict_lanes) {
+            // Lanes must be at least at parity with the channel transport
+            // per algorithm — the BFS short-wave regression this gate was
+            // added for is what the flush hysteresis fixes.
+            let channel = &cells[0];
+            let lanes = &cells[1];
+            let ratio = lanes.elapsed.as_secs_f64() / channel.elapsed.as_secs_f64().max(1e-9);
+            assert!(
+                ratio <= 1.02,
+                "{algo}: lanes {:.1}% slower than channel (parity gate)",
+                100.0 * (ratio - 1.0)
+            );
+            // The all-on adaptive cell must not lose to the best static
+            // cell: adaptation has to pay for itself per algorithm.
+            let adapt = &cells[3];
+            let best_static = cells[..3]
+                .iter()
+                .map(|c| c.elapsed)
+                .min()
+                .expect("static cells");
+            let ratio = adapt.elapsed.as_secs_f64() / best_static.as_secs_f64().max(1e-9);
+            assert!(
+                ratio <= 1.03,
+                "{algo}: adaptive cell {:.1}% slower than best static cell",
+                100.0 * (ratio - 1.0)
+            );
+        }
+        for ((transport, mode, telemetry, adaptive), cell) in grid.iter().zip(&cells) {
             assert_eq!(
                 base.states, cell.states,
                 "{algo}/{transport}: fixpoint diverged across transports"
@@ -229,6 +304,7 @@ fn main() {
                 algo.to_string(),
                 transport.to_string(),
                 if telemetry.counters { "on" } else { "off" }.to_string(),
+                if *adaptive { "on" } else { "off" }.to_string(),
                 fmt_dur(cell.elapsed),
                 wall_delta,
                 cell.events.to_string(),
@@ -236,6 +312,7 @@ fn main() {
                 recycle_rate,
                 cell.lane_full_fallbacks.to_string(),
                 cell.unparks.to_string(),
+                cell.adaptive_decisions.to_string(),
             ]);
         }
     }
@@ -250,6 +327,7 @@ fn main() {
             "Algo",
             "Transport",
             "Telemetry",
+            "Adapt",
             "Wall",
             "dWall",
             "Events",
@@ -257,6 +335,7 @@ fn main() {
             "Recycle",
             "Fallb",
             "Unparks",
+            "Decisions",
         ],
         &rows,
     );

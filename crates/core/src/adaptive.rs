@@ -1,0 +1,331 @@
+//! Adaptive data-path controller: per-shard feedback over the telemetry
+//! counters.
+//!
+//! PR 2–4 added three static fast paths — sender-side coalescing, the
+//! envelope batch size, and the lane transport — and the ablation
+//! artifacts show they do not compose uniformly: coalescing pays for
+//! itself on SSSP's redundant-correction storms but costs 15–19% wall on
+//! algorithms whose update streams carry little redundancy, and one
+//! static `envelope_batch` cannot fit both BFS's short waves and SSSP's
+//! deep cascades. Instead of asking the caller to tune
+//! [`LatticeConfig`](crate::LatticeConfig)/`envelope_batch` per
+//! algorithm, the adaptive controller closes the loop per shard: at
+//! decision boundaries (epoch edges and idle points — both moments when
+//! the shard's queues are drained or draining) it reads the same monotone
+//! counters the telemetry layer publishes, computes the last window's
+//! coalesce hit-rate, dominance/suppression rate, and average shipped
+//! batch fill, and flips the knobs for the *next* window.
+//!
+//! Soundness: every knob the controller touches is identity-preserving.
+//! Coalescing folds envelopes through [`Algorithm::join`] — a monotone
+//! lattice join whose presence or absence never changes the fixpoint,
+//! only the event count (DESIGN.md §10); the batch size only moves the
+//! flush boundary, and per-pair FIFO holds at any batch size. Toggling
+//! coalescing mid-run is safe in both directions: envelopes already
+//! staged in the pending map drain normally after a disable, and an
+//! enable simply starts indexing future sends. The property suites
+//! assert byte-identical fixpoints between adaptive and all-static runs.
+//!
+//! Every decision is logged through the `adaptive_*` shard counters, so
+//! `ablate_transport`'s adaptive cells and the live dashboard can show
+//! what the controller actually did — a tuner you cannot observe is a
+//! tuner you cannot trust.
+//!
+//! [`Algorithm::join`]: crate::Algorithm::join
+
+use crate::metrics::ShardMetrics;
+
+/// Tuning envelope for the adaptive controller. `enabled: false` (the
+/// default) spawns no controller — the data path is byte-for-byte the
+/// static configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Master switch (see [`EngineConfig::with_adaptive`]).
+    ///
+    /// [`EngineConfig::with_adaptive`]: crate::EngineConfig::with_adaptive
+    pub enabled: bool,
+    /// Minimum `Update` events a window must span before a decision is
+    /// made; smaller windows are carried forward. Keeps decisions out of
+    /// the noise on sparse streams.
+    pub min_events: u64,
+    /// Enable coalescing when the observed redundancy rate — the fraction
+    /// of update traffic that was provably absorbable (dominated +
+    /// suppressed + coalesced over processed + coalesced) — reaches this.
+    pub coalesce_on_rate: f64,
+    /// Disable coalescing when its measured hit-rate (absorbed envelopes
+    /// over absorbed + sent) falls below this. Kept well under
+    /// `coalesce_on_rate` so the pair forms a hysteresis band rather than
+    /// an oscillator.
+    pub coalesce_off_rate: f64,
+    /// With coalescing off and no redundancy signal visible (the passive
+    /// counters need an active layer to move), re-try coalescing for one
+    /// trial window every this-many decision windows. Bounds the cost of
+    /// discovering a workload shift at ~1/probe_every of the run.
+    pub probe_every: u32,
+    /// Effective envelope-batch bounds: the controller halves/doubles
+    /// within `[min_batch, max_batch]`, starting from the static
+    /// `envelope_batch`.
+    pub min_batch: usize,
+    /// See [`AdaptiveConfig::min_batch`].
+    pub max_batch: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            min_events: 4096,
+            coalesce_on_rate: 0.10,
+            coalesce_off_rate: 0.02,
+            probe_every: 8,
+            min_batch: 32,
+            max_batch: 2048,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// The default tuning with the controller switched on.
+    pub fn on() -> Self {
+        AdaptiveConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// What one decision window asks the shard to change (`None` = keep).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Decisions {
+    /// Flip sender-side coalescing to this.
+    pub coalesce: Option<bool>,
+    /// Set the effective envelope batch to this.
+    pub batch: Option<usize>,
+}
+
+/// Per-shard controller state: the counter snapshot closing the previous
+/// window, plus the probe/cooloff cadence. Owned by the shard thread —
+/// no synchronization; it reads the shard's own monotone counters.
+pub(crate) struct AdaptiveController {
+    cfg: AdaptiveConfig,
+    /// Counters at the previous decision boundary; deltas against the
+    /// live counters are the window's rates.
+    last: ShardMetrics,
+    /// Windows since the last coalesce trial (off-state only).
+    windows_since_probe: u32,
+    /// Windows to wait before re-enabling coalescing after a disable —
+    /// the passive redundancy signal can stay high right after a disable,
+    /// and re-enabling on it immediately would oscillate every window.
+    cooloff: u32,
+}
+
+impl AdaptiveController {
+    pub(crate) fn new(cfg: AdaptiveConfig) -> Self {
+        AdaptiveController {
+            cfg,
+            last: ShardMetrics::default(),
+            windows_since_probe: 0,
+            cooloff: 0,
+        }
+    }
+
+    /// Evaluates one window. `metrics` are the shard's live counters,
+    /// `coalesce_now`/`eff_batch` the knobs currently in force. Returns
+    /// `None` when the window is still too small to judge (it keeps
+    /// accumulating); `Some` marks a decision boundary even when nothing
+    /// changes.
+    pub(crate) fn decide(
+        &mut self,
+        metrics: &ShardMetrics,
+        coalesce_now: bool,
+        eff_batch: usize,
+    ) -> Option<Decisions> {
+        let events = metrics.update_events - self.last.update_events;
+        let coalesced = metrics.envelopes_coalesced - self.last.envelopes_coalesced;
+        // Window size in update traffic: processed plus absorbed (an
+        // absorbed envelope was real work the window handled too).
+        if events + coalesced < self.cfg.min_events {
+            return None;
+        }
+        let sent = metrics.envelopes_sent - self.last.envelopes_sent;
+        let dominated = metrics.updates_dominated - self.last.updates_dominated;
+        let suppressed = metrics.updates_suppressed - self.last.updates_suppressed;
+        let shipped = (metrics.lane_batches - self.last.lane_batches)
+            + (metrics.lane_full_fallbacks - self.last.lane_full_fallbacks);
+        self.last = metrics.clone();
+
+        let mut d = Decisions::default();
+
+        // --- coalescing -------------------------------------------------
+        let hit = coalesced as f64 / (coalesced + sent).max(1) as f64;
+        let redundancy =
+            (dominated + suppressed + coalesced) as f64 / (events + coalesced).max(1) as f64;
+        if coalesce_now {
+            if hit < self.cfg.coalesce_off_rate {
+                d.coalesce = Some(false);
+                self.cooloff = self.cfg.probe_every;
+                self.windows_since_probe = 0;
+            }
+        } else if self.cooloff > 0 {
+            self.cooloff -= 1;
+        } else if redundancy >= self.cfg.coalesce_on_rate {
+            // The passive layers (dominance/suppression) prove the stream
+            // is redundant enough for staging to pay.
+            d.coalesce = Some(true);
+            self.windows_since_probe = 0;
+        } else {
+            // No visible signal: the counters that would show redundancy
+            // need coalescing on to move. Trial-enable on a slow cadence.
+            self.windows_since_probe += 1;
+            if self.windows_since_probe >= self.cfg.probe_every {
+                self.windows_since_probe = 0;
+                d.coalesce = Some(true);
+            }
+        }
+
+        // --- batch size -------------------------------------------------
+        if shipped > 0 {
+            let fill = sent as f64 / shipped as f64;
+            if fill >= 0.75 * eff_batch as f64 && eff_batch * 2 <= self.cfg.max_batch {
+                // Batches consistently hit the threshold flush: the shard
+                // produces faster than it ships — double the batch so each
+                // flush (and each peer wake) amortizes more envelopes.
+                d.batch = Some(eff_batch * 2);
+            } else if fill < eff_batch as f64 / 8.0 && eff_batch / 2 >= self.cfg.min_batch {
+                // Batches ship mostly empty (idle-flush dominated): halve
+                // the threshold so short waves flush in-loop instead of
+                // always waiting for the idle boundary.
+                d.batch = Some(eff_batch / 2);
+            }
+        }
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            enabled: true,
+            min_events: 100,
+            ..AdaptiveConfig::on()
+        }
+    }
+
+    fn window(update_events: u64, sent: u64, coalesced: u64, dominated: u64) -> ShardMetrics {
+        ShardMetrics {
+            update_events,
+            envelopes_sent: sent,
+            envelopes_coalesced: coalesced,
+            updates_dominated: dominated,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn small_windows_accumulate() {
+        let mut c = AdaptiveController::new(cfg());
+        assert_eq!(c.decide(&window(50, 50, 0, 0), false, 256), None);
+        // The 50 events above were not consumed: the next call sees the
+        // cumulative window and crosses the threshold.
+        let d = c.decide(&window(120, 120, 0, 0), false, 256).unwrap();
+        assert_eq!(d, Decisions::default());
+    }
+
+    #[test]
+    fn redundancy_enables_coalescing() {
+        let mut c = AdaptiveController::new(cfg());
+        // 30% of the window's updates were dominance-retired: redundancy
+        // well past the 10% enable threshold.
+        let d = c.decide(&window(1000, 1000, 0, 300), false, 256).unwrap();
+        assert_eq!(d.coalesce, Some(true));
+    }
+
+    #[test]
+    fn low_hit_rate_disables_and_cooloff_blocks_reenable() {
+        let mut c = AdaptiveController::new(cfg());
+        // Coalescing on but absorbing ~0.1% of traffic: below the 2% off
+        // threshold.
+        let d = c.decide(&window(1000, 1000, 1, 300), true, 256).unwrap();
+        assert_eq!(d.coalesce, Some(false));
+        // The dominance signal is still high, but the cooloff must hold
+        // the disable for probe_every windows.
+        let d = c
+            .decide(&window(2000, 2000, 1, 600), false, 256)
+            .unwrap();
+        assert_eq!(d.coalesce, None, "cooloff suppresses re-enable");
+    }
+
+    #[test]
+    fn hysteresis_band_keeps_coalescing_on() {
+        let mut c = AdaptiveController::new(cfg());
+        // 5% hit-rate: under the 10% enable bar but over the 2% disable
+        // bar — an on-state stays on.
+        let d = c.decide(&window(950, 950, 50, 0), true, 256).unwrap();
+        assert_eq!(d.coalesce, None);
+    }
+
+    #[test]
+    fn probe_retries_coalescing_without_signal() {
+        let mut c = AdaptiveController::new(cfg());
+        let mut m = ShardMetrics::default();
+        let mut enabled_at = None;
+        for i in 0..cfg().probe_every + 1 {
+            m.update_events += 1000;
+            m.envelopes_sent += 1000;
+            let d = c.decide(&m, false, 256).unwrap();
+            if d.coalesce == Some(true) {
+                enabled_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(
+            enabled_at,
+            Some(cfg().probe_every - 1),
+            "trial window fires on the probe cadence"
+        );
+    }
+
+    #[test]
+    fn batch_grows_when_full_and_shrinks_when_empty() {
+        let mut c = AdaptiveController::new(cfg());
+        // 1000 envelopes over 4 shipped batches at eff_batch 256: fill 250
+        // ≥ 0.75 × 256 — grow.
+        let m = ShardMetrics {
+            lane_batches: 4,
+            ..window(1000, 1000, 0, 0)
+        };
+        let d = c.decide(&m, false, 256).unwrap();
+        assert_eq!(d.batch, Some(512));
+
+        // Next window: 1000 more envelopes over 200 more batches — fill 5,
+        // far under 512/8 — shrink.
+        let m2 = ShardMetrics {
+            lane_batches: 204,
+            ..window(2000, 2000, 0, 0)
+        };
+        let d = c.decide(&m2, false, 512).unwrap();
+        assert_eq!(d.batch, Some(256));
+    }
+
+    #[test]
+    fn batch_respects_bounds() {
+        let mut c = AdaptiveController::new(cfg());
+        // Full batches at the max: no grow past the ceiling.
+        let m = ShardMetrics {
+            lane_batches: 1,
+            ..window(2048, 2048, 0, 0)
+        };
+        let d = c.decide(&m, false, 2048).unwrap();
+        assert_eq!(d.batch, None);
+        // Empty batches at the floor: no shrink below the minimum.
+        let m2 = ShardMetrics {
+            lane_batches: 1001,
+            ..window(4096, 4096, 0, 0)
+        };
+        let d = c.decide(&m2, false, 32).unwrap();
+        assert_eq!(d.batch, None);
+    }
+}

@@ -138,11 +138,19 @@ impl<A: Algorithm> EngineBuilder<A> {
 
         // The lane mesh + park board exist only under the lane transport;
         // `None` keeps every channel-mode branch in the shard loop free.
-        // Beyond the pending-bitmap's 64-shard width the engine silently
-        // runs the channel transport — same results, no mesh.
+        // The multi-word pending bitmap carries the mesh to 4096 shards;
+        // past even that the engine runs the channel transport — same
+        // results, no mesh — and says so instead of degrading silently.
         let lanes: Option<LaneHandles<A::State>> = match config.transport {
             TransportMode::Lanes if shards <= MAX_LANE_SHARDS => Some(LaneHandles::new(shards)),
-            _ => None,
+            TransportMode::Lanes => {
+                eprintln!(
+                    "remo: {shards} shards exceeds the {MAX_LANE_SHARDS}-shard lane mesh; \
+                     falling back to the channel transport (results identical, no lanes)"
+                );
+                None
+            }
+            TransportMode::Channel => None,
         };
 
         let mut handles = Vec::with_capacity(shards);

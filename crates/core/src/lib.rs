@@ -72,6 +72,7 @@
 //! assert_eq!(result.states.get(1), Some(&2)); // vertex 1 has degree 2
 //! ```
 
+pub mod adaptive;
 pub mod algorithm;
 pub mod compose;
 pub mod engine;
@@ -90,6 +91,7 @@ pub mod trigger;
 pub mod vertex_state;
 pub mod wal;
 
+pub use adaptive::AdaptiveConfig;
 pub use algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
 pub use compose::Pair;
 pub use engine::{Engine, EngineBuilder, RunResult};

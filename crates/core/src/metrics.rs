@@ -148,6 +148,27 @@ shard_metrics! {
     /// Envelopes retired unprocessed by the post-panic custody sweep so the
     /// termination books stay balanced; replay re-derives their effects.
     envelopes_recovered,
+    /// Idle passes where the shard deferred a partial-batch flush and
+    /// re-drained its inbound paths instead (lane flush hysteresis; see
+    /// `EngineConfig::flush_hysteresis`). Bounded per idle episode, so
+    /// this never delays quiescence — buffered envelopes are already
+    /// counted sent.
+    flush_deferrals,
+    /// Decision windows the adaptive data-path controller evaluated
+    /// (including windows that changed nothing). 0 when adaptation is off.
+    adaptive_decisions,
+    /// Adaptive decisions that switched sender-side coalescing ON for this
+    /// shard (observed redundancy crossed the enable threshold).
+    adaptive_coalesce_on,
+    /// Adaptive decisions that switched sender-side coalescing OFF (the
+    /// measured coalesce hit-rate no longer paid for the staging cost).
+    adaptive_coalesce_off,
+    /// Adaptive decisions that grew this shard's effective envelope batch
+    /// (batches were shipping full — amortize more per flush/wake).
+    adaptive_batch_grow,
+    /// Adaptive decisions that shrank this shard's effective envelope
+    /// batch (batches shipped mostly empty at idle — flush sooner).
+    adaptive_batch_shrink,
 }
 
 impl ShardMetrics {

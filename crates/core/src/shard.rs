@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use remo_store::{Adjacency, EdgeMeta, VertexId, VertexTable};
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveController};
 use crate::algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
 use crate::event::{Envelope, Epoch, EventKind, TopoEvent};
 use crate::metrics::ShardMetrics;
@@ -242,8 +243,27 @@ pub struct EngineConfig {
     /// batch. A batch from one sender preserves its internal order, so
     /// per-pair FIFO is unaffected. Default 256.
     pub envelope_batch: usize,
+    /// Lane-transport flush hysteresis: how many idle passes a shard with
+    /// buffered partial batches re-drains its inbound paths (yielding the
+    /// core between passes) before flushing them and parking. Short
+    /// algorithm waves — BFS frontiers especially — otherwise degenerate
+    /// into storms of near-empty lane batches and peer wakes: every shard
+    /// goes briefly idle between waves, flushes a handful of envelopes,
+    /// and unparks its peers for them. Deferring the partial flush for a
+    /// bounded beat lets the next inbound batch refill the outbox first.
+    /// Safe at any value: buffered envelopes are already counted as sent,
+    /// so quiescence cannot falsely fire, and the flush always happens
+    /// before the shard parks. 0 restores the immediate-flush seed
+    /// behaviour; ignored under the channel transport. Default 32.
+    pub flush_hysteresis: u32,
     /// Lattice-aware messaging layers (all off = exact FIFO behaviour).
     pub lattice: LatticeConfig,
+    /// Adaptive data-path controller ([`crate::adaptive`]): per-shard
+    /// feedback over the telemetry counters that auto-enables/disables
+    /// sender-side coalescing and adapts the effective envelope batch at
+    /// epoch/idle boundaries. Off by default (the static knobs rule);
+    /// never changes results, only wall time.
+    pub adaptive: AdaptiveConfig,
     /// Capacity hint: expected total vertex count across the whole graph
     /// (0 = unknown, start empty). Each shard pre-sizes its vertex store
     /// for its share, so large ingests stop paying rehash storms from
@@ -287,7 +307,9 @@ impl EngineConfig {
             shutdown_deadline: Duration::from_secs(2),
             fault_plan: FaultPlan::default(),
             envelope_batch: 256,
+            flush_hysteresis: 32,
             lattice: LatticeConfig::default(),
+            adaptive: AdaptiveConfig::default(),
             expected_vertices: 0,
             storage: StorageLayout::default(),
             transport: TransportMode::default(),
@@ -307,6 +329,20 @@ impl EngineConfig {
     /// Same config with every lattice messaging layer enabled.
     pub fn with_lattice(mut self) -> Self {
         self.lattice = LatticeConfig::all();
+        self
+    }
+
+    /// Same config with the adaptive data-path controller enabled at its
+    /// default tuning (see [`AdaptiveConfig`]).
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = AdaptiveConfig::on();
+        self
+    }
+
+    /// Same config with a different lane flush hysteresis (0 = flush
+    /// partial batches immediately at idle, the pre-hysteresis behaviour).
+    pub fn with_flush_hysteresis(mut self, passes: u32) -> Self {
+        self.flush_hysteresis = passes;
         self
     }
 
@@ -433,6 +469,20 @@ pub(crate) struct ShardWorker<A: Algorithm, St: ShardStore<A::State>> {
     /// channel path; compared against the mesh's `fallback_consumed` to
     /// decide when the pair may resume its data lane (FIFO handshake).
     fallback_sent: Vec<u64>,
+    /// Reusable scratch for the sender ids claimed from the pending set
+    /// each `drain_lanes` pass (allocation-free steady state).
+    claim_buf: Vec<usize>,
+    /// Idle passes spent deferring a partial-batch flush in the current
+    /// idle episode (bounded by `config.flush_hysteresis`; reset whenever
+    /// work arrives or the flush finally happens).
+    idle_spins: u32,
+    /// Effective per-destination batch threshold: starts at
+    /// `config.envelope_batch`; the adaptive controller halves/doubles it
+    /// within its configured bounds.
+    eff_batch: usize,
+    /// Adaptive data-path controller (`None` when `config.adaptive` is
+    /// disabled — the static-knob path pays one predictable branch).
+    adaptive: Option<AdaptiveController>,
     /// Local monotone counters, published to this shard's [`ShardSlots`].
     sent_local: [u64; 2],
     processed_local: [u64; 2],
@@ -526,6 +576,11 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         let lattice = config.lattice;
         let lattice_on = lattice.coalesce || lattice.priority;
         let durable = config.durability.is_some();
+        let eff_batch = config.envelope_batch;
+        let adaptive = config
+            .adaptive
+            .enabled
+            .then(|| AdaptiveController::new(config.adaptive.clone()));
         // Per-shard share of the capacity hint, with 1/8 headroom for the
         // hash partitioner's imbalance (0 stays 0: start empty).
         let shard_cap = config.expected_vertices.div_ceil(num_shards);
@@ -564,6 +619,10 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             outbox_index: (0..num_shards).map(|_| PendMap::default()).collect(),
             lanes,
             fallback_sent: vec![0; num_shards],
+            claim_buf: Vec::new(),
+            idle_spins: 0,
+            eff_batch,
+            adaptive,
             sent_local: [0; 2],
             processed_local: [0; 2],
             ingested_local: 0,
@@ -783,6 +842,10 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     );
                 }
                 self.cur_epoch = epoch;
+                // Epoch boundaries are decision boundaries: the local
+                // backlog is drained (phase 1 just came up empty), so a
+                // knob flip cannot split one wave across two policies.
+                self.adaptive_tick();
             }
 
             // Phase 3: pull one topology event, if any.
@@ -812,11 +875,31 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     .slot(self.id)
                     .ingested
                     .store(self.ingested_local, Ordering::Release);
+                self.idle_spins = 0;
                 continue;
             }
             if did_work {
+                self.idle_spins = 0;
                 continue;
             }
+
+            // Phase 4 preamble — lane flush hysteresis: with partial
+            // batches buffered, give inbound work a bounded number of
+            // re-drain passes to refill them before shipping near-empty
+            // batches and waking peers (the BFS short-wave pathology).
+            // Deadlock-free: buffered envelopes are already counted sent,
+            // so quiescence cannot fire under them, and the spin budget
+            // guarantees the flush below runs before any park.
+            if self.idle_spins < self.config.flush_hysteresis
+                && self.lanes.is_some()
+                && self.outboxes.iter().any(|b| !b.is_empty())
+            {
+                self.idle_spins += 1;
+                self.metrics.flush_deferrals += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            self.idle_spins = 0;
 
             // Phase 4: fully idle — flush buffered envelopes, publish the
             // counter cell (an idle shard's snapshot is otherwise up to
@@ -824,6 +907,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             // then wait for work (event-driven park under the lane
             // transport, timeout poll otherwise).
             self.flush_all();
+            self.adaptive_tick();
             if self.tele_counters {
                 self.publish_telemetry();
             }
@@ -1025,18 +1109,21 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             Some(lanes) => Arc::clone(&lanes.mesh),
             None => return false,
         };
-        let mut bits = mesh.claim_pending(self.id);
-        if bits == 0 {
+        // The scratch is taken out of `self` for the drain calls below
+        // (which need `&mut self`); its allocation is reused every pass.
+        let mut claimed = std::mem::take(&mut self.claim_buf);
+        claimed.clear();
+        if mesh.claim_pending_into(self.id, &mut claimed) == 0 {
+            self.claim_buf = claimed;
             return false;
         }
         let mut any = false;
-        while bits != 0 {
-            let from = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
+        for &from in &claimed {
             if self.drain_one_lane(&mesh, from) {
                 any = true;
             }
         }
+        self.claim_buf = claimed;
         any
     }
 
@@ -1601,8 +1688,46 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             self.outbox_index[owner].insert(key, self.outboxes[owner].len());
         }
         self.outboxes[owner].push(env);
-        if self.outboxes[owner].len() >= self.config.envelope_batch {
+        if self.outboxes[owner].len() >= self.eff_batch {
             self.flush(owner);
+        }
+    }
+
+    /// One adaptive decision boundary (no-op without a controller). The
+    /// controller judges the window since its last decision from this
+    /// shard's own counters and may flip sender-side coalescing or resize
+    /// the effective batch — both identity-preserving (see
+    /// [`crate::adaptive`]); envelopes already staged under the old policy
+    /// drain normally. Every decision moves the `adaptive_*` counters, so
+    /// the exporters and the bench JSON can show what the controller did.
+    fn adaptive_tick(&mut self) {
+        let Some(mut ctl) = self.adaptive.take() else {
+            return;
+        };
+        let decision = ctl.decide(&self.metrics, self.lattice.coalesce, self.eff_batch);
+        self.adaptive = Some(ctl);
+        let Some(d) = decision else {
+            return;
+        };
+        self.metrics.adaptive_decisions += 1;
+        if let Some(on) = d.coalesce {
+            if on != self.lattice.coalesce {
+                self.lattice.coalesce = on;
+                self.lattice_on = self.lattice.coalesce || self.lattice.priority;
+                if on {
+                    self.metrics.adaptive_coalesce_on += 1;
+                } else {
+                    self.metrics.adaptive_coalesce_off += 1;
+                }
+            }
+        }
+        if let Some(batch) = d.batch {
+            if batch > self.eff_batch {
+                self.metrics.adaptive_batch_grow += 1;
+            } else if batch < self.eff_batch {
+                self.metrics.adaptive_batch_shrink += 1;
+            }
+            self.eff_batch = batch.max(1);
         }
     }
 

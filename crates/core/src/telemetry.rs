@@ -433,6 +433,10 @@ pub struct EngineGauges {
     /// Algorithmic events retired per second over the recent sliding
     /// window (0 until two observations exist).
     pub events_per_sec: f64,
+    /// Topology updates ingested per second over the recent sliding
+    /// window (0 until two observations exist) — the sustained-ingest
+    /// headline rate, as opposed to the algorithmic event rate above.
+    pub updates_per_sec: f64,
     /// Total algorithmic events retired so far.
     pub events_processed: u64,
     /// Per-shard pending-work depth (inbox channel + staged local work),
@@ -478,6 +482,7 @@ pub(crate) struct TelemetryShared {
     counters: Arc<SharedCounters>,
     board: Arc<FailureBoard>,
     window: Mutex<VecDeque<(Instant, u64)>>,
+    ingest_window: Mutex<VecDeque<(Instant, u64)>>,
 }
 
 impl TelemetryShared {
@@ -515,6 +520,7 @@ impl TelemetryShared {
             counters,
             board,
             window: Mutex::new(VecDeque::new()),
+            ingest_window: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -681,9 +687,17 @@ impl TelemetryShared {
     }
 
     fn note_window(&self, processed: u64) -> f64 {
+        Self::windowed_rate(&self.window, processed)
+    }
+
+    fn note_ingest_window(&self, ingested: u64) -> f64 {
+        Self::windowed_rate(&self.ingest_window, ingested)
+    }
+
+    fn windowed_rate(slot: &Mutex<VecDeque<(Instant, u64)>>, count: u64) -> f64 {
         let now = Instant::now();
-        let mut window = self.window.lock().unwrap_or_else(|p| p.into_inner());
-        window.push_back((now, processed));
+        let mut window = slot.lock().unwrap_or_else(|p| p.into_inner());
+        window.push_back((now, count));
         while window.len() > WINDOW_SAMPLES {
             window.pop_front();
         }
@@ -770,9 +784,11 @@ impl TelemetryHub {
             ingested += c.slot(id).ingested.load(Ordering::SeqCst);
         }
         let injected = c.injected.load(Ordering::SeqCst);
+        let updates_per_sec = self.shared.note_ingest_window(ingested);
         EngineGauges {
             uptime: self.shared.started.elapsed(),
             events_per_sec,
+            updates_per_sec,
             events_processed: processed,
             queue_depth,
             lane_occupancy,
@@ -823,6 +839,11 @@ impl TelemetryHub {
             "events_per_sec",
             "Algorithmic events retired per second (sliding window).",
             format!("remo_events_per_sec {:.3}\n", g.events_per_sec),
+        );
+        gauge(
+            "updates_per_sec",
+            "Topology updates ingested per second (sliding window).",
+            format!("remo_updates_per_sec {:.3}\n", g.updates_per_sec),
         );
         gauge(
             "park_ratio",
@@ -919,6 +940,7 @@ impl TelemetryHub {
         out.push_str(&format!("\"uptime_s\":{:.3},", g.uptime.as_secs_f64()));
         out.push_str(&format!("\"epoch\":{},", g.epoch));
         out.push_str(&format!("\"events_per_sec\":{:.3},", g.events_per_sec));
+        out.push_str(&format!("\"updates_per_sec\":{:.3},", g.updates_per_sec));
         out.push_str(&format!("\"park_ratio\":{:.6},", g.park_ratio));
         out.push_str(&format!("\"in_flight\":{},", g.in_flight));
         out.push_str(&format!("\"ingest_backlog\":{},", g.ingest_backlog));
@@ -1135,9 +1157,13 @@ mod tests {
         assert!(prom.contains("# TYPE remo_service_time_seconds summary"));
         assert!(prom.contains("remo_quiesce_latency_seconds_count 1"));
         assert!(prom.contains("remo_events_per_sec"));
+        assert!(prom.contains("remo_updates_per_sec"));
+        assert!(prom.contains("# TYPE remo_adaptive_decisions_total counter"));
         let json = hub.render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"add_events\":3"));
+        assert!(json.contains("\"updates_per_sec\""));
+        assert!(json.contains("\"adaptive_decisions\""));
         assert!(json.contains("\"histograms\""));
         // Braces balance (cheap structural sanity without a JSON parser).
         let depth = json.chars().fold(0i64, |d, c| match c {

@@ -58,10 +58,120 @@ pub enum TransportMode {
 /// steady-state flushes stay allocation-free.
 const LANE_CAP: usize = 32;
 
-/// The pending-senders bitmap is a `u64`: the lane mesh supports at most
-/// 64 shards. Engines configured beyond that fall back to the channel
-/// transport at build time.
-pub(crate) const MAX_LANE_SHARDS: usize = 64;
+/// Bits per word of a [`PendingSet`] (and of its summary word).
+const PENDING_WORD_BITS: usize = 64;
+
+/// The pending-senders set is a multi-word bitmap with one hierarchical
+/// `u64` summary word (bit `w` of the summary covers word `w`), so the
+/// lane mesh scales to `64 × 64 = 4096` shards — far past any engine this
+/// crate will ever spawn as threads. Engines configured beyond even that
+/// fall back to the channel transport at build time, with a visible
+/// warning (see `EngineBuilder::build`); they no longer do so silently.
+pub(crate) const MAX_LANE_SHARDS: usize = PENDING_WORD_BITS * PENDING_WORD_BITS;
+
+/// A multi-word pending-senders bitmap with a hierarchical summary word.
+///
+/// Bit `from` (word `from / 64`, bit `from % 64`) says "sender `from` has
+/// published work for this receiver". With more than one word, a `u64`
+/// summary keeps the receiver's empty-probe to a single load: bit `w` of
+/// the summary means "word `w` may be non-zero". Senders set word first,
+/// then summary (both Release); the receiver claims summary first, then
+/// the flagged words (both `swap(0, Acquire)`). A sender racing a claim
+/// either lands its word bit before the word swap (the claim takes it) or
+/// after (its subsequent summary `fetch_or` re-arms the summary, so the
+/// next claim finds it) — a flag is never stranded. A stale summary bit
+/// over an already-claimed word is harmless: the claim finds the word
+/// zero and moves on.
+///
+/// The single-word case (≤ 64 shards) skips the summary entirely, so the
+/// small-engine hot path is exactly the one-word bitmap it was before the
+/// cap was lifted.
+pub(crate) struct PendingSet {
+    /// One bit per potential sender, `ceil(shards / 64)` words.
+    words: Box<[CachePadded<AtomicU64>]>,
+    /// Hierarchical "word may be non-zero" bits; unused when `words.len() == 1`.
+    summary: CachePadded<AtomicU64>,
+}
+
+impl PendingSet {
+    pub(crate) fn new(shards: usize) -> Self {
+        assert!(shards <= MAX_LANE_SHARDS);
+        let nwords = shards.div_ceil(PENDING_WORD_BITS).max(1);
+        PendingSet {
+            words: (0..nwords)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            summary: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Sender side: flags `from` as pending. Release on both levels so a
+    /// receiver that observes the flag (Acquire) also observes the lane
+    /// push that preceded this call.
+    #[inline]
+    pub(crate) fn set(&self, from: usize) {
+        let (w, b) = (from / PENDING_WORD_BITS, from % PENDING_WORD_BITS);
+        self.words[w].fetch_or(1 << b, Ordering::Release);
+        if self.words.len() > 1 {
+            self.summary.fetch_or(1 << w, Ordering::Release);
+        }
+    }
+
+    /// Receiver/observer probe: true when no sender is flagged. One load
+    /// in both layouts (the summary may be stale-set, never stale-clear,
+    /// so "empty" answers are exact and "non-empty" answers at worst cost
+    /// one wasted claim).
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        if self.words.len() == 1 {
+            self.words[0].load(Ordering::Acquire) == 0
+        } else {
+            self.summary.load(Ordering::Acquire) == 0
+        }
+    }
+
+    /// Receiver side: claims every flagged sender (clearing the flags),
+    /// appending their ids to `out` in ascending order. The cheap Relaxed
+    /// probe keeps the empty case to a single load. Returns how many
+    /// senders were claimed.
+    #[inline]
+    pub(crate) fn claim_into(&self, out: &mut Vec<usize>) -> usize {
+        let before = out.len();
+        if self.words.len() == 1 {
+            if self.words[0].load(Ordering::Relaxed) != 0 {
+                let mut bits = self.words[0].swap(0, Ordering::Acquire);
+                while bits != 0 {
+                    out.push(bits.trailing_zeros() as usize);
+                    bits &= bits - 1;
+                }
+            }
+            return out.len() - before;
+        }
+        if self.summary.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        let mut sum = self.summary.swap(0, Ordering::Acquire);
+        while sum != 0 {
+            let w = sum.trailing_zeros() as usize;
+            sum &= sum - 1;
+            let mut bits = self.words[w].swap(0, Ordering::Acquire);
+            while bits != 0 {
+                out.push(w * PENDING_WORD_BITS + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+        out.len() - before
+    }
+
+    /// Clears `from`'s flag without claiming the rest (dead-receiver lane
+    /// reclaim). The possibly-stale summary bit is left alone — the next
+    /// claim finds the word empty and moves on.
+    #[inline]
+    pub(crate) fn clear(&self, from: usize) {
+        let (w, b) = (from / PENDING_WORD_BITS, from % PENDING_WORD_BITS);
+        self.words[w].fetch_and(!(1u64 << b), Ordering::Relaxed);
+    }
+}
 
 /// A bounded single-producer single-consumer ring.
 ///
@@ -194,21 +304,22 @@ pub(crate) struct LaneMesh<S> {
     /// batches it subsequently pushes onto the lane are admitted after it:
     /// the pair's FIFO survives the lane→channel→lane round trip.
     fallback_consumed: Vec<CachePadded<AtomicU64>>,
-    /// `inbound[to]`: bitmap of senders with batches parked in their data
-    /// lane to `to` (bit `from` set by the sender *after* its lane push,
-    /// Release; cleared wholesale by the receiver's drain). Lets the
-    /// receiver's hot loop probe "anything for me?" with one load instead
-    /// of scanning P lanes, and tells it exactly which lanes to drain.
-    /// A stale set bit over an already-drained lane is harmless (the drain
-    /// finds it empty); a cleared bit is always re-set by the next push.
-    inbound: Vec<CachePadded<AtomicU64>>,
+    /// `inbound[to]`: multi-word bitmap of senders with batches parked in
+    /// their data lane to `to` (bit `from` set by the sender *after* its
+    /// lane push, Release; claimed wholesale by the receiver's drain). Lets
+    /// the receiver's hot loop probe "anything for me?" with one load
+    /// instead of scanning P lanes, and tells it exactly which lanes to
+    /// drain. A stale set bit over an already-drained lane is harmless (the
+    /// drain finds it empty); a cleared bit is always re-set by the next
+    /// push. See [`PendingSet`] for the word/summary protocol.
+    inbound: Vec<PendingSet>,
 }
 
 impl<S> LaneMesh<S> {
     pub(crate) fn new(shards: usize) -> Self {
         assert!(
             shards <= MAX_LANE_SHARDS,
-            "lane mesh is capped at 64 shards"
+            "lane mesh is capped at {MAX_LANE_SHARDS} shards"
         );
         let n = shards * shards;
         LaneMesh {
@@ -231,9 +342,7 @@ impl<S> LaneMesh<S> {
             fallback_consumed: (0..n)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
-            inbound: (0..shards)
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
-                .collect(),
+            inbound: (0..shards).map(|_| PendingSet::new(shards)).collect(),
         }
     }
 
@@ -255,7 +364,7 @@ impl<S> LaneMesh<S> {
         batch: Vec<Envelope<S>>,
     ) -> Result<(), Vec<Envelope<S>>> {
         self.data[self.at(from, to)].push(batch)?;
-        self.inbound[to].fetch_or(1 << from, Ordering::Release);
+        self.inbound[to].set(from);
         Ok(())
     }
 
@@ -301,18 +410,16 @@ impl<S> LaneMesh<S> {
     /// comes after the flag).
     #[inline]
     pub(crate) fn has_inbound(&self, to: usize) -> bool {
-        self.inbound[to].load(Ordering::Acquire) != 0
+        !self.inbound[to].is_empty()
     }
 
-    /// Receiver `to`: claims the current pending-senders bitmap (clearing
-    /// it) — the caller drains exactly the flagged lanes. The cheap
-    /// Relaxed probe keeps the empty case to a single load.
+    /// Receiver `to`: claims the current pending-senders set (clearing
+    /// it), appending the flagged sender ids to `out` in ascending order —
+    /// the caller drains exactly those lanes. Returns how many senders
+    /// were claimed; the empty case stays a single Relaxed load.
     #[inline]
-    pub(crate) fn claim_pending(&self, to: usize) -> u64 {
-        if self.inbound[to].load(Ordering::Relaxed) == 0 {
-            return 0;
-        }
-        self.inbound[to].swap(0, Ordering::Acquire)
+    pub(crate) fn claim_pending_into(&self, to: usize, out: &mut Vec<usize>) -> usize {
+        self.inbound[to].claim_into(out)
     }
 
     /// Observer: batches currently parked in `to`'s inbound data lanes,
@@ -341,7 +448,7 @@ impl<S> LaneMesh<S> {
         while let Some(b) = lane.pop() {
             batches.push(b);
         }
-        self.inbound[to].fetch_and(!(1 << from), Ordering::Relaxed);
+        self.inbound[to].clear(from);
         batches
     }
 }
@@ -567,17 +674,145 @@ mod tests {
     #[test]
     fn mesh_pending_bitmap_tracks_senders() {
         let mesh: LaneMesh<u64> = LaneMesh::new(4);
-        assert_eq!(mesh.claim_pending(3), 0);
+        let mut claimed = Vec::new();
+        assert_eq!(mesh.claim_pending_into(3, &mut claimed), 0);
         mesh.send(0, 3, vec![env(1)]).unwrap();
         mesh.send(2, 3, vec![env(2)]).unwrap();
         assert!(mesh.has_inbound(3));
-        let bits = mesh.claim_pending(3);
-        assert_eq!(bits, (1 << 0) | (1 << 2), "one bit per flagged sender");
-        assert_eq!(mesh.claim_pending(3), 0, "claim clears the bitmap");
+        mesh.claim_pending_into(3, &mut claimed);
+        assert_eq!(claimed, vec![0, 2], "one id per flagged sender, ascending");
+        claimed.clear();
+        assert_eq!(
+            mesh.claim_pending_into(3, &mut claimed),
+            0,
+            "claim clears the bitmap"
+        );
         // The claim only transfers the flags — the batches are still in
         // their lanes for the caller to drain.
         assert!(mesh.recv(0, 3).is_some());
         assert!(mesh.recv(2, 3).is_some());
+    }
+
+    #[test]
+    fn pending_set_multi_word_roundtrip() {
+        // 130 senders spans three words; flags straddle every word
+        // boundary and must come back ascending.
+        let set = PendingSet::new(130);
+        assert!(set.is_empty());
+        for from in [0usize, 63, 64, 65, 127, 128, 129] {
+            set.set(from);
+        }
+        assert!(!set.is_empty());
+        let mut got = Vec::new();
+        assert_eq!(set.claim_into(&mut got), 7);
+        assert_eq!(got, vec![0, 63, 64, 65, 127, 128, 129]);
+        assert!(set.is_empty());
+        got.clear();
+        assert_eq!(set.claim_into(&mut got), 0, "claim cleared every level");
+
+        // Re-arming after a claim works across words too.
+        set.set(70);
+        got.clear();
+        set.claim_into(&mut got);
+        assert_eq!(got, vec![70]);
+    }
+
+    #[test]
+    fn pending_set_clear_drops_single_flag() {
+        let set = PendingSet::new(96);
+        set.set(3);
+        set.set(80);
+        set.clear(80);
+        let mut got = Vec::new();
+        set.claim_into(&mut got);
+        assert_eq!(got, vec![3], "clear removed only the dead sender's flag");
+    }
+
+    #[test]
+    fn pending_set_stale_summary_bit_is_harmless() {
+        // `clear` leaves the summary bit set over a now-empty word; the
+        // next claim must cope (find the word empty) and still deliver
+        // flags from other words.
+        let set = PendingSet::new(96);
+        set.set(70);
+        set.clear(70);
+        assert!(!set.is_empty(), "summary is stale-set by design");
+        let mut got = Vec::new();
+        assert_eq!(set.claim_into(&mut got), 0);
+        assert!(got.is_empty());
+        assert!(set.is_empty(), "claim swept the stale summary");
+    }
+
+    #[test]
+    fn pending_set_cross_thread_stress() {
+        // Three senders spread across different words hammer flags while
+        // the receiver claims; every set must eventually be claimed and no
+        // id outside the senders' may ever appear.
+        const ROUNDS: usize = 10_000;
+        let set = Arc::new(PendingSet::new(200));
+        let senders = [5usize, 77, 199];
+        let handles: Vec<_> = senders
+            .iter()
+            .map(|&from| {
+                let set = Arc::clone(&set);
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        set.set(from);
+                    }
+                })
+            })
+            .collect();
+        let mut seen = std::collections::HashMap::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            set.claim_into(&mut buf);
+            for &id in &buf {
+                assert!(senders.contains(&id), "claimed a never-set id {id}");
+                *seen.entry(id).or_insert(0usize) += 1;
+            }
+            if handles.iter().all(|h| h.is_finished()) {
+                // One final sweep after the last set is published.
+                buf.clear();
+                set.claim_into(&mut buf);
+                for &id in &buf {
+                    *seen.entry(id).or_insert(0) += 1;
+                }
+                break;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(set.is_empty(), "no flag stranded after the final sweep");
+        for &from in &senders {
+            assert!(seen.contains_key(&from), "sender {from} never claimed");
+        }
+    }
+
+    #[test]
+    fn mesh_beyond_64_shards_tracks_high_senders() {
+        // The lifted cap: a 96-shard mesh must route flags from senders
+        // past bit 63 (second bitmap word) exactly like low ones.
+        let mesh: LaneMesh<u64> = LaneMesh::new(96);
+        assert!(!mesh.has_inbound(95));
+        mesh.send(1, 95, vec![env(1)]).unwrap();
+        mesh.send(64, 95, vec![env(2)]).unwrap();
+        mesh.send(90, 95, vec![env(3)]).unwrap();
+        assert!(mesh.has_inbound(95));
+        let mut claimed = Vec::new();
+        mesh.claim_pending_into(95, &mut claimed);
+        assert_eq!(claimed, vec![1, 64, 90]);
+        for &from in &claimed {
+            assert!(mesh.recv(from, 95).is_some());
+        }
+        assert_eq!(mesh.inbound_occupancy(95), 0);
+        // Reclaim from a high sender keeps the books straight too.
+        mesh.send(70, 2, vec![env(4)]).unwrap();
+        let batches = mesh.reclaim(70, 2);
+        assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), 1);
+        claimed.clear();
+        assert_eq!(mesh.claim_pending_into(2, &mut claimed), 0);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! Drives an incremental degree-count over a Graph500 RMAT stream and,
 //! while shards are still chewing on it, polls the cloneable
-//! [`TelemetryHub`] for derived gauges — events/sec over a sliding
-//! window, per-shard queue depth, park ratio, in-flight envelopes — the
-//! numbers an operator's dashboard would chart. After quiescence it
+//! [`TelemetryHub`] for derived gauges — events/sec and ingested
+//! updates/sec over sliding windows, per-shard queue depth, park ratio,
+//! in-flight envelopes — the numbers an operator's dashboard would chart.
+//! The engine runs with the adaptive data-path controller on, so the
+//! final report also shows what it decided (coalescing toggles, batch
+//! resizes) while the stream was live. After quiescence it
 //! performs one Prometheus text-exposition scrape and one JSON scrape
 //! against the same hub, exactly what a `/metrics` endpoint would serve.
 //! The CI smoke job runs this bounded and asserts the scrape parses.
@@ -47,7 +50,7 @@ fn main() {
         edges.len()
     );
 
-    let mut config = EngineConfig::undirected(shards);
+    let mut config = EngineConfig::undirected(shards).with_adaptive();
     if let Ok(dir) = std::env::var("REMO_DASH_WAL") {
         println!("durability: WAL + checkpoints under {dir}");
         config = config.with_durability(DurabilityConfig::new(dir).fsync(false));
@@ -58,8 +61,8 @@ fn main() {
     let hub = engine.telemetry();
 
     println!(
-        "{:>4}  {:>12}  {:>10}  {:>9}  {:>10}  {:>7}  queue depths",
-        "tick", "processed", "events/s", "in-flight", "backlog", "park%"
+        "{:>4}  {:>12}  {:>10}  {:>10}  {:>9}  {:>10}  {:>7}  queue depths",
+        "tick", "processed", "events/s", "updates/s", "in-flight", "backlog", "park%"
     );
     let chunk = edges.len().div_ceil(ticks.max(1));
     for (i, batch) in edges.chunks(chunk).enumerate() {
@@ -70,9 +73,10 @@ fn main() {
         let g = hub.gauges();
         let depths: Vec<String> = g.queue_depth.iter().map(|d| d.to_string()).collect();
         println!(
-            "{i:>4}  {:>12}  {:>10.0}  {:>9}  {:>10}  {:>6.2}%  [{}]",
+            "{i:>4}  {:>12}  {:>10.0}  {:>10.0}  {:>9}  {:>10}  {:>6.2}%  [{}]",
             g.events_processed,
             g.events_per_sec,
+            g.updates_per_sec,
             g.in_flight,
             g.ingest_backlog,
             100.0 * g.park_ratio,
@@ -109,6 +113,16 @@ fn main() {
         m.service.count
     );
     let t = m.total();
+    println!(
+        "adaptive: {} decisions (coalesce +{}/-{}, batch x2 {} / half {}), \
+         {} deferred flushes",
+        t.adaptive_decisions,
+        t.adaptive_coalesce_on,
+        t.adaptive_coalesce_off,
+        t.adaptive_batch_grow,
+        t.adaptive_batch_shrink,
+        t.flush_deferrals
+    );
     if t.wal_records_appended > 0 {
         let (c50, c99, _) = m.checkpoint.quantiles_us();
         println!(

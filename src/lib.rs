@@ -48,9 +48,9 @@ pub mod prelude {
         IncSssp, IncStCon, IncStConWide, IncTemporal, IncWidest, OutDegreeCount,
     };
     pub use remo_core::{
-        AlgoCtx, Algorithm, DurabilityConfig, Engine, EngineBuilder, EngineConfig, EventCtx, Pair,
-        SequentialEngine, Snapshot, StorageLayout, TelemetryConfig, TelemetryHub, TerminationMode,
-        TopoEvent, TransportMode, TriggerFire, VertexId, Weight,
+        AdaptiveConfig, AlgoCtx, Algorithm, DurabilityConfig, Engine, EngineBuilder, EngineConfig,
+        EventCtx, Pair, SequentialEngine, Snapshot, StorageLayout, TelemetryConfig, TelemetryHub,
+        TerminationMode, TopoEvent, TransportMode, TriggerFire, VertexId, Weight,
     };
     pub use remo_gen::{Dataset, RmatConfig};
 }
