@@ -9,7 +9,8 @@
 
 use proptest::prelude::*;
 use remo_core::{
-    Engine, EngineBuilder, EngineConfig, StorageLayout, TransportMode, VertexId, Weight,
+    Engine, EngineBuilder, EngineConfig, PlacementPolicy, StorageLayout, TransportMode, VertexId,
+    Weight,
 };
 use remo_gen::RmatConfig;
 use remo_store::hash::mix64;
@@ -51,6 +52,7 @@ struct Observed<S> {
 /// parked shards), ingest the rest, and harvest fixpoint + trigger fires.
 /// The mid-run quiescence pins the snapshot boundary so both transports
 /// observe the same prefix.
+#[allow(clippy::too_many_arguments)]
 fn observe<A, F>(
     make: F,
     transport: TransportMode,
@@ -60,6 +62,7 @@ fn observe<A, F>(
     init: Option<VertexId>,
     shards: usize,
     adaptive: bool,
+    placement: PlacementPolicy,
 ) -> Observed<A::State>
 where
     A: remo_core::Algorithm,
@@ -73,6 +76,7 @@ where
     if adaptive {
         config = config.with_adaptive();
     }
+    config = config.with_placement(placement);
     let mut builder = EngineBuilder::new(make(), config);
     builder.trigger("nonbottom", |_v, s: &A::State| *s != A::State::default());
     let mut engine = builder.build();
@@ -137,6 +141,7 @@ where
         init,
         shards,
         adaptive,
+        PlacementPolicy::None,
     );
     let channel = observe::<A, F>(
         make,
@@ -147,6 +152,7 @@ where
         init,
         shards,
         adaptive,
+        PlacementPolicy::None,
     );
     prop_assert_eq!(
         &lanes.fixpoint,
@@ -258,10 +264,10 @@ proptest! {
         for transport in [TransportMode::Lanes, TransportMode::Channel] {
             let on = observe::<remo_algos::IncSssp, _>(
                 || remo_algos::IncSssp, transport, StorageLayout::DenseArena,
-                &edges, Some(&w), Some(source), shards, true);
+                &edges, Some(&w), Some(source), shards, true, PlacementPolicy::None);
             let off = observe::<remo_algos::IncSssp, _>(
                 || remo_algos::IncSssp, transport, StorageLayout::DenseArena,
-                &edges, Some(&w), Some(source), shards, false);
+                &edges, Some(&w), Some(source), shards, false, PlacementPolicy::None);
             prop_assert_eq!(&on.fixpoint, &off.fixpoint,
                 "adaptive changed the fixpoint ({:?}, P={})", transport, shards);
             prop_assert_eq!(&on.snapshot, &off.snapshot,
@@ -277,6 +283,112 @@ proptest! {
 /// fixpoint must stay identical to the channel transport. (Plain test,
 /// one deterministic stream — 2×96 threads per case is too heavy for a
 /// proptest axis.)
+/// Pinning is a physical choice exactly like the transport: Compact and
+/// Scatter placement must be observationally identical to an unpinned run
+/// — byte-identical fixpoints, snapshot views, and trigger fire sets —
+/// across transports, storage layouts, and 1–4 shards. Shard counts the
+/// host cannot seat on distinct cores are skipped with a note: pinning
+/// two shards to one core is legal but proves nothing extra here.
+/// (Plain test, one deterministic stream — the combo grid already runs
+/// dozens of engines per invocation.)
+#[test]
+fn pinned_placement_is_observationally_identity() {
+    let edges = rmat_edges(0x919_5eed);
+    let w = weighted(&edges);
+    let source = edges[0].0;
+    let cores = remo_core::placement::host().num_cpus();
+    for shards in 1usize..=4 {
+        if cores < shards {
+            eprintln!(
+                "note: skipping placement identity at P={shards} \
+                 (host has {cores} cores)"
+            );
+            continue;
+        }
+        for (transport, layout) in [
+            (TransportMode::Lanes, StorageLayout::DenseArena),
+            (TransportMode::Lanes, StorageLayout::RhhRecord),
+            (TransportMode::Channel, StorageLayout::DenseArena),
+        ] {
+            let base = observe::<remo_algos::IncBfs, _>(
+                || remo_algos::IncBfs,
+                transport,
+                layout,
+                &edges,
+                None,
+                Some(source),
+                shards,
+                false,
+                PlacementPolicy::None,
+            );
+            for policy in [PlacementPolicy::Compact, PlacementPolicy::Scatter] {
+                let pinned = observe::<remo_algos::IncBfs, _>(
+                    || remo_algos::IncBfs,
+                    transport,
+                    layout,
+                    &edges,
+                    None,
+                    Some(source),
+                    shards,
+                    false,
+                    policy.clone(),
+                );
+                let ctx = format!("{policy} vs none ({transport:?}, {layout:?}, P={shards})");
+                assert_eq!(pinned.fixpoint, base.fixpoint, "fixpoint diverged: {ctx}");
+                assert_eq!(pinned.snapshot, base.snapshot, "snapshot diverged: {ctx}");
+                assert_eq!(pinned.fires, base.fires, "trigger fires diverged: {ctx}");
+            }
+        }
+        // One weighted pass so the min-plus lattice rides pinned lanes too.
+        let base = observe::<remo_algos::IncSssp, _>(
+            || remo_algos::IncSssp,
+            TransportMode::Lanes,
+            StorageLayout::DenseArena,
+            &edges,
+            Some(&w),
+            Some(source),
+            shards,
+            false,
+            PlacementPolicy::None,
+        );
+        let pinned = observe::<remo_algos::IncSssp, _>(
+            || remo_algos::IncSssp,
+            TransportMode::Lanes,
+            StorageLayout::DenseArena,
+            &edges,
+            Some(&w),
+            Some(source),
+            shards,
+            false,
+            PlacementPolicy::Compact,
+        );
+        assert_eq!(
+            pinned.fixpoint, base.fixpoint,
+            "weighted fixpoint diverged under compact (P={shards})"
+        );
+    }
+}
+
+/// A [`PlacementPolicy::Explicit`] seating that names a CPU the host does
+/// not have — or the wrong number of CPUs — is a configuration error:
+/// engine construction must fail loudly, never pin arbitrarily or fall
+/// back silently.
+#[test]
+fn explicit_placement_misconfiguration_fails_engine_build() {
+    let bogus = remo_core::placement::host().num_cpus() + 4096;
+    for cpus in [vec![bogus], vec![0, 0]] {
+        let config =
+            EngineConfig::undirected(1).with_placement(PlacementPolicy::Explicit(cpus.clone()));
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Engine::new(remo_algos::IncCc, config)
+        }));
+        assert!(
+            built.is_err(),
+            "engine build accepted bad explicit seating {cpus:?}"
+        );
+    }
+}
+
 #[test]
 fn lanes_beyond_64_shards_match_channel() {
     let edges = rmat_edges(0x96_5eed);

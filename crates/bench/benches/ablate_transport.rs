@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use remo_algos::{IncBfs, IncSssp};
 use remo_bench::*;
-use remo_core::{EngineConfig, TelemetryConfig, TransportMode, VertexId, Weight};
+use remo_core::{EngineConfig, PlacementPolicy, TelemetryConfig, TransportMode, VertexId, Weight};
 use remo_gen::{stream, RmatConfig};
 use remo_store::hash::mix64;
 
@@ -44,8 +44,15 @@ const SHARDS: usize = 8;
 /// asserted at `scale >= 1.0`.
 const TELEMETRY_OVERHEAD_CEILING: f64 = 1.02;
 
-/// Grid cell: display name, transport, telemetry, adaptive controller.
-type GridCell = (&'static str, TransportMode, TelemetryConfig, bool);
+/// Grid cell: display name, transport, telemetry, adaptive controller,
+/// shard placement.
+type GridCell = (
+    &'static str,
+    TransportMode,
+    TelemetryConfig,
+    bool,
+    PlacementPolicy,
+);
 
 fn transport_grid() -> Vec<GridCell> {
     vec![
@@ -54,30 +61,51 @@ fn transport_grid() -> Vec<GridCell> {
             TransportMode::Channel,
             TelemetryConfig::default(),
             false,
+            PlacementPolicy::None,
         ),
         (
             "lanes",
             TransportMode::Lanes,
             TelemetryConfig::default(),
             false,
+            PlacementPolicy::None,
         ),
         (
             "lanes-notel",
             TransportMode::Lanes,
             TelemetryConfig::off(),
             false,
+            PlacementPolicy::None,
         ),
         (
             "lanes-adapt",
             TransportMode::Lanes,
             TelemetryConfig::default(),
             true,
+            PlacementPolicy::None,
         ),
         (
             "channel-adapt",
             TransportMode::Channel,
             TelemetryConfig::default(),
             true,
+            PlacementPolicy::None,
+        ),
+        // Placement cells ride at the end so the gate indices above stay
+        // stable: same lanes data plane, shards pinned to cores.
+        (
+            "lanes-compact",
+            TransportMode::Lanes,
+            TelemetryConfig::default(),
+            false,
+            PlacementPolicy::Compact,
+        ),
+        (
+            "lanes-scatter",
+            TransportMode::Lanes,
+            TelemetryConfig::default(),
+            false,
+            PlacementPolicy::Scatter,
         ),
     ]
 }
@@ -86,11 +114,13 @@ fn config(
     transport: TransportMode,
     telemetry: TelemetryConfig,
     adaptive: bool,
+    placement: PlacementPolicy,
     expected_vertices: usize,
 ) -> EngineConfig {
     let cfg = EngineConfig::undirected(SHARDS)
         .with_transport(transport)
         .with_telemetry(telemetry)
+        .with_placement(placement)
         .with_expected_vertices(expected_vertices);
     if adaptive {
         cfg.with_adaptive()
@@ -116,17 +146,19 @@ struct Cell {
     states: Vec<(VertexId, u64)>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_once(
     algo_name: &str,
     transport: TransportMode,
     telemetry: TelemetryConfig,
     adaptive: bool,
+    placement: PlacementPolicy,
     expected_vertices: usize,
     edges: &[(VertexId, VertexId)],
     weighted: &[(VertexId, VertexId, Weight)],
     source: VertexId,
 ) -> Cell {
-    let cfg = config(transport, telemetry, adaptive, expected_vertices);
+    let cfg = config(transport, telemetry, adaptive, placement, expected_vertices);
     let run = match algo_name {
         "BFS" => timed_run_with(IncBfs, cfg, edges, &[source]),
         _ => timed_run_weighted_with(IncSssp, cfg, weighted, &[source]),
@@ -157,12 +189,13 @@ fn measure_grid(
 ) -> Vec<Cell> {
     let mut cells: Vec<Option<Cell>> = grid.iter().map(|_| None).collect();
     for _ in 0..bench_reps() {
-        for (slot, (_, transport, telemetry, adaptive)) in cells.iter_mut().zip(grid) {
+        for (slot, (_, transport, telemetry, adaptive, placement)) in cells.iter_mut().zip(grid) {
             let mut cell = run_once(
                 algo_name,
                 *transport,
                 telemetry.clone(),
                 *adaptive,
+                placement.clone(),
                 expected_vertices,
                 edges,
                 weighted,
@@ -256,8 +289,18 @@ fn main() {
                 "{algo}: adaptive cell {:.1}% slower than best static cell",
                 100.0 * (ratio - 1.0)
             );
+            // Placement gate: with a core per shard, pinning shards to
+            // cores (compact) must hold parity with the unpinned lanes
+            // cell — placement has to pay for its affinity claim.
+            let compact = &cells[5];
+            let ratio = compact.elapsed.as_secs_f64() / lanes.elapsed.as_secs_f64().max(1e-9);
+            assert!(
+                ratio <= 1.02,
+                "{algo}: compact placement {:.1}% slower than unpinned lanes",
+                100.0 * (ratio - 1.0)
+            );
         }
-        for ((transport, mode, telemetry, adaptive), cell) in grid.iter().zip(&cells) {
+        for ((transport, mode, telemetry, adaptive, placement), cell) in grid.iter().zip(&cells) {
             assert_eq!(
                 base.states, cell.states,
                 "{algo}/{transport}: fixpoint diverged across transports"
@@ -305,6 +348,7 @@ fn main() {
                 transport.to_string(),
                 if telemetry.counters { "on" } else { "off" }.to_string(),
                 if *adaptive { "on" } else { "off" }.to_string(),
+                placement.to_string(),
                 fmt_dur(cell.elapsed),
                 wall_delta,
                 cell.events.to_string(),
@@ -328,6 +372,7 @@ fn main() {
             "Transport",
             "Telemetry",
             "Adapt",
+            "Placement",
             "Wall",
             "dWall",
             "Events",

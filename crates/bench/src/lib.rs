@@ -393,6 +393,16 @@ pub fn json_table(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     out.push_str("{\n");
     out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(name)));
     out.push_str(&format!("  \"scale\": {},\n", bench_scale()));
+    // Host topology at serialization time: every committed artifact says
+    // what machine shape produced it, so cross-host comparisons (1-core CI
+    // vs a multi-socket box) are never apples-to-oranges by accident.
+    let topo = remo_core::placement::host();
+    out.push_str(&format!(
+        "  \"host_topology\": {{\"cpus\": {}, \"numa_nodes\": {}, \"from_sysfs\": {}}},\n",
+        topo.num_cpus(),
+        topo.nodes,
+        topo.from_sysfs
+    ));
     // Process-wide high-water mark at serialization time: comparable across
     // cells of one bench run, not across separately-invoked benches.
     out.push_str(&format!(
@@ -529,16 +539,26 @@ mod tests {
 
     #[test]
     fn json_table_carries_updates_rate_and_adaptive_counters() {
-        let mut totals = remo_core::ShardMetrics::default();
-        totals.topo_ingested = 100;
-        totals.adaptive_decisions = 4;
-        totals.adaptive_coalesce_on = 1;
+        let totals = remo_core::ShardMetrics {
+            topo_ingested: 100,
+            adaptive_decisions: 4,
+            adaptive_coalesce_on: 1,
+            ..Default::default()
+        };
         note_ingest(Duration::from_millis(50), &totals);
         let j = json_table("t", &["a"], &[vec!["1".to_string()]]);
         assert!(j.contains("\"updates_per_sec\": "));
         assert!(j.contains("\"adaptive\": {\"decisions\": "));
         assert!(j.contains("\"coalesce_on\": "));
         assert!(j.contains("\"batch_shrink\": "));
+    }
+
+    #[test]
+    fn json_table_carries_host_topology() {
+        let j = json_table("t", &["a"], &[vec!["1".to_string()]]);
+        assert!(j.contains("\"host_topology\": {\"cpus\": "));
+        assert!(j.contains("\"numa_nodes\": "));
+        assert!(j.contains("\"from_sysfs\": "));
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::algorithm::Algorithm;
 use crate::event::{Envelope, EventKind, TopoEvent};
 use crate::metrics::RunMetrics;
 use crate::partition::Partitioner;
+use crate::placement::{self, PlacementPlan};
 use crate::shard::{EngineConfig, Message, ShardReport, ShardWorker, StorageLayout};
 use crate::snapshot::Snapshot;
 use crate::storage::{DenseStore, LegacyStore, ShardStore};
@@ -117,6 +118,15 @@ impl<A: Algorithm> EngineBuilder<A> {
             }
         }
 
+        // Resolve placement against the discovered host topology before
+        // anything spawns. An invalid `Explicit` list is a configuration
+        // error on par with a durability-manifest mismatch: panic with
+        // the rendered PlacementError rather than silently unpinning.
+        let plan = match PlacementPlan::resolve(&config.placement, shards, placement::host()) {
+            Ok(plan) => Arc::new(plan),
+            Err(e) => panic!("placement: {e}"),
+        };
+
         let shared = Arc::new(SharedCounters::new(shards));
         let board = Arc::new(FailureBoard::new());
         let tele = Arc::new(TelemetryShared::new(
@@ -141,8 +151,14 @@ impl<A: Algorithm> EngineBuilder<A> {
         // The multi-word pending bitmap carries the mesh to 4096 shards;
         // past even that the engine runs the channel transport — same
         // results, no mesh — and says so instead of degrading silently.
+        // `for_engine`: lane columns are left unallocated here — each
+        // shard first-touch allocates its own at startup (so ring pages
+        // land on its pinned core's node), and the park board carries the
+        // configured `idle_park` heartbeat.
         let lanes: Option<LaneHandles<A::State>> = match config.transport {
-            TransportMode::Lanes if shards <= MAX_LANE_SHARDS => Some(LaneHandles::new(shards)),
+            TransportMode::Lanes if shards <= MAX_LANE_SHARDS => {
+                Some(LaneHandles::for_engine(shards, config.idle_park))
+            }
             TransportMode::Lanes => {
                 eprintln!(
                     "remo: {shards} shards exceeds the {MAX_LANE_SHARDS}-shard lane mesh; \
@@ -171,6 +187,7 @@ impl<A: Algorithm> EngineBuilder<A> {
                     trigger_tx.clone(),
                     quiesce_tx.clone(),
                     lanes.clone(),
+                    Arc::clone(&plan),
                     Arc::clone(&tele),
                 ),
                 StorageLayout::RhhRecord => spawn_shard::<A, LegacyStore<A::State>>(
@@ -185,6 +202,7 @@ impl<A: Algorithm> EngineBuilder<A> {
                     trigger_tx.clone(),
                     quiesce_tx.clone(),
                     lanes.clone(),
+                    Arc::clone(&plan),
                     Arc::clone(&tele),
                 ),
             };
@@ -224,6 +242,7 @@ fn spawn_shard<A, St>(
     trigger_tx: Sender<TriggerFire>,
     quiesce_tx: Sender<()>,
     lanes: Option<LaneHandles<A::State>>,
+    plan: Arc<PlacementPlan>,
     tele: Arc<TelemetryShared>,
 ) -> JoinHandle<Option<ShardReport<A::State>>>
 where
@@ -231,7 +250,8 @@ where
     St: ShardStore<A::State>,
 {
     let worker: ShardWorker<A, St> = ShardWorker::new(
-        id, algo, config, rx, senders, shared, board, triggers, trigger_tx, quiesce_tx, lanes, tele,
+        id, algo, config, rx, senders, shared, board, triggers, trigger_tx, quiesce_tx, lanes,
+        plan, tele,
     );
     std::thread::Builder::new()
         .name(format!("remo-shard-{id}"))

@@ -79,6 +79,7 @@ pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod partition;
+pub mod placement;
 pub mod sequential;
 pub mod shard;
 pub mod snapshot;
@@ -100,6 +101,7 @@ pub use event::{
 };
 pub use metrics::{LatencyHistogram, RunMetrics, ShardMetrics, HIST_BUCKETS};
 pub use partition::Partitioner;
+pub use placement::{HostTopology, PlacementError, PlacementPlan, PlacementPolicy, ShardSeat};
 pub use sequential::SequentialEngine;
 pub use shard::{EngineConfig, LatticeConfig};
 pub use snapshot::Snapshot;

@@ -169,6 +169,17 @@ shard_metrics! {
     /// Adaptive decisions that shrank this shard's effective envelope
     /// batch (batches shipped mostly empty at idle — flush sooner).
     adaptive_batch_shrink,
+    /// Lane batches this shard shipped to a shard seated on a *different*
+    /// NUMA node (placement telemetry: compact placement should drive
+    /// this toward 0, scatter toward `(nodes-1)/nodes` of
+    /// `lane_batches`). Purely informational — batches, not envelopes,
+    /// and only counted when both ends are pinned — so it stays outside
+    /// [`RunMetrics::verify_balance`]. 0 when placement is off.
+    lane_cross_node_batches,
+    /// Idle waits a *pinned* shard resolved inside its bounded pre-park
+    /// spin (work arrived within the spin budget — no park/unpark round
+    /// trip). 0 for unpinned shards, which never spin.
+    spin_wakes,
 }
 
 impl ShardMetrics {

@@ -14,13 +14,25 @@ use remo_store::VertexId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Partitioner {
     shards: usize,
+    /// `shards - 1` when `shards` is a power of two (the common bench
+    /// configuration), letting `owner` replace the per-envelope 64-bit
+    /// modulo with a mask; `u64::MAX` sentinels the modulo fallback.
+    mask: u64,
 }
+
+/// Sentinel for "not a power of two — divide".
+const NO_MASK: u64 = u64::MAX;
 
 impl Partitioner {
     /// A partitioner over `shards` processes.
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
-        Partitioner { shards }
+        let mask = if shards.is_power_of_two() {
+            shards as u64 - 1
+        } else {
+            NO_MASK
+        };
+        Partitioner { shards, mask }
     }
 
     /// Number of shards.
@@ -29,10 +41,17 @@ impl Partitioner {
         self.shards
     }
 
-    /// Owning shard of `v` — `hash(V) mod P`.
+    /// Owning shard of `v` — `hash(V) mod P`, computed as `hash(V) & (P-1)`
+    /// when `P` is a power of two (the two are identical there; the unit
+    /// test sweeps both paths against each other).
     #[inline(always)]
     pub fn owner(&self, v: VertexId) -> usize {
-        (partition_hash(v) % self.shards as u64) as usize
+        let h = partition_hash(v);
+        if self.mask != NO_MASK {
+            (h & self.mask) as usize
+        } else {
+            (h % self.shards as u64) as usize
+        }
     }
 }
 
@@ -75,5 +94,23 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         Partitioner::new(0);
+    }
+
+    #[test]
+    fn mask_and_modulo_paths_agree() {
+        // Every shard count through 64 (power-of-two counts take the mask
+        // path, the rest the modulo path); both must equal the raw
+        // `hash % shards` the paper specifies.
+        for shards in 1..=64usize {
+            let p = Partitioner::new(shards);
+            for v in (0..2_000u64).chain([u64::MAX, u64::MAX - 7, 1 << 63]) {
+                let expect = (partition_hash(v) % shards as u64) as usize;
+                assert_eq!(
+                    p.owner(v),
+                    expect,
+                    "owner diverged from hash%P at shards={shards} v={v}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,553 @@
+//! Core-pinned, NUMA-aware shard placement.
+//!
+//! The engine's data path has been lock-free since the lane-mesh
+//! transport (DESIGN.md §12), which makes *where* shard threads run the
+//! next scaling lever: a shard whose inbound SPSC rings, recycle pools,
+//! and arena slabs live on another core's cache — or worse, another NUMA
+//! node's memory — pays cross-node latency on every batch it drains.
+//! RisGraph-class update rates come from exactly this locality
+//! discipline. This module supplies the three pieces:
+//!
+//! - **Topology discovery** ([`HostTopology`]): parse
+//!   `/sys/devices/system/cpu/online` and the per-node `cpulist` files
+//!   under `/sys/devices/system/node` on Linux; fall back to
+//!   `available_parallelism` (one synthetic node) anywhere else or when
+//!   sysfs is unreadable. Cached per process — the files are static for
+//!   a process lifetime.
+//! - **Placement policies** ([`PlacementPolicy`]): `None` (the default —
+//!   exact current behaviour, zero cost), `Compact` (fill one NUMA node
+//!   before spilling to the next — minimizes cross-node lane traffic),
+//!   `Scatter` (round-robin across nodes — maximizes aggregate memory
+//!   bandwidth), and `Explicit` (a caller-supplied CPU per shard).
+//!   [`PlacementPlan::resolve`] turns a policy into a per-shard CPU/node
+//!   assignment, validating explicit CPUs against the discovered
+//!   topology.
+//! - **Pinning** ([`pin_current_thread`]): raw `sched_setaffinity` on
+//!   Linux (declared directly — std already links libc; the workspace
+//!   deliberately carries no `libc` crate), graceful no-op elsewhere.
+//!   Each shard pins itself at the top of its supervised region, so an
+//!   in-place respawn after a contained panic re-pins idempotently.
+//!
+//! Oversubscription is allowed: with more shards than CPUs the plan
+//! cycles, so two shards may share a core. That is a policy choice the
+//! caller opted into — the park/heartbeat machinery keeps such runs
+//! live, just time-sliced.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// One online logical CPU and the NUMA node its memory belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuSlot {
+    /// Kernel CPU id (the value `sched_setaffinity` pins to).
+    pub cpu: usize,
+    /// NUMA node owning this CPU (0 on single-node hosts and fallback).
+    pub node: usize,
+}
+
+/// The host's CPU/NUMA layout as discovered at process start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostTopology {
+    /// Online CPUs in ascending CPU-id order.
+    pub cpus: Vec<CpuSlot>,
+    /// Number of distinct NUMA nodes seen (≥ 1).
+    pub nodes: usize,
+    /// True when the layout came from sysfs; false for the
+    /// `available_parallelism` fallback (everything on synthetic node 0).
+    pub from_sysfs: bool,
+}
+
+impl HostTopology {
+    /// Discovers the host topology: sysfs on Linux, fallback elsewhere.
+    pub fn discover() -> Self {
+        #[cfg(target_os = "linux")]
+        if let Some(t) = Self::from_sysfs("/sys/devices/system") {
+            return t;
+        }
+        Self::fallback()
+    }
+
+    /// `available_parallelism` CPUs, all on one synthetic node.
+    pub fn fallback() -> Self {
+        let n = std::thread::available_parallelism().map_or(1, |p| p.get());
+        HostTopology {
+            cpus: (0..n).map(|cpu| CpuSlot { cpu, node: 0 }).collect(),
+            nodes: 1,
+            from_sysfs: false,
+        }
+    }
+
+    /// Parses `<root>/cpu/online` + `<root>/node/node*/cpulist`. Split
+    /// from [`Self::discover`] so tests can point it at a fixture tree.
+    fn from_sysfs(root: &str) -> Option<Self> {
+        let online = std::fs::read_to_string(format!("{root}/cpu/online")).ok()?;
+        let online = parse_cpu_list(online.trim())?;
+        if online.is_empty() {
+            return None;
+        }
+        // Node membership: cpu -> node, default 0 for CPUs no node claims
+        // (some VMs expose cpu/online but no node dirs).
+        let max_cpu = *online.last()?;
+        let mut node_of = vec![0usize; max_cpu + 1];
+        let mut nodes_seen = 0usize;
+        if let Ok(entries) = std::fs::read_dir(format!("{root}/node")) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let Some(id) = name
+                    .strip_prefix("node")
+                    .and_then(|s| s.parse::<usize>().ok())
+                else {
+                    continue;
+                };
+                let Ok(list) = std::fs::read_to_string(entry.path().join("cpulist")) else {
+                    continue;
+                };
+                let Some(cpus) = parse_cpu_list(list.trim()) else {
+                    continue;
+                };
+                nodes_seen = nodes_seen.max(id + 1);
+                for cpu in cpus {
+                    if cpu <= max_cpu {
+                        node_of[cpu] = id;
+                    }
+                }
+            }
+        }
+        Some(HostTopology {
+            cpus: online
+                .iter()
+                .map(|&cpu| CpuSlot {
+                    cpu,
+                    node: node_of[cpu],
+                })
+                .collect(),
+            nodes: nodes_seen.max(1),
+            from_sysfs: true,
+        })
+    }
+
+    /// Number of online CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// NUMA node of `cpu`, if it is online.
+    pub fn node_of(&self, cpu: usize) -> Option<usize> {
+        self.cpus.iter().find(|s| s.cpu == cpu).map(|s| s.node)
+    }
+
+    /// CPUs in compact order: one node fully filled before the next
+    /// (ties broken by CPU id).
+    fn compact_order(&self) -> Vec<CpuSlot> {
+        let mut cpus = self.cpus.clone();
+        cpus.sort_by_key(|s| (s.node, s.cpu));
+        cpus
+    }
+
+    /// CPUs in scatter order: round-robin across nodes, ascending CPU id
+    /// within each node.
+    fn scatter_order(&self) -> Vec<CpuSlot> {
+        let mut per_node: Vec<Vec<CpuSlot>> = vec![Vec::new(); self.nodes];
+        for &s in &self.cpus {
+            per_node[s.node.min(self.nodes - 1)].push(s);
+        }
+        let mut out = Vec::with_capacity(self.cpus.len());
+        let mut idx = 0;
+        while out.len() < self.cpus.len() {
+            for list in &per_node {
+                if let Some(&s) = list.get(idx) {
+                    out.push(s);
+                }
+            }
+            idx += 1;
+        }
+        out
+    }
+}
+
+/// The process-wide cached topology (the sysfs layout is static for a
+/// process lifetime; placement resolution, telemetry, and the bench
+/// JSON metadata all read the same snapshot).
+pub fn host() -> &'static HostTopology {
+    static HOST: OnceLock<HostTopology> = OnceLock::new();
+    HOST.get_or_init(HostTopology::discover)
+}
+
+/// Where shard threads run, selected by
+/// [`EngineConfig::with_placement`](crate::EngineConfig::with_placement).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// No pinning — the OS scheduler decides, exactly the pre-placement
+    /// behaviour (the default; zero cost, no syscalls).
+    #[default]
+    None,
+    /// Fill CPUs node-by-node: shard `i` on the `i`-th CPU of the
+    /// node-major order, cycling when shards outnumber CPUs. Keeps
+    /// communicating shards on one node for minimal cross-node lane
+    /// traffic.
+    Compact,
+    /// Round-robin shards across NUMA nodes for maximal aggregate memory
+    /// bandwidth (each node serves an even share of the arenas).
+    Scatter,
+    /// Caller-chosen CPU per shard: `cpus[i]` pins shard `i`. Must name
+    /// exactly `num_shards` online CPUs; [`PlacementPlan::resolve`]
+    /// rejects unknown CPUs and wrong lengths.
+    Explicit(Vec<usize>),
+}
+
+impl fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementPolicy::None => write!(f, "none"),
+            PlacementPolicy::Compact => write!(f, "compact"),
+            PlacementPolicy::Scatter => write!(f, "scatter"),
+            PlacementPolicy::Explicit(cpus) => write!(f, "explicit{cpus:?}"),
+        }
+    }
+}
+
+/// Why a placement policy could not be resolved against the host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// `Explicit` named a CPU the host does not have online.
+    UnknownCpu { shard: usize, cpu: usize },
+    /// `Explicit` listed a different number of CPUs than shards.
+    WrongLength { shards: usize, cpus: usize },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::UnknownCpu { shard, cpu } => write!(
+                f,
+                "explicit placement pins shard {shard} to cpu {cpu}, which is not online on this host"
+            ),
+            PlacementError::WrongLength { shards, cpus } => write!(
+                f,
+                "explicit placement lists {cpus} cpus for {shards} shards (must match exactly)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// One shard's resolved seat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSeat {
+    /// CPU the shard thread pins to.
+    pub cpu: usize,
+    /// NUMA node of that CPU (feeds the cross-node lane-traffic counter).
+    pub node: usize,
+}
+
+/// A resolved per-shard placement: `seats[i]` is shard `i`'s pin target,
+/// `None` for unpinned (the whole vector is `None` under
+/// [`PlacementPolicy::None`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// Per-shard seat; `None` = leave the thread to the OS scheduler.
+    pub seats: Vec<Option<ShardSeat>>,
+}
+
+impl PlacementPlan {
+    /// A plan that pins nothing: every shard stays with the OS scheduler.
+    /// Equivalent to resolving [`PlacementPolicy::None`] on any host.
+    pub fn unpinned(shards: usize) -> Self {
+        PlacementPlan {
+            seats: vec![None; shards],
+        }
+    }
+
+    /// Resolves `policy` for `shards` shard threads against `topo`.
+    pub fn resolve(
+        policy: &PlacementPolicy,
+        shards: usize,
+        topo: &HostTopology,
+    ) -> Result<Self, PlacementError> {
+        let seats = match policy {
+            PlacementPolicy::None => vec![None; shards],
+            PlacementPolicy::Compact => Self::cycle(&topo.compact_order(), shards),
+            PlacementPolicy::Scatter => Self::cycle(&topo.scatter_order(), shards),
+            PlacementPolicy::Explicit(cpus) => {
+                if cpus.len() != shards {
+                    return Err(PlacementError::WrongLength {
+                        shards,
+                        cpus: cpus.len(),
+                    });
+                }
+                let mut seats = Vec::with_capacity(shards);
+                for (shard, &cpu) in cpus.iter().enumerate() {
+                    let Some(node) = topo.node_of(cpu) else {
+                        return Err(PlacementError::UnknownCpu { shard, cpu });
+                    };
+                    seats.push(Some(ShardSeat { cpu, node }));
+                }
+                seats
+            }
+        };
+        Ok(PlacementPlan { seats })
+    }
+
+    fn cycle(order: &[CpuSlot], shards: usize) -> Vec<Option<ShardSeat>> {
+        (0..shards)
+            .map(|i| {
+                let s = order[i % order.len()];
+                Some(ShardSeat {
+                    cpu: s.cpu,
+                    node: s.node,
+                })
+            })
+            .collect()
+    }
+
+    /// True when at least one shard is pinned.
+    pub fn any_pinned(&self) -> bool {
+        self.seats.iter().any(Option::is_some)
+    }
+
+    /// True when two shards share a CPU (more shards than seats, or an
+    /// explicit plan that doubles up). Oversubscribed seats time-slice:
+    /// spinning before parking would burn cycles the co-resident shard
+    /// needs, so the pre-park spin is only enabled on one-shard-per-core
+    /// plans.
+    pub fn oversubscribed(&self) -> bool {
+        let mut cpus: Vec<usize> = self.seats.iter().flatten().map(|s| s.cpu).collect();
+        cpus.sort_unstable();
+        cpus.windows(2).any(|w| w[0] == w[1])
+    }
+
+    /// Shard `id`'s seat, if pinned.
+    pub fn seat_of(&self, id: usize) -> Option<ShardSeat> {
+        self.seats.get(id).copied().flatten()
+    }
+
+    /// NUMA node of shard `id`'s seat, if pinned.
+    pub fn node_of_shard(&self, id: usize) -> Option<usize> {
+        self.seats.get(id).copied().flatten().map(|s| s.node)
+    }
+}
+
+/// Parses a kernel cpulist string (`"0-3,5,8-9"`) into ascending CPU
+/// ids. Returns `None` on malformed input, `Some(vec![])` on an empty
+/// list (a memory-only NUMA node's `cpulist` is an empty line).
+fn parse_cpu_list(s: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Some(out);
+    }
+    for part in s.split(',') {
+        let part = part.trim();
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: usize = lo.trim().parse().ok()?;
+                let hi: usize = hi.trim().parse().ok()?;
+                if hi < lo || hi - lo > 1 << 20 {
+                    return None;
+                }
+                out.extend(lo..=hi);
+            }
+            None => out.push(part.parse().ok()?),
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+/// Pins the calling thread to `cpu`. Returns whether the kernel accepted
+/// the mask. Linux-only; a no-op returning `false` elsewhere, so callers
+/// degrade to unpinned gracefully.
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    // A glibc cpu_set_t is 1024 bits; CPUs past that can't be expressed
+    // in the fixed-size set, so refuse rather than pin to a wrong core.
+    const WORDS: usize = 1024 / 64;
+    if cpu >= 1024 {
+        return false;
+    }
+    let mut mask = [0u64; WORDS];
+    mask[cpu / 64] |= 1u64 << (cpu % 64);
+    // Declared directly instead of via the `libc` crate (the workspace
+    // carries no such dependency); std already links the C library on
+    // Linux, so the symbol resolves. pid 0 = the calling thread.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    // SAFETY: the mask pointer is valid for `WORDS * 8` bytes, which is
+    // exactly the size passed; the syscall only reads it.
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+/// Non-Linux fallback: no affinity API, never pins.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+/// CPU the calling thread is currently executing on (`sched_getcpu`),
+/// or `None` where unsupported. Test/assertion aid: after a pin (or a
+/// post-panic respawn re-pin), the running CPU must equal the seat.
+#[cfg(target_os = "linux")]
+pub fn current_cpu() -> Option<usize> {
+    extern "C" {
+        fn sched_getcpu() -> i32;
+    }
+    // SAFETY: no arguments; returns -1 on error.
+    let cpu = unsafe { sched_getcpu() };
+    (cpu >= 0).then_some(cpu as usize)
+}
+
+/// Non-Linux fallback.
+#[cfg(not(target_os = "linux"))]
+pub fn current_cpu() -> Option<usize> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_topo() -> HostTopology {
+        // 8 CPUs, two nodes, the interleaved layout some AMD/ARM hosts
+        // expose (even CPUs node 0, odd CPUs node 1).
+        HostTopology {
+            cpus: (0..8)
+                .map(|cpu| CpuSlot { cpu, node: cpu % 2 })
+                .collect(),
+            nodes: 2,
+            from_sysfs: true,
+        }
+    }
+
+    #[test]
+    fn parse_cpu_list_handles_ranges_and_singles() {
+        assert_eq!(parse_cpu_list("0-3"), Some(vec![0, 1, 2, 3]));
+        assert_eq!(parse_cpu_list("0-1,4,6-7"), Some(vec![0, 1, 4, 6, 7]));
+        assert_eq!(parse_cpu_list("5"), Some(vec![5]));
+        assert_eq!(parse_cpu_list(""), Some(vec![]));
+        assert_eq!(parse_cpu_list("3-1"), None, "reversed range rejected");
+        assert_eq!(parse_cpu_list("a-b"), None);
+        assert_eq!(parse_cpu_list("1,,2"), None);
+    }
+
+    #[test]
+    fn discover_finds_at_least_one_cpu() {
+        let t = HostTopology::discover();
+        assert!(t.num_cpus() >= 1);
+        assert!(t.nodes >= 1);
+        assert!(t.cpus.windows(2).all(|w| w[0].cpu < w[1].cpu), "ascending");
+        // The cached handle returns the same layout.
+        assert_eq!(host(), &t);
+    }
+
+    #[test]
+    fn none_policy_resolves_to_no_seats() {
+        let plan = PlacementPlan::resolve(&PlacementPolicy::None, 4, &two_node_topo()).unwrap();
+        assert_eq!(plan.seats, vec![None; 4]);
+        assert!(!plan.any_pinned());
+    }
+
+    #[test]
+    fn compact_fills_a_node_before_spilling() {
+        let topo = two_node_topo();
+        let plan = PlacementPlan::resolve(&PlacementPolicy::Compact, 6, &topo).unwrap();
+        let cpus: Vec<usize> = plan.seats.iter().map(|s| s.unwrap().cpu).collect();
+        // Node 0 owns even CPUs 0,2,4,6; node 1 the odd ones. Compact
+        // exhausts node 0 first.
+        assert_eq!(cpus, vec![0, 2, 4, 6, 1, 3]);
+        assert_eq!(plan.node_of_shard(0), Some(0));
+        assert_eq!(plan.node_of_shard(4), Some(1));
+        assert!(plan.any_pinned());
+    }
+
+    #[test]
+    fn scatter_alternates_nodes() {
+        let topo = two_node_topo();
+        let plan = PlacementPlan::resolve(&PlacementPolicy::Scatter, 4, &topo).unwrap();
+        let nodes: Vec<usize> = plan.seats.iter().map(|s| s.unwrap().node).collect();
+        assert_eq!(nodes, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn oversubscription_cycles_the_order() {
+        let topo = HostTopology {
+            cpus: vec![CpuSlot { cpu: 0, node: 0 }, CpuSlot { cpu: 1, node: 0 }],
+            nodes: 1,
+            from_sysfs: false,
+        };
+        let plan = PlacementPlan::resolve(&PlacementPolicy::Compact, 5, &topo).unwrap();
+        let cpus: Vec<usize> = plan.seats.iter().map(|s| s.unwrap().cpu).collect();
+        assert_eq!(cpus, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn explicit_validates_cpus_and_length() {
+        let topo = two_node_topo();
+        let ok = PlacementPlan::resolve(&PlacementPolicy::Explicit(vec![3, 0]), 2, &topo).unwrap();
+        assert_eq!(
+            ok.seats[0],
+            Some(ShardSeat { cpu: 3, node: 1 }),
+            "node derived from the topology"
+        );
+        assert_eq!(
+            PlacementPlan::resolve(&PlacementPolicy::Explicit(vec![0, 999]), 2, &topo),
+            Err(PlacementError::UnknownCpu { shard: 1, cpu: 999 })
+        );
+        assert_eq!(
+            PlacementPlan::resolve(&PlacementPolicy::Explicit(vec![0]), 2, &topo),
+            Err(PlacementError::WrongLength { shards: 2, cpus: 1 })
+        );
+        // Errors render as readable messages (they surface in a build panic).
+        let msg = PlacementError::UnknownCpu { shard: 1, cpu: 999 }.to_string();
+        assert!(msg.contains("cpu 999"), "{msg}");
+    }
+
+    #[test]
+    fn pin_to_own_cpu_roundtrips_on_linux() {
+        // Pin to the first online CPU: must succeed on Linux and place us
+        // there; elsewhere both calls are inert.
+        let topo = HostTopology::discover();
+        let cpu = topo.cpus[0].cpu;
+        if cfg!(target_os = "linux") {
+            assert!(pin_current_thread(cpu), "sched_setaffinity failed");
+            assert_eq!(current_cpu(), Some(cpu));
+        } else {
+            assert!(!pin_current_thread(cpu));
+            assert_eq!(current_cpu(), None);
+        }
+    }
+
+    #[test]
+    fn pin_rejects_unaddressable_cpu() {
+        assert!(!pin_current_thread(100_000));
+    }
+
+    #[test]
+    fn oversubscription_is_detected() {
+        let topo = two_node_topo();
+        // 8 shards on 8 CPUs: one seat each.
+        let plan = PlacementPlan::resolve(&PlacementPolicy::Compact, 8, &topo).unwrap();
+        assert!(!plan.oversubscribed());
+        // 9 shards on 8 CPUs: the plan cycles, someone shares.
+        let plan = PlacementPlan::resolve(&PlacementPolicy::Compact, 9, &topo).unwrap();
+        assert!(plan.oversubscribed());
+        // Explicit doubling-up counts too; unpinned plans never do.
+        let plan = PlacementPlan::resolve(&PlacementPolicy::Explicit(vec![0, 0]), 2, &topo).unwrap();
+        assert!(plan.oversubscribed());
+        assert!(!PlacementPlan::unpinned(4).oversubscribed());
+    }
+
+    #[test]
+    fn policy_display_is_stable() {
+        // Bench cell labels and CI greps key off these strings.
+        assert_eq!(PlacementPolicy::None.to_string(), "none");
+        assert_eq!(PlacementPolicy::Compact.to_string(), "compact");
+        assert_eq!(PlacementPolicy::Scatter.to_string(), "scatter");
+        assert_eq!(
+            PlacementPolicy::Explicit(vec![0, 2]).to_string(),
+            "explicit[0, 2]"
+        );
+    }
+}

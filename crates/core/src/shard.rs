@@ -32,6 +32,7 @@ use crate::algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
 use crate::event::{Envelope, Epoch, EventKind, TopoEvent};
 use crate::metrics::ShardMetrics;
 use crate::partition::Partitioner;
+use crate::placement::{self, PlacementPlan, PlacementPolicy, ShardSeat};
 use crate::storage::ShardStore;
 use crate::supervision::{
     panic_payload_string, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER,
@@ -292,6 +293,13 @@ pub struct EngineConfig {
     /// [`crate::wal`] — the data path is byte-identical to a
     /// durability-free build. See DESIGN.md §14.
     pub durability: Option<DurabilityConfig>,
+    /// Shard-thread placement ([`crate::placement`]): pin each shard to a
+    /// core chosen by topology (`Compact` packs a NUMA node before
+    /// spilling, `Scatter` round-robins across nodes, `Explicit` gives
+    /// the exact CPU list). The default `None` leaves scheduling to the
+    /// OS — byte-identical to the pre-placement engine, zero cost. See
+    /// DESIGN.md §16.
+    pub placement: PlacementPolicy,
 }
 
 impl EngineConfig {
@@ -315,6 +323,7 @@ impl EngineConfig {
             transport: TransportMode::default(),
             telemetry: TelemetryConfig::default(),
             durability: None,
+            placement: PlacementPolicy::None,
         }
     }
 
@@ -384,6 +393,14 @@ impl EngineConfig {
     /// Same config with a chaos-injection plan (tests and fault drills).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Same config with a different shard-placement policy. `Explicit`
+    /// lists are validated at engine build against the discovered host
+    /// topology; build panics on an unknown CPU or a length mismatch.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -465,6 +482,17 @@ pub(crate) struct ShardWorker<A: Algorithm, St: ShardStore<A::State>> {
     /// Lanes transport: the shared SPSC mesh + park board (`None` under
     /// the channel transport — every lane branch keys off this).
     lanes: Option<LaneHandles<A::State>>,
+    /// The engine-wide placement plan (resolved from `config.placement`
+    /// at build): this shard's seat plus every peer's NUMA node, for the
+    /// cross-node lane-traffic counter.
+    plan: Arc<PlacementPlan>,
+    /// This shard's seat under the plan (`None` = unpinned). The pin
+    /// itself happens at the top of the supervised region so a respawned
+    /// shard re-pins on re-entry.
+    seat: Option<ShardSeat>,
+    /// Pinned to a core no other shard shares: only then does the
+    /// bounded pre-park spin run (see [`PlacementPlan::oversubscribed`]).
+    spin_eligible: bool,
     /// Per-destination count of batches this shard diverted to the
     /// channel path; compared against the mesh's `fallback_consumed` to
     /// decide when the pair may resume its data lane (FIFO handshake).
@@ -564,8 +592,15 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         trigger_tx: Sender<TriggerFire>,
         quiesce_tx: Sender<()>,
         lanes: Option<LaneHandles<A::State>>,
+        plan: Arc<PlacementPlan>,
         tele: Arc<TelemetryShared>,
     ) -> Self {
+        let seat = plan.seat_of(id);
+        // Pre-park spinning only pays when this shard *owns* its core: on
+        // an oversubscribed plan (shards time-slicing a seat) the spin
+        // burns exactly the cycles a co-resident shard needs to produce
+        // the work being waited for.
+        let spin_eligible = seat.is_some() && !plan.oversubscribed();
         let part = Partitioner::new(config.num_shards);
         let num_shards = config.num_shards;
         let fault_armed = config.fault_plan.targets(id);
@@ -618,6 +653,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             pend_max_popped: 0,
             outbox_index: (0..num_shards).map(|_| PendMap::default()).collect(),
             lanes,
+            plan,
+            seat,
+            spin_eligible,
             fallback_sent: vec![0; num_shards],
             claim_buf: Vec::new(),
             idle_spins: 0,
@@ -691,6 +729,18 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             // AssertUnwindSafe. On a recoverable panic the same `self`
             // re-enters here with `needs_recovery` set.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Pin first, before any allocation the supervised region
+                // performs (lane columns, WAL buffers, the vertex store's
+                // growth) — first-touch pages then land on the seat's
+                // node. Idempotent, and deliberately *inside* the respawn
+                // loop: a recovered shard re-pins on re-entry. A refused
+                // mask (non-Linux, or a CPU hot-unplugged since
+                // discovery) degrades to unpinned.
+                if let Some(seat) = self.seat {
+                    if !placement::pin_current_thread(seat.cpu) {
+                        self.seat = None;
+                    }
+                }
                 if self.durable && self.wal.is_none() {
                     self.open_wal();
                 }
@@ -788,6 +838,11 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         use std::sync::atomic::Ordering;
         if let Some(lanes) = &self.lanes {
             lanes.parks.register(self.id);
+            // First-touch: allocate this shard's inbound lane column on
+            // its own (possibly just-pinned) core. Under the engine's
+            // deferred mesh this is the first touch of those ring pages;
+            // under an eager test mesh it is a no-op.
+            lanes.mesh.init_column(self.id);
         }
         loop {
             // Phase 1: drain all queued messages (algorithm events first):
@@ -950,6 +1005,21 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 Err(RecvTimeoutError::Disconnected) => IdleWait::Disconnected,
             };
         };
+        // Pinned shards spin briefly before the park machinery: the core
+        // is theirs either way (nobody else is scheduled onto it by
+        // design), so burning a bounded probe loop converts the common
+        // work-arrives-immediately case into a cache-hit wake with no
+        // park/unpark syscall round trip. Unpinned shards skip straight
+        // to the park so the OS can reuse their core.
+        if self.spin_eligible && self.seat.is_some() {
+            for _ in 0..lanes.parks.spin_budget() {
+                if lanes.mesh.has_inbound(self.id) || !self.rx.is_empty() {
+                    self.metrics.spin_wakes += 1;
+                    return IdleWait::Heartbeat;
+                }
+                std::hint::spin_loop();
+            }
+        }
         lanes.parks.announce_sleep(self.id);
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
         if lanes.mesh.has_inbound(self.id) {
@@ -967,7 +1037,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     self.tele
                         .record_flight(self.id, FlightTag::Park, self.cur_epoch, 0, 0);
                 }
-                std::thread::park_timeout(self.config.idle_park);
+                // The board carries the configured heartbeat
+                // (`EngineConfig::idle_park` threaded through at build).
+                lanes.parks.park_current();
                 lanes.parks.clear_sleep(self.id);
                 IdleWait::Heartbeat
             }
@@ -1581,8 +1653,13 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             Some(lanes) => lanes.mesh.inbound_occupancy(self.id) as u64,
             None => 0,
         };
-        self.tele
-            .publish_counters(self.id, &self.metrics, queue_depth, lane_occupancy);
+        self.tele.publish_counters(
+            self.id,
+            &self.metrics,
+            queue_depth,
+            lane_occupancy,
+            self.seat.map(|s| (s.cpu, s.node)),
+        );
     }
 
     /// Publishes one created envelope of `epoch`'s parity. Must happen
@@ -1792,6 +1869,14 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         match mesh.send(self.id, owner, batch) {
             Ok(()) => {
                 self.metrics.lane_batches += 1;
+                // Placement telemetry: a batch that crossed NUMA nodes
+                // (both ends pinned, different seats). Informational —
+                // stays outside verify_balance.
+                if let Some(seat) = self.seat {
+                    if self.plan.node_of_shard(owner).is_some_and(|n| n != seat.node) {
+                        self.metrics.lane_cross_node_batches += 1;
+                    }
+                }
                 // Pool a drained buffer for the next fill — steady-state
                 // flushes allocate nothing.
                 if let Some(buf) = mesh.take_recycled(self.id, owner) {
@@ -2519,6 +2604,7 @@ mod tests {
             trigger_tx,
             quiesce_tx,
             lanes,
+            Arc::new(PlacementPlan::unpinned(2)),
             tele,
         );
         Fixture {

@@ -34,6 +34,7 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use crossbeam::utils::CachePadded;
 
@@ -275,6 +276,53 @@ impl<T> Drop for SpscRing<T> {
     }
 }
 
+/// One receiver's inbound lane column: its data and recycle rings for
+/// every potential sender, allocated as a unit.
+///
+/// Lazily initialized ([`LaneMesh::init_column`]) by the **owning shard
+/// thread at its startup** so the ring slot arrays are first-touch
+/// allocated on the receiver's core/NUMA node (pages land on the node of
+/// the first-writing thread). The `OnceLock` gives senders an
+/// acquire-load view of the fully built rings, makes a respawned shard's
+/// re-init a no-op, and keeps the eager constructor
+/// ([`LaneMesh::new`] — unit tests, single-threaded fixtures) on the
+/// same code path.
+struct LaneColumn<S> {
+    rings: OnceLock<ColumnRings<S>>,
+}
+
+struct ColumnRings<S> {
+    /// `data[from]`: envelope batches in flight from `from` to the
+    /// column's owner.
+    data: Box<[SpscRing<Vec<Envelope<S>>>]>,
+    /// `recycle[from]`: empty buffers returning to `from`.
+    recycle: Box<[SpscRing<Vec<Envelope<S>>>]>,
+}
+
+impl<S> ColumnRings<S> {
+    fn build(shards: usize) -> Self {
+        ColumnRings {
+            data: (0..shards)
+                .map(|_| SpscRing::with_capacity(LANE_CAP))
+                .collect(),
+            // Recycle lanes are primed with `LANE_CAP` empty buffers so the
+            // pool feeds `flush()` from the first batch (each buffer grows
+            // to its working capacity once, then circulates), and get 2×
+            // headroom so a burst of returns is never dropped while the
+            // primed stock still sits unconsumed.
+            recycle: (0..shards)
+                .map(|_| {
+                    let ring = SpscRing::with_capacity(LANE_CAP * 2);
+                    for _ in 0..LANE_CAP {
+                        let _ = ring.push(Vec::new());
+                    }
+                    ring
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The P×P lane mesh: data lanes, recycle lanes, and the per-pair
 /// fallback handshake counters. One per engine, shared by every shard.
 ///
@@ -283,12 +331,19 @@ impl<T> Drop for SpscRing<T> {
 /// `to`; the recycle lane of the same pair flows the *opposite* way
 /// (produced by `to`, consumed by `from`) carrying drained batch buffers
 /// home for reuse.
+///
+/// Rings are grouped into per-receiver [`LaneColumn`]s. Under the engine
+/// ([`LaneMesh::new_deferred`]) a column is allocated by its owning shard
+/// thread at startup — first-touch placement — and until then every send
+/// to it reports "full", diverting batches onto the existing channel
+/// fallback. That is sound by construction: "column not yet allocated"
+/// is indistinguishable from "lane full" to a sender, and the fallback
+/// handshake already preserves per-pair FIFO across any lane-unavailable
+/// window (see [`LaneMesh::fallback_consumed`]).
 pub(crate) struct LaneMesh<S> {
     shards: usize,
-    /// `data[from * shards + to]`: envelope batches in flight.
-    data: Vec<SpscRing<Vec<Envelope<S>>>>,
-    /// `recycle[from * shards + to]`: empty buffers returning to `from`.
-    recycle: Vec<SpscRing<Vec<Envelope<S>>>>,
+    /// `columns[to]`: receiver `to`'s inbound data + recycle rings.
+    columns: Vec<LaneColumn<S>>,
     /// `fallback_consumed[from * shards + to]`: how many of the pair's
     /// channel-fallback batches the receiver has fully admitted.
     ///
@@ -316,7 +371,24 @@ pub(crate) struct LaneMesh<S> {
 }
 
 impl<S> LaneMesh<S> {
+    /// Eager mesh: every column allocated by the calling thread. Unit
+    /// tests and single-threaded fixtures drive workers by hand without a
+    /// startup phase, so their lanes must exist up front; the engine uses
+    /// [`Self::new_deferred`] for first-touch placement instead.
+    #[cfg_attr(not(test), allow(dead_code))] // test fixtures
     pub(crate) fn new(shards: usize) -> Self {
+        let mesh = Self::new_deferred(shards);
+        for to in 0..shards {
+            mesh.init_column(to);
+        }
+        mesh
+    }
+
+    /// Mesh with no columns allocated yet: each receiver calls
+    /// [`Self::init_column`] for its own id at shard startup, so its ring
+    /// memory is first-touch allocated on its pinned core/node. Until
+    /// then, sends to it divert to the channel fallback.
+    pub(crate) fn new_deferred(shards: usize) -> Self {
         assert!(
             shards <= MAX_LANE_SHARDS,
             "lane mesh is capped at {MAX_LANE_SHARDS} shards"
@@ -324,19 +396,9 @@ impl<S> LaneMesh<S> {
         let n = shards * shards;
         LaneMesh {
             shards,
-            data: (0..n).map(|_| SpscRing::with_capacity(LANE_CAP)).collect(),
-            // Recycle lanes are primed with `LANE_CAP` empty buffers so the
-            // pool feeds `flush()` from the first batch (each buffer grows
-            // to its working capacity once, then circulates), and get 2×
-            // headroom so a burst of returns is never dropped while the
-            // primed stock still sits unconsumed.
-            recycle: (0..n)
-                .map(|_| {
-                    let ring = SpscRing::with_capacity(LANE_CAP * 2);
-                    for _ in 0..LANE_CAP {
-                        let _ = ring.push(Vec::new());
-                    }
-                    ring
+            columns: (0..shards)
+                .map(|_| LaneColumn {
+                    rings: OnceLock::new(),
                 })
                 .collect(),
             fallback_consumed: (0..n)
@@ -346,6 +408,21 @@ impl<S> LaneMesh<S> {
         }
     }
 
+    /// Allocates receiver `to`'s inbound column (data rings + primed
+    /// recycle pools). Idempotent — a respawned shard re-running its
+    /// startup is a no-op — and the `OnceLock` publish gives senders an
+    /// acquire view of the fully built rings.
+    pub(crate) fn init_column(&self, to: usize) {
+        let shards = self.shards;
+        let _ = self.columns[to].rings.get_or_init(|| ColumnRings::build(shards));
+    }
+
+    #[inline]
+    fn column(&self, to: usize) -> Option<&ColumnRings<S>> {
+        debug_assert!(to < self.shards);
+        self.columns[to].rings.get()
+    }
+
     #[inline]
     fn at(&self, from: usize, to: usize) -> usize {
         debug_assert!(from < self.shards && to < self.shards);
@@ -353,9 +430,11 @@ impl<S> LaneMesh<S> {
     }
 
     /// Sender `from`: ships a batch to `to`, or hands it back when the
-    /// lane is full (caller falls back to the channel). On success the
-    /// sender's bit in the receiver's pending bitmap is set *after* the
-    /// push, so a receiver that observes the bit will find the batch.
+    /// lane is full — or not yet allocated by its receiver (caller falls
+    /// back to the channel either way; the two cases are deliberately
+    /// indistinguishable). On success the sender's bit in the receiver's
+    /// pending bitmap is set *after* the push, so a receiver that
+    /// observes the bit will find the batch.
     #[inline]
     pub(crate) fn send(
         &self,
@@ -363,7 +442,10 @@ impl<S> LaneMesh<S> {
         to: usize,
         batch: Vec<Envelope<S>>,
     ) -> Result<(), Vec<Envelope<S>>> {
-        self.data[self.at(from, to)].push(batch)?;
+        let Some(col) = self.column(to) else {
+            return Err(batch);
+        };
+        col.data[from].push(batch)?;
         self.inbound[to].set(from);
         Ok(())
     }
@@ -371,14 +453,14 @@ impl<S> LaneMesh<S> {
     /// Receiver `to`: next in-flight batch from `from`, if any.
     #[inline]
     pub(crate) fn recv(&self, from: usize, to: usize) -> Option<Vec<Envelope<S>>> {
-        self.data[self.at(from, to)].pop()
+        self.column(to)?.data[from].pop()
     }
 
     /// Sender `from`: pulls one pooled buffer home from the pair's recycle
     /// lane (allocation-free steady state for `flush`).
     #[inline]
     pub(crate) fn take_recycled(&self, from: usize, to: usize) -> Option<Vec<Envelope<S>>> {
-        self.recycle[self.at(from, to)].pop()
+        self.column(to)?.recycle[from].pop()
     }
 
     /// Receiver `to`: returns a drained (cleared) batch buffer to `from`'s
@@ -387,7 +469,9 @@ impl<S> LaneMesh<S> {
     #[inline]
     pub(crate) fn give_recycled(&self, from: usize, to: usize, buf: Vec<Envelope<S>>) {
         debug_assert!(buf.is_empty());
-        let _ = self.recycle[self.at(from, to)].push(buf);
+        if let Some(col) = self.column(to) {
+            let _ = col.recycle[from].push(buf);
+        }
     }
 
     /// Sender `from`: the pair's admitted-fallback count (Acquire — see
@@ -427,9 +511,10 @@ impl<S> LaneMesh<S> {
     /// lane's occupancy is an independent racy probe; the sum is a
     /// point-in-time estimate, which is all a gauge needs.
     pub(crate) fn inbound_occupancy(&self, to: usize) -> usize {
-        (0..self.shards)
-            .map(|from| self.data[self.at(from, to)].len())
-            .sum()
+        let Some(col) = self.column(to) else {
+            return 0;
+        };
+        (0..self.shards).map(|from| col.data[from].len()).sum()
     }
 
     /// Sender `from`: drains its own data lane to a **dead** receiver so
@@ -443,10 +528,11 @@ impl<S> LaneMesh<S> {
     /// failure board — both of which are published strictly after the
     /// consumer thread's last pop.
     pub(crate) fn reclaim(&self, from: usize, to: usize) -> Vec<Vec<Envelope<S>>> {
-        let lane = &self.data[self.at(from, to)];
         let mut batches = Vec::new();
-        while let Some(b) = lane.pop() {
-            batches.push(b);
+        if let Some(col) = self.column(to) {
+            while let Some(b) = col.data[from].pop() {
+                batches.push(b);
+            }
         }
         self.inbound[to].clear(from);
         batches
@@ -471,7 +557,25 @@ impl<S> LaneMesh<S> {
 /// `park_timeout`.
 pub(crate) struct ParkBoard {
     slots: Vec<CachePadded<ParkSlot>>,
+    /// Fallback park timeout — `EngineConfig::idle_park` threaded through
+    /// at engine build ([`LaneHandles::for_engine`]) rather than a magic
+    /// constant at each park site.
+    heartbeat: Duration,
+    /// How many spin iterations a *pinned* shard burns re-probing its
+    /// inbound work before announcing sleep and parking. A pinned shard
+    /// that parks instantly donates its core to nobody — it owns the core
+    /// either way — so a short bounded spin converts the common
+    /// work-arrives-immediately case from a park/unpark round trip into a
+    /// cache-hit probe. Unpinned shards skip the spin entirely (the OS
+    /// can use their core).
+    spin_budget: u32,
 }
+
+/// Spin iterations before park for pinned shards (see
+/// [`ParkBoard::spin_budget`]). Each iteration is a couple of atomic
+/// loads plus `spin_loop`; 512 keeps the worst-case pre-park burn in the
+/// low microseconds.
+const DEFAULT_SPIN_BUDGET: u32 = 512;
 
 struct ParkSlot {
     asleep: AtomicBool,
@@ -481,7 +585,14 @@ struct ParkSlot {
 }
 
 impl ParkBoard {
+    #[cfg_attr(not(test), allow(dead_code))] // test fixtures
     pub(crate) fn new(shards: usize) -> Self {
+        Self::with_timing(shards, Duration::from_micros(200), DEFAULT_SPIN_BUDGET)
+    }
+
+    /// Board with an explicit fallback heartbeat (the engine passes
+    /// `EngineConfig::idle_park`) and spin budget.
+    pub(crate) fn with_timing(shards: usize, heartbeat: Duration, spin_budget: u32) -> Self {
         ParkBoard {
             slots: (0..shards)
                 .map(|_| {
@@ -491,7 +602,27 @@ impl ParkBoard {
                     })
                 })
                 .collect(),
+            heartbeat,
+            spin_budget,
         }
+    }
+
+    /// The configured fallback heartbeat.
+    #[cfg_attr(not(test), allow(dead_code))] // test fixtures
+    pub(crate) fn heartbeat(&self) -> Duration {
+        self.heartbeat
+    }
+
+    /// Spin iterations a pinned shard burns before parking.
+    pub(crate) fn spin_budget(&self) -> u32 {
+        self.spin_budget
+    }
+
+    /// Parks the calling thread for at most the configured heartbeat.
+    /// The caller must have announced sleep and re-checked its inbound
+    /// work first (the Dekker protocol documented on the type).
+    pub(crate) fn park_current(&self) {
+        std::thread::park_timeout(self.heartbeat);
     }
 
     /// Called once by shard `id` on its own thread before the first park.
@@ -543,10 +674,27 @@ impl<S> Clone for LaneHandles<S> {
 }
 
 impl<S> LaneHandles<S> {
+    /// Eager handles for tests/fixtures that drive workers by hand:
+    /// every lane column exists up front, default park timing.
+    #[cfg_attr(not(test), allow(dead_code))] // test fixtures
     pub(crate) fn new(shards: usize) -> Self {
         LaneHandles {
             mesh: Arc::new(LaneMesh::new(shards)),
             parks: Arc::new(ParkBoard::new(shards)),
+        }
+    }
+
+    /// Handles as the engine builds them: columns deferred so each shard
+    /// first-touch allocates its own at startup, park heartbeat taken
+    /// from `EngineConfig::idle_park`.
+    pub(crate) fn for_engine(shards: usize, heartbeat: Duration) -> Self {
+        LaneHandles {
+            mesh: Arc::new(LaneMesh::new_deferred(shards)),
+            parks: Arc::new(ParkBoard::with_timing(
+                shards,
+                heartbeat,
+                DEFAULT_SPIN_BUDGET,
+            )),
         }
     }
 }
@@ -882,16 +1030,19 @@ mod tests {
 
     #[test]
     fn parked_thread_is_woken_by_board() {
-        let board = Arc::new(ParkBoard::new(1));
+        // The park goes through the board's configured heartbeat — no
+        // magic timeout at the park site. A long heartbeat bounded by the
+        // wake below (the test would otherwise take the full timeout and
+        // still pass — the assert is on elapsed time).
+        let heartbeat = std::time::Duration::from_secs(5);
+        let board = Arc::new(ParkBoard::with_timing(1, heartbeat, 0));
+        assert_eq!(board.heartbeat(), heartbeat);
         let b = Arc::clone(&board);
         let t = std::thread::spawn(move || {
             b.register(0);
             b.announce_sleep(0);
-            // A long park bounded by the wake below (the test would
-            // otherwise take the full timeout and still pass — the assert
-            // is on elapsed time).
             let start = std::time::Instant::now();
-            std::thread::park_timeout(std::time::Duration::from_secs(5));
+            b.park_current();
             b.clear_sleep(0);
             start.elapsed()
         });
@@ -904,8 +1055,48 @@ mod tests {
         }
         let waited = t.join().unwrap();
         assert!(
-            waited < std::time::Duration::from_secs(5),
+            waited < heartbeat,
             "unpark cut the park short (waited {waited:?})"
+        );
+    }
+
+    #[test]
+    fn park_board_timing_defaults() {
+        let board = ParkBoard::new(1);
+        assert_eq!(board.heartbeat(), Duration::from_micros(200));
+        assert_eq!(board.spin_budget(), DEFAULT_SPIN_BUDGET);
+    }
+
+    #[test]
+    fn deferred_column_diverts_sends_until_init() {
+        let mesh: LaneMesh<u64> = LaneMesh::new_deferred(2);
+        // Receiver 1 hasn't started: a send to it is handed back exactly
+        // like a full lane, and the observer probes read as empty.
+        let back = mesh.send(0, 1, vec![env(9)]).unwrap_err();
+        assert_eq!(back.len(), 1);
+        assert!(!mesh.has_inbound(1));
+        assert!(mesh.recv(0, 1).is_none());
+        assert!(mesh.take_recycled(0, 1).is_none());
+        assert_eq!(mesh.inbound_occupancy(1), 0);
+        mesh.give_recycled(0, 1, Vec::new()); // dropped, not a panic
+        assert!(mesh.reclaim(0, 1).is_empty());
+
+        // After the receiver's startup init, the column behaves exactly
+        // like an eager mesh — including the primed recycle pool.
+        mesh.init_column(1);
+        mesh.send(0, 1, vec![env(9)]).unwrap();
+        assert!(mesh.has_inbound(1));
+        assert_eq!(mesh.recv(0, 1).map(|b| b.len()), Some(1));
+        assert!(mesh.take_recycled(0, 1).is_some(), "pool primed at init");
+        // Re-init (a respawned shard re-running startup) is a no-op: the
+        // pool state above survives.
+        mesh.init_column(1);
+        for _ in 0..LANE_CAP - 1 {
+            assert!(mesh.take_recycled(0, 1).is_some());
+        }
+        assert!(
+            mesh.take_recycled(0, 1).is_none(),
+            "re-init did not rebuild the column"
         );
     }
 }

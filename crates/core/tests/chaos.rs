@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 
 use remo_core::{
     algorithm::codec, AlgoCtx, Algorithm, DurabilityConfig, Engine, EngineConfig, EngineError,
-    FaultPlan, LatticeConfig, Partitioner, Snapshot, TelemetryConfig, TransportMode, VertexId,
-    CHAOS_PANIC_MARKER,
+    FaultPlan, LatticeConfig, Partitioner, PlacementPolicy, Snapshot, TelemetryConfig,
+    TransportMode, VertexId, CHAOS_PANIC_MARKER,
 };
 
 /// The paper's §II-A example: count each vertex's degree. Enough to make
@@ -70,6 +70,18 @@ fn transport_mode() -> TransportMode {
     }
 }
 
+/// `REMO_CHAOS_PLACEMENT=compact` (or `scatter`) reruns the whole suite
+/// with shard threads pinned to cores: fault containment, deadlines, and
+/// respawn-in-place recovery must hold identically when every shard owns
+/// a seat — and a respawned shard must come back *on* that seat.
+fn placement_mode() -> PlacementPolicy {
+    match std::env::var("REMO_CHAOS_PLACEMENT").as_deref() {
+        Ok("compact") => PlacementPolicy::Compact,
+        Ok("scatter") => PlacementPolicy::Scatter,
+        _ => PlacementPolicy::None,
+    }
+}
+
 /// `REMO_CHAOS_VERBOSE_RECORDER=1` drops the flight-recorder sampling
 /// shift to 0 (every event recorded) — chaos-forensics mode, exercised by
 /// one CI variant so the densest recording path stays covered.
@@ -123,6 +135,7 @@ fn chaos_config(plan: FaultPlan) -> EngineConfig {
         lattice: lattice_mode(),
         transport: transport_mode(),
         telemetry: telemetry_mode(),
+        placement: placement_mode(),
         ..EngineConfig::undirected(2)
     }
 }
@@ -574,6 +587,39 @@ fn panicked_shard_respawns_and_converges_byte_identically() {
     );
     // The books close exactly even across the sweep/replay cycle.
     result.metrics.verify_balance().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Chaos × placement: a pinned shard that panics mid-run and is respawned
+/// in place must come back *on its seat* — the supervisor re-pins at the
+/// top of every (re)spawn, so recovery never silently sheds a core. The
+/// telemetry gauges are the witness: after the respawned run quiesces,
+/// every shard still reports a pinned core. Runs under Compact placement
+/// unconditionally (one core is enough to seat everything).
+#[test]
+fn respawned_shard_comes_back_pinned() {
+    let pairs = chain_pairs(24);
+    let dir = durable_dir("pinned-respawn");
+    let config = durable_chaos_config(FaultPlan::panic_shard_at(1, 5), &dir, 8)
+        .with_placement(PlacementPolicy::Compact);
+    let engine = Engine::new(MaxLabel, config);
+    engine.try_ingest_pairs(&pairs).unwrap();
+    engine
+        .try_await_quiescence()
+        .expect("respawned run must quiesce clean");
+    let gauges = engine.telemetry().gauges();
+    for (shard, core) in gauges.pinned_core.iter().enumerate() {
+        assert!(
+            *core >= 0,
+            "shard {shard} must still report a pinned core after recovery, got {core}"
+        );
+    }
+    let result = engine.try_finish().unwrap();
+    assert!(!result.is_degraded(), "failures: {:?}", result.failures);
+    assert!(
+        result.metrics.total().shard_respawns >= 1,
+        "the chaos panic must have forced a respawn"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

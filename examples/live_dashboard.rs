@@ -20,6 +20,9 @@
 //!   every event is write-ahead logged and checkpointed, and the WAL /
 //!   checkpoint / replay counters show up in both scrapes and the final
 //!   report (default: off)
+//! - `REMO_DASH_PLACEMENT` — `compact` or `scatter` pins shard threads to
+//!   cores (NUMA-aware, see DESIGN.md §16); the per-shard seats show up in
+//!   the dashboard header and both scrapes (default: unpinned)
 //!
 //! Run with: `cargo run --release --example live_dashboard`
 
@@ -55,10 +58,51 @@ fn main() {
         println!("durability: WAL + checkpoints under {dir}");
         config = config.with_durability(DurabilityConfig::new(dir).fsync(false));
     }
+    let mut pinned = false;
+    match std::env::var("REMO_DASH_PLACEMENT").as_deref() {
+        Ok("compact") => {
+            config = config.with_placement(PlacementPolicy::Compact);
+            pinned = true;
+        }
+        Ok("scatter") => {
+            config = config.with_placement(PlacementPolicy::Scatter);
+            pinned = true;
+        }
+        Ok(other) => eprintln!("ignoring REMO_DASH_PLACEMENT={other} (want compact|scatter)"),
+        Err(_) => {}
+    }
     let engine = Engine::new(DegreeCount, config);
     // The hub is a cheap clone-able handle: hand it to a dashboard thread,
     // an HTTP endpoint, or (here) poll it inline between ingest chunks.
     let hub = engine.telemetry();
+
+    // Where did each shard land? −1 = unpinned (the default policy).
+    // Seats reach the gauges via each shard's first idle publish, so give
+    // freshly-spawned shards a bounded beat to report in.
+    {
+        let mut g = hub.gauges();
+        let deadline = std::time::Instant::now() + Duration::from_millis(500);
+        while pinned
+            && g.pinned_core.iter().any(|&c| c < 0)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+            g = hub.gauges();
+        }
+        let seats: Vec<String> = g
+            .pinned_core
+            .iter()
+            .zip(&g.numa_node)
+            .map(|(c, n)| {
+                if *c < 0 {
+                    "-".to_string()
+                } else {
+                    format!("cpu{c}/node{n}")
+                }
+            })
+            .collect();
+        println!("placement: [{}]", seats.join(" "));
+    }
 
     println!(
         "{:>4}  {:>12}  {:>10}  {:>10}  {:>9}  {:>10}  {:>7}  queue depths",

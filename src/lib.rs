@@ -49,8 +49,9 @@ pub mod prelude {
     };
     pub use remo_core::{
         AdaptiveConfig, AlgoCtx, Algorithm, DurabilityConfig, Engine, EngineBuilder, EngineConfig,
-        EventCtx, Pair, SequentialEngine, Snapshot, StorageLayout, TelemetryConfig, TelemetryHub,
-        TerminationMode, TopoEvent, TransportMode, TriggerFire, VertexId, Weight,
+        EventCtx, Pair, PlacementPolicy, SequentialEngine, Snapshot, StorageLayout,
+        TelemetryConfig, TelemetryHub, TerminationMode, TopoEvent, TransportMode, TriggerFire,
+        VertexId, Weight,
     };
     pub use remo_gen::{Dataset, RmatConfig};
 }
