@@ -20,7 +20,7 @@
 //! the snapshot protocol (applying old-epoch events to the forked previous
 //! state as well, §III-D) and records changes for trigger evaluation.
 
-use crate::event::Epoch;
+use crate::event::{ControlKind, ControlOp, Epoch};
 use crate::storage::VertexParts;
 use remo_store::{EdgeMeta, VertexId, Weight};
 
@@ -35,6 +35,13 @@ pub trait Algorithm: Send + Sync + 'static {
     /// Vertex-local state (`this.value`). `Default` must be the lattice
     /// bottom: the state of a vertex that has seen no events.
     type State: Clone + Default + Send + PartialEq + std::fmt::Debug + 'static;
+
+    /// How many [`Pair`](crate::compose::Pair) levels wrap this algorithm
+    /// (0 for a leaf). `Pair` uses it to warn once when tuple nesting gets
+    /// deep enough that the [`registry`](crate::registry) is the better
+    /// tool.
+    #[doc(hidden)]
+    const COMPOSE_DEPTH: usize = 0;
 
     /// Called when an `Init` event reaches a vertex (e.g. the BFS source).
     fn init(&self, _ctx: &mut impl AlgoCtx<Self::State>) {}
@@ -161,6 +168,27 @@ pub trait Algorithm: Send + Sync + 'static {
     {
         panic!("Algorithm::decode_state is required when durability is enabled");
     }
+
+    /// Control-plane claim: a [`ControlOp`] broadcast (see
+    /// [`crate::registry`]) reached `shard`. Return the subset of
+    /// `op.mask` this algorithm wants swept on that shard (0 = nothing,
+    /// the default — plain algorithms ignore the control plane). When the
+    /// returned mask is non-zero the shard logs the claim durably, runs
+    /// one full-store sweep calling [`Algorithm::on_sweep`] per vertex,
+    /// and then calls [`Algorithm::on_control_commit`].
+    fn on_control(&self, _shard: usize, _op: &ControlOp) -> u64 {
+        0
+    }
+
+    /// One vertex visit of a claimed control sweep. `mask` is the claimed
+    /// slot mask returned by [`Algorithm::on_control`]. Updates queued
+    /// through `ctx` are routed as ordinary envelopes after the visit.
+    fn on_sweep(&self, _ctx: &mut impl AlgoCtx<Self::State>, _kind: ControlKind, _mask: u64) {}
+
+    /// Called once per shard after a claimed sweep finished and its
+    /// outgoing envelopes were routed — the point to publish per-shard
+    /// progress bits (e.g. the registry's primed/flooded masks).
+    fn on_control_commit(&self, _shard: usize, _kind: ControlKind, _claimed: u64) {}
 }
 
 /// Little-endian `u64` state codec helpers for the common `State = u64`
@@ -202,6 +230,13 @@ pub trait AlgoCtx<S: Clone> {
 
     /// Snapshot epoch of the event being processed.
     fn epoch(&self) -> Epoch;
+
+    /// Shard executing this callback (0 when the context has no shard,
+    /// e.g. the sequential reference engine). Composition layers forward
+    /// it; the registry keys per-shard progress masks on it.
+    fn shard_hint(&self) -> usize {
+        0
+    }
 
     /// Current (live) state of the vertex.
     fn state(&self) -> &S;
@@ -270,6 +305,8 @@ pub struct EventCtx<'a, S> {
     parts: VertexParts<'a, S>,
     out: &'a mut Vec<Outgoing<S>>,
     epoch: Epoch,
+    /// Shard id surfaced through [`AlgoCtx::shard_hint`] (0 until set).
+    shard: usize,
     /// Set when `apply` reported a state change (drives trigger checks).
     pub(crate) state_changed: bool,
 }
@@ -290,8 +327,17 @@ impl<'a, S: Clone> EventCtx<'a, S> {
             parts,
             out,
             epoch,
+            shard: 0,
             state_changed: false,
         }
+    }
+
+    /// Stamps the executing shard id (surfaced via
+    /// [`AlgoCtx::shard_hint`]); separate from `new` so existing call
+    /// sites without a shard keep the 0 default.
+    #[inline]
+    pub(crate) fn set_shard(&mut self, shard: usize) {
+        self.shard = shard;
     }
 
     /// Trigger bookkeeping (engine-internal).
@@ -320,6 +366,11 @@ impl<'a, S: Clone> AlgoCtx<S> for EventCtx<'a, S> {
     #[inline]
     fn epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    #[inline]
+    fn shard_hint(&self) -> usize {
+        self.shard
     }
 
     #[inline]

@@ -23,6 +23,19 @@
 //! state, so termination is preserved. The composition tests and the
 //! workspace integration tests assert both fixpoints equal their solo
 //! runs.
+//!
+//! ## When to reach for the registry instead
+//!
+//! `Pair` is static composition: the query set is fixed at engine
+//! construction, and every propagation carries the **full tuple** of all
+//! component states — at N queries that is an O(N) payload per envelope
+//! even when only one component changed. The dynamic alternative is
+//! [`QueryRegistry`](crate::registry::QueryRegistry) (DESIGN.md §17):
+//! one shared adjacency store, an independent state column per query,
+//! per-query *delta* envelopes, and live attach/detach with backfill from
+//! the stored adjacency. Prefer the registry beyond two or three queries,
+//! or whenever queries come and go at runtime; `Pair` remains the
+//! zero-overhead choice for a fixed duo.
 
 use std::marker::PhantomData;
 
@@ -31,6 +44,13 @@ use crate::event::Epoch;
 use remo_store::{EdgeMeta, VertexId, Weight};
 
 /// Two algorithms running simultaneously over one dynamic graph.
+///
+/// For more than two or three live queries — or for attaching and
+/// detaching queries at runtime — prefer
+/// [`QueryRegistry`](crate::registry::QueryRegistry) (DESIGN.md §17):
+/// it shares the topology the same way but sends per-query deltas
+/// instead of the full tuple, so its envelope cost does not grow with
+/// the number of attached queries.
 pub struct Pair<A, B> {
     first: A,
     second: B,
@@ -38,8 +58,36 @@ pub struct Pair<A, B> {
 
 impl<A: Algorithm, B: Algorithm> Pair<A, B> {
     /// Composes `first` and `second`.
+    ///
+    /// Nesting (`Pair::new(Pair::new(a, b), c)`) composes any number of
+    /// queries, but every level widens the tuple every envelope carries;
+    /// at three or more levels a one-time stderr note points at the
+    /// registry, which sends O(1)-per-change deltas instead.
     pub fn new(first: A, second: B) -> Self {
+        if Self::COMPOSE_DEPTH >= 3 {
+            static DEEP_NESTING_NOTE: std::sync::Once = std::sync::Once::new();
+            DEEP_NESTING_NOTE.call_once(|| {
+                eprintln!(
+                    "remo: note: compose::Pair nested {} deep — every envelope now carries \
+                     the full {}-wide state tuple. For many or dynamic queries, \
+                     QueryRegistry (DESIGN.md §17) shares the topology with per-query \
+                     delta envelopes and live attach/detach.",
+                    Self::COMPOSE_DEPTH,
+                    Self::COMPOSE_DEPTH + 1,
+                );
+            });
+        }
         Pair { first, second }
+    }
+}
+
+/// `usize::max` is not const-callable through the trait bound, so the
+/// depth fold gets its own const fn.
+const fn max_depth(a: usize, b: usize) -> usize {
+    if a > b {
+        a
+    } else {
+        b
     }
 }
 
@@ -190,6 +238,8 @@ macro_rules! forward_both {
 
 impl<A: Algorithm, B: Algorithm> Algorithm for Pair<A, B> {
     type State = (A::State, B::State);
+
+    const COMPOSE_DEPTH: usize = 1 + max_depth(A::COMPOSE_DEPTH, B::COMPOSE_DEPTH);
 
     fn encode_state(state: &Self::State, out: &mut Vec<u8>) {
         // Length-prefix the first component so decode can split the pair
@@ -470,6 +520,26 @@ mod tests {
             e.try_finish().unwrap().states.into_vec()
         };
         assert_eq!(fifo, lat, "lattice layers changed the pair's fixpoint");
+    }
+
+    #[test]
+    fn compose_depth_counts_pair_levels() {
+        assert_eq!(Touch::COMPOSE_DEPTH, 0);
+        assert_eq!(<Pair<Touch, MinFlood>>::COMPOSE_DEPTH, 1);
+        assert_eq!(<Pair<Pair<Touch, MinFlood>, Touch>>::COMPOSE_DEPTH, 2);
+        assert_eq!(
+            <Pair<Pair<Pair<Touch, MinFlood>, Touch>, MinFlood>>::COMPOSE_DEPTH,
+            3
+        );
+        // The ≥3-deep constructor path (one-time stderr note) still
+        // produces a working algorithm.
+        let e = Engine::new(
+            Pair::new(Pair::new(Pair::new(Touch, MinFlood), Touch), MinFlood),
+            EngineConfig::undirected(2),
+        );
+        e.try_ingest_pairs(&[(0, 1), (1, 2)]).unwrap();
+        let states = e.try_finish().unwrap().states;
+        assert_eq!(states.get(1).map(|(((t, _), _), _)| *t), Some(2));
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use remo_store::{VertexId, Weight};
 
 use crate::algorithm::Algorithm;
-use crate::event::{Envelope, EventKind, TopoEvent};
+use crate::event::{ControlAck, ControlOp, Envelope, EventKind, TopoEvent};
 use crate::metrics::RunMetrics;
 use crate::partition::Partitioner;
 use crate::placement::{self, PlacementPlan};
@@ -527,6 +527,74 @@ impl<A: Algorithm> Engine<A> {
 
     fn owner(&self, v: VertexId) -> usize {
         self.part.owner(v)
+    }
+
+    /// Broadcasts one control-plane operation (multi-query attach/detach)
+    /// to every live shard and waits for all acknowledgements. Shard-side
+    /// claims are idempotent, so the wait loop may resend the op to
+    /// laggards without double-applying; a resend after the sweep ran
+    /// simply claims an empty mask and acks immediately. Dead shards are
+    /// skipped — a degraded engine keeps serving its survivors, and a
+    /// respawned shard re-derives committed sweeps from its WAL.
+    pub(crate) fn control(&self, op: ControlOp) -> Result<Vec<ControlAck>, EngineError> {
+        let n = self.config.num_shards;
+        let (tx, rx) = bounded::<ControlAck>(n);
+        let mut acked = vec![false; n];
+        let mut acks: Vec<ControlAck> = Vec::with_capacity(n);
+        for (shard, shard_acked) in acked.iter_mut().enumerate() {
+            if self.board.is_failed(shard) {
+                *shard_acked = true;
+                continue;
+            }
+            // A send that fails because the shard died mid-broadcast is
+            // fine (it will be marked failed below); any other closure is
+            // a real error.
+            if self.send_to(shard, Message::Control { op, ack: tx.clone() }).is_err()
+                && !self.board.is_failed(shard)
+            {
+                return Err(EngineError::ChannelClosed { shard });
+            }
+        }
+        self.wake_all();
+        let deadline = Deadline::new(self.config.quiescence_deadline);
+        loop {
+            if acked.iter().all(|&a| a) {
+                return Ok(acks);
+            }
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(ack) => {
+                    if !acked[ack.shard] {
+                        acked[ack.shard] = true;
+                        acks.push(ack);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Shards that died since the broadcast stop owing an
+                    // ack; re-nudge the live laggards (idempotent claims).
+                    for (shard, shard_acked) in acked.iter_mut().enumerate() {
+                        if *shard_acked {
+                            continue;
+                        }
+                        if self.board.is_failed(shard) {
+                            *shard_acked = true;
+                            continue;
+                        }
+                        let _ = self.send_to(shard, Message::Control { op, ack: tx.clone() });
+                    }
+                    if deadline.expired() {
+                        return Err(EngineError::QuiescenceTimeout {
+                            waited: deadline.waited(),
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable while we hold `tx`, but fail loudly.
+                    return Err(EngineError::ShardPanicked {
+                        failures: self.board.snapshot(),
+                    });
+                }
+            }
+        }
     }
 
     /// One supervised wait step: failure first (a dead shard must surface

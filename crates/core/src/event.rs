@@ -80,6 +80,64 @@ pub struct Envelope<S> {
     pub epoch: Epoch,
 }
 
+/// What a control sweep does to the claimed per-query columns (see
+/// [`crate::registry`] and DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlKind {
+    /// Rebuild the claimed columns from the shard's stored adjacency with
+    /// all sends muted (attach backfill, phase 1).
+    Prime,
+    /// Propagate every non-bottom primed cell to its neighbours (attach
+    /// backfill, phase 2 — recovers deltas dropped before priming).
+    Flood,
+    /// Reset the claimed columns to bottom (detach reclaim).
+    Clear,
+}
+
+impl ControlKind {
+    /// Stable single-byte wire encoding (WAL control records).
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            ControlKind::Prime => 0,
+            ControlKind::Flood => 1,
+            ControlKind::Clear => 2,
+        }
+    }
+
+    /// Inverse of [`ControlKind::as_u8`]; `None` on an unknown byte.
+    pub(crate) fn from_u8(b: u8) -> Option<ControlKind> {
+        Some(match b {
+            0 => ControlKind::Prime,
+            1 => ControlKind::Flood,
+            2 => ControlKind::Clear,
+            _ => return None,
+        })
+    }
+}
+
+/// A control-plane request broadcast to every shard: run one sweep of
+/// `kind` over the query slots named by `mask`. The algorithm layer (the
+/// registry) decides per shard which bits it actually claims — see
+/// [`crate::Algorithm::on_control`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlOp {
+    pub kind: ControlKind,
+    /// Bitmask of query slots the operation targets.
+    pub mask: u64,
+    /// Opaque correlation token echoed in the ack (attach generation).
+    pub token: u64,
+}
+
+/// One shard's acknowledgement of a [`ControlOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlAck {
+    pub shard: usize,
+    /// Number of vertices the sweep visited (0 if nothing was claimed).
+    pub swept: u64,
+    /// Wall nanoseconds the sweep took.
+    pub nanos: u64,
+}
+
 /// Whether a topology event creates or removes an edge. The core paper is
 /// add-only; removal implements the §VI-B decremental extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

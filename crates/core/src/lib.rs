@@ -33,6 +33,10 @@
 //!   paper's Chandy–Lamport variant (§III-D).
 //! - Local-state "When" queries fire user callbacks at most once per vertex
 //!   ([`trigger`]).
+//! - N algorithms share one engine ([`registry`]): a [`QueryRegistry`]
+//!   runs independent per-query state columns over a single shared
+//!   adjacency store and topology stream, with live attach/detach —
+//!   topology is ingested once regardless of how many queries watch it.
 //! - Shards run under supervision ([`supervision`]): a panicking shard is
 //!   contained by `catch_unwind` and reported as a structured
 //!   [`ShardFailure`]; the engine's `try_*` API returns
@@ -80,6 +84,7 @@ pub mod event;
 pub mod metrics;
 pub mod partition;
 pub mod placement;
+pub mod registry;
 pub mod sequential;
 pub mod shard;
 pub mod snapshot;
@@ -97,18 +102,21 @@ pub use algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
 pub use compose::Pair;
 pub use engine::{Engine, EngineBuilder, RunResult};
 pub use event::{
-    events_from_pairs, events_from_weighted, Envelope, Epoch, EventKind, TopoEvent, TopoOp,
+    events_from_pairs, events_from_weighted, ControlAck, ControlKind, ControlOp, Envelope, Epoch,
+    EventKind, TopoEvent, TopoOp,
 };
 pub use metrics::{LatencyHistogram, RunMetrics, ShardMetrics, HIST_BUCKETS};
 pub use partition::Partitioner;
 pub use placement::{HostTopology, PlacementError, PlacementPlan, PlacementPolicy, ShardSeat};
+pub use registry::{Cell, QueryId, QueryRegistry, QueryStats, RegPayload, MAX_QUERIES};
 pub use sequential::SequentialEngine;
 pub use shard::{EngineConfig, LatticeConfig};
 pub use snapshot::Snapshot;
 pub use storage::StorageLayout;
 pub use supervision::{EngineError, FailureBoard, FaultPlan, ShardFailure, CHAOS_PANIC_MARKER};
 pub use telemetry::{
-    EngineGauges, FlightEntry, FlightTag, TelemetryConfig, TelemetryHub, PUBLISH_EVERY,
+    EngineGauges, FlightEntry, FlightTag, QueryStatsRow, QueryStatsSource, TelemetryConfig,
+    TelemetryHub, PUBLISH_EVERY,
 };
 pub use termination::{Backoff, Deadline, DetectionTimer, TerminationMode};
 pub use transport::TransportMode;

@@ -180,6 +180,12 @@ shard_metrics! {
     /// spin (work arrived within the spin budget — no park/unpark round
     /// trip). 0 for unpinned shards, which never spin.
     spin_wakes,
+    /// Control-plane sweeps executed (registry attach backfill, flood,
+    /// and detach clears). 0 outside multi-query runs.
+    control_sweeps,
+    /// Vertices visited by control-plane sweeps (each sweep walks the
+    /// shard's whole resident vertex set once).
+    sweep_vertices,
 }
 
 impl ShardMetrics {

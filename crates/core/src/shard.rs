@@ -29,7 +29,7 @@ use remo_store::{Adjacency, EdgeMeta, VertexId, VertexTable};
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveController};
 use crate::algorithm::{AlgoCtx, Algorithm, EventCtx, Outgoing};
-use crate::event::{Envelope, Epoch, EventKind, TopoEvent};
+use crate::event::{ControlAck, ControlKind, ControlOp, Envelope, Epoch, EventKind, TopoEvent};
 use crate::metrics::ShardMetrics;
 use crate::partition::Partitioner;
 use crate::placement::{self, PlacementPlan, PlacementPolicy, ShardSeat};
@@ -193,6 +193,15 @@ pub(crate) enum Message<S> {
     LaneFallback {
         from: usize,
         batch: Vec<Envelope<S>>,
+    },
+    /// Control-plane operation (multi-query attach/detach): the shard
+    /// claims the sub-mask it has not yet applied via
+    /// [`Algorithm::on_control`], sweeps its resident vertices with
+    /// [`Algorithm::on_sweep`], commits, and acknowledges. Idempotent —
+    /// the controller may resend until acknowledged.
+    Control {
+        op: ControlOp,
+        ack: Sender<ControlAck>,
     },
     /// Stop immediately and report.
     Shutdown,
@@ -1162,6 +1171,10 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 }
                 false
             }
+            Message::Control { op, ack } => {
+                self.run_control(op, &ack);
+                false
+            }
             Message::Shutdown => {
                 if self.tele_rec {
                     self.tele
@@ -1170,6 +1183,101 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 true
             }
         }
+    }
+
+    /// Executes one control-plane operation: claim the not-yet-applied
+    /// sub-mask, make it durable, sweep the resident vertex set, commit,
+    /// and acknowledge. The claim step makes resends idempotent — a
+    /// repeated op claims an empty mask and acks `swept = 0` immediately.
+    fn run_control(&mut self, op: ControlOp, ack: &Sender<ControlAck>) {
+        let start = Instant::now();
+        let claimed = self.algo.on_control(self.id, &op);
+        let mut swept = 0u64;
+        if claimed != 0 {
+            // Durable before effects: the sweep's outgoing envelopes must
+            // never escape a shard whose WAL does not yet record why they
+            // exist (recovery replays the control record to re-derive
+            // them).
+            if self.durable {
+                if let Some(w) = self.wal.as_mut() {
+                    w.append_control(op.kind.as_u8(), claimed);
+                    self.metrics.wal_records_appended += 1;
+                    self.events_since_ckpt += 1;
+                }
+                self.wal_commit();
+            }
+            swept = self.control_sweep(op.kind, claimed);
+            self.algo.on_control_commit(self.id, op.kind, claimed);
+        }
+        let _ = ack.send(ControlAck {
+            shard: self.id,
+            swept,
+            nanos: start.elapsed().as_nanos() as u64,
+        });
+    }
+
+    /// Walks every vertex resident in this shard's table and hands it to
+    /// [`Algorithm::on_sweep`], routing whatever the sweep emits as
+    /// ordinary `Update` envelopes (fully accounted by termination
+    /// detection). Returns the number of vertices visited.
+    fn control_sweep(&mut self, kind: ControlKind, mask: u64) -> u64 {
+        self.metrics.control_sweeps += 1;
+        let mut swept = 0u64;
+        for v in self.store.vertex_ids() {
+            let Some(h) = self.store.lookup(v) else {
+                continue;
+            };
+            self.seq += 1;
+            let (forked, parts) = self.store.fork_and_parts(h, self.cur_epoch);
+            if forked {
+                self.metrics.snapshot_forks += 1;
+            }
+            {
+                let mut ctx = EventCtx::new(v, parts, &mut self.out, self.cur_epoch);
+                ctx.set_shard(self.id);
+                self.algo.on_sweep(&mut ctx, kind, mask);
+                // Trigger evaluation mirrors `process_inner`: a sweep that
+                // changes state (attach backfill reaching a watched vertex)
+                // fires triggers exactly like an envelope would.
+                if ctx.state_changed && !self.triggers.is_empty() {
+                    let seq = self.seq;
+                    let shard = self.id;
+                    for (i, t) in self.triggers.iter().enumerate() {
+                        let bit = 1u32 << i;
+                        if ctx.fired_bits() & bit == 0 && (t.predicate)(v, ctx.state()) {
+                            ctx.mark_fired(bit);
+                            self.pending_fires.push(TriggerFire {
+                                trigger: i,
+                                vertex: v,
+                                shard,
+                                seq,
+                            });
+                        }
+                    }
+                }
+            }
+            for fire in self.pending_fires.drain(..) {
+                self.metrics.triggers_fired += 1;
+                let _ = self.trigger_tx.send(fire);
+            }
+            // Route the sweep's generated updates as ordinary fresh sends.
+            let mut outgoing = std::mem::take(&mut self.out);
+            for o in outgoing.drain(..) {
+                self.send_envelope(Envelope {
+                    target: o.target,
+                    visitor: v,
+                    value: o.value,
+                    weight: o.weight,
+                    kind: EventKind::Update,
+                    epoch: self.cur_epoch,
+                });
+            }
+            self.out = outgoing;
+            swept += 1;
+        }
+        self.metrics.sweep_vertices += swept;
+        self.flush_all();
+        swept
     }
 
     /// Drains every flagged inbound data lane (no-op under the channel
@@ -1501,6 +1609,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         let mut reverse_value: Option<A::State> = None;
         {
             let mut ctx = EventCtx::new(target, parts, &mut self.out, env.epoch);
+            ctx.set_shard(self.id);
             // Per-kind counters sit on the accounted side of the envelope
             // balance, so replayed inputs must not move them.
             match env.kind {
@@ -2360,6 +2469,20 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     // ingested by the original run; replay must not move
                     // `ingested` or the stream books would overrun).
                     self.route_topo(ev, if cold { 0 } else { epoch });
+                }
+                RawRecord::Control { kind, mask } => {
+                    // Re-derive the sweep's effects. Replaying a committed
+                    // control record is monotone-safe: a duplicated prime
+                    // rebuilds the same columns, a duplicated flood re-sends
+                    // values the neighbours already dominate.
+                    let Some(kind) = ControlKind::from_u8(kind) else {
+                        panic!(
+                            "durability: unknown control kind {kind} in shard {} WAL",
+                            self.id
+                        );
+                    };
+                    self.control_sweep(kind, mask);
+                    self.algo.on_control_commit(self.id, kind, mask);
                 }
             }
             self.metrics.replayed_records += 1;

@@ -120,6 +120,12 @@ where
     /// Number of vertices present.
     fn num_vertices(&self) -> usize;
 
+    /// Snapshot of every vertex id present, in iteration order. Cold path:
+    /// the control-sweep driver (see [`crate::registry`]) materializes the
+    /// id list once, then interns per id — handles must not be held across
+    /// the mutations a sweep performs.
+    fn vertex_ids(&self) -> Vec<VertexId>;
+
     /// Approximate heap footprint of adjacency storage, in bytes.
     fn adjacency_heap_bytes(&self) -> usize;
 
@@ -206,6 +212,10 @@ where
 
     fn num_vertices(&self) -> usize {
         self.table.num_vertices()
+    }
+
+    fn vertex_ids(&self) -> Vec<VertexId> {
+        self.table.iter().map(|(v, _)| v).collect()
     }
 
     fn adjacency_heap_bytes(&self) -> usize {
@@ -374,6 +384,10 @@ where
         self.table.num_vertices()
     }
 
+    fn vertex_ids(&self) -> Vec<VertexId> {
+        self.table.ids().to_vec()
+    }
+
     fn adjacency_heap_bytes(&self) -> usize {
         self.table.adjacency_heap_bytes()
     }
@@ -498,6 +512,9 @@ mod tests {
         let _ = h2;
         let snap = st.collect(5, false);
         assert_eq!(snap, vec![(42, 9)]);
+        let mut ids = st.vertex_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![42, 100]);
         let table = st.into_table();
         assert_eq!(table.num_vertices(), 2);
         let rec = table.get(42).unwrap_or_else(|| unreachable!());

@@ -91,6 +91,13 @@ pub enum EngineError {
         /// Human-readable description of the mismatch.
         message: String,
     },
+    /// A multi-query registry operation failed: all 64 query slots are
+    /// occupied, a [`QueryId`](crate::QueryId) is stale (already detached),
+    /// or the engine shape does not match the registry's recorded shape.
+    Registry {
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -120,6 +127,9 @@ impl fmt::Display for EngineError {
             ),
             EngineError::DurabilityMismatch { message } => {
                 write!(f, "durability mismatch: {message}")
+            }
+            EngineError::Registry { message } => {
+                write!(f, "registry: {message}")
             }
         }
     }

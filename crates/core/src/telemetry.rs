@@ -466,6 +466,33 @@ pub struct EngineGauges {
     pub failed_shards: u64,
 }
 
+/// One live query's counters as exported by a
+/// [`QueryStatsSource`] — the registry's per-slot telemetry row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryStatsRow {
+    /// Human-readable query name supplied at attach time.
+    pub name: String,
+    /// Registry slot the query occupies (stable for its lifetime).
+    pub slot: usize,
+    /// Delta envelopes emitted on behalf of this query.
+    pub envelopes_sent: u64,
+    /// State-cell writes that actually changed this query's column.
+    pub updates_applied: u64,
+}
+
+/// Provider of per-query telemetry, registered by the multi-query
+/// registry (see [`QueryRegistry`](crate::QueryRegistry)) via
+/// [`TelemetryHub::set_query_source`]. The exporters poll it on every
+/// render; implementations must be cheap and lock-light.
+pub trait QueryStatsSource: std::fmt::Debug + Send + Sync {
+    /// Number of queries currently attached.
+    fn queries_attached(&self) -> usize;
+    /// One row per attached query.
+    fn query_rows(&self) -> Vec<QueryStatsRow>;
+    /// Attach-backfill duration histogram (one sample per attach).
+    fn backfill_histogram(&self) -> LatencyHistogram;
+}
+
 /// Sliding-window sample horizon for the events/sec gauge.
 const WINDOW: Duration = Duration::from_secs(3);
 const WINDOW_SAMPLES: usize = 256;
@@ -490,6 +517,9 @@ pub(crate) struct TelemetryShared {
     board: Arc<FailureBoard>,
     window: Mutex<VecDeque<(Instant, u64)>>,
     ingest_window: Mutex<VecDeque<(Instant, u64)>>,
+    /// Per-query stats provider, installed by the multi-query registry on
+    /// first attach (`None` for single-algorithm runs).
+    query_source: Mutex<Option<Arc<dyn QueryStatsSource>>>,
 }
 
 impl TelemetryShared {
@@ -528,6 +558,7 @@ impl TelemetryShared {
             board,
             window: Mutex::new(VecDeque::new()),
             ingest_window: Mutex::new(VecDeque::new()),
+            query_source: Mutex::new(None),
         }
     }
 
@@ -762,6 +793,27 @@ impl TelemetryHub {
         self.shared.snapshot_metrics()
     }
 
+    /// Installs (or replaces) the per-query stats provider. Called by the
+    /// multi-query registry on attach; exporters pick it up on the next
+    /// render.
+    pub fn set_query_source(&self, src: Arc<dyn QueryStatsSource>) {
+        let mut slot = self
+            .shared
+            .query_source
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        *slot = Some(src);
+    }
+
+    /// The installed per-query stats provider, if any.
+    pub fn query_source(&self) -> Option<Arc<dyn QueryStatsSource>> {
+        self.shared
+            .query_source
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
     /// Derived point-in-time gauges. Each call also feeds the sliding
     /// window behind `events_per_sec`, so a dashboard polling this at a
     /// steady cadence gets a stable rate.
@@ -966,6 +1018,46 @@ impl TelemetryHub {
             "Durable checkpoint duration (staging through publish).",
             &self.shared.checkpoint_snapshot(),
         );
+        if let Some(src) = self.query_source() {
+            out.push_str(&format!(
+                "# HELP remo_queries_attached Live queries attached to the multi-query registry.\n# TYPE remo_queries_attached gauge\nremo_queries_attached {}\n",
+                src.queries_attached()
+            ));
+            let rows = src.query_rows();
+            out.push_str(
+                "# HELP remo_query_envelopes_sent_total Delta envelopes emitted per registered query.\n# TYPE remo_query_envelopes_sent_total counter\n",
+            );
+            for r in &rows {
+                out.push_str(&format!(
+                    "remo_query_envelopes_sent_total{{query=\"{}\",slot=\"{}\"}} {}\n",
+                    r.name, r.slot, r.envelopes_sent
+                ));
+            }
+            out.push_str(
+                "# HELP remo_query_updates_applied_total State-cell writes that changed a query's column.\n# TYPE remo_query_updates_applied_total counter\n",
+            );
+            for r in &rows {
+                out.push_str(&format!(
+                    "remo_query_updates_applied_total{{query=\"{}\",slot=\"{}\"}} {}\n",
+                    r.name, r.slot, r.updates_applied
+                ));
+            }
+            let h = src.backfill_histogram();
+            out.push_str(
+                "# HELP remo_attach_backfill_seconds Live-attach backfill duration (prime + flood + seed).\n# TYPE remo_attach_backfill_seconds summary\n",
+            );
+            for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                out.push_str(&format!(
+                    "remo_attach_backfill_seconds{{quantile=\"{label}\"}} {:.9}\n",
+                    h.quantile_ns(q) / 1e9
+                ));
+            }
+            out.push_str(&format!(
+                "remo_attach_backfill_seconds_sum {:.9}\n",
+                h.sum_ns as f64 / 1e9
+            ));
+            out.push_str(&format!("remo_attach_backfill_seconds_count {}\n", h.count));
+        }
         out
     }
 
@@ -1037,6 +1129,24 @@ impl TelemetryHub {
             hist_json(&m.ingest_fixpoint),
             hist_json(&m.checkpoint),
         ));
+        if let Some(src) = self.query_source() {
+            let rows = src.query_rows();
+            out.push_str(&format!(
+                ",\"queries\":{{\"attached\":{},\"backfill\":{},\"rows\":[",
+                src.queries_attached(),
+                hist_json(&src.backfill_histogram()),
+            ));
+            for (i, r) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"slot\":{},\"envelopes_sent\":{},\"updates_applied\":{}}}",
+                    r.name, r.slot, r.envelopes_sent, r.updates_applied
+                ));
+            }
+            out.push_str("]}");
+        }
         out.push('}');
         out
     }

@@ -199,6 +199,7 @@ pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
 
 const TAG_ENVELOPE: u8 = 1;
 const TAG_TOPO: u8 = 2;
+const TAG_CONTROL: u8 = 3;
 
 /// One decoded WAL record. State bytes stay opaque here — the shard
 /// decodes them through [`Algorithm::decode_state`](crate::Algorithm).
@@ -215,6 +216,11 @@ pub(crate) enum RawRecord {
     /// A topology event pulled from an input stream, with the epoch it
     /// was tagged with at ingestion.
     Topo { ev: TopoEvent, epoch: Epoch },
+    /// A claimed control sweep (registry attach/detach — see
+    /// [`crate::registry`]): `kind` is the [`ControlKind`] wire byte,
+    /// `mask` the slot mask the shard claimed before sweeping. Logged
+    /// before the sweep runs so replay re-derives its effects.
+    Control { kind: u8, mask: u64 },
 }
 
 /// One shard's append handle on its `wal.log`.
@@ -348,6 +354,15 @@ impl ShardWal {
         self.frame(start);
     }
 
+    /// Buffers one claimed-control-sweep record.
+    pub(crate) fn append_control(&mut self, kind: u8, mask: u64) {
+        let start = self.begin_frame();
+        self.buf.push(TAG_CONTROL);
+        self.buf.push(kind);
+        put_u64(&mut self.buf, mask);
+        self.frame(start);
+    }
+
     /// True when records are buffered but not yet committed.
     #[cfg(test)]
     pub(crate) fn has_pending(&self) -> bool {
@@ -438,6 +453,11 @@ pub(crate) fn read_wal(root: &Path, shard: usize) -> io::Result<Vec<RawRecord>> 
                     },
                     epoch,
                 });
+            }
+            TAG_CONTROL => {
+                let kind = r.u8()?;
+                let mask = r.u64()?;
+                out.push(RawRecord::Control { kind, mask });
             }
             t => {
                 return Err(io::Error::new(
@@ -591,13 +611,14 @@ mod tests {
             },
             4,
         );
+        wal.append_control(1, 0b101);
         assert!(wal.has_pending());
         let bytes = wal.commit().unwrap();
         assert!(bytes > 0);
         assert!(!wal.has_pending());
 
         let recs = read_wal(&root, 0).unwrap();
-        assert_eq!(recs.len(), 2);
+        assert_eq!(recs.len(), 3);
         match &recs[0] {
             RawRecord::Envelope {
                 kind,
@@ -621,6 +642,12 @@ mod tests {
                 assert_eq!(ev.op, TopoOp::Remove);
             }
             _ => panic!("expected topo record"),
+        }
+        match &recs[2] {
+            RawRecord::Control { kind, mask } => {
+                assert_eq!((*kind, *mask), (1, 0b101));
+            }
+            _ => panic!("expected control record"),
         }
 
         wal.reset().unwrap();

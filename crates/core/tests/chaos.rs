@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 
 use remo_core::{
     algorithm::codec, AlgoCtx, Algorithm, DurabilityConfig, Engine, EngineConfig, EngineError,
-    FaultPlan, LatticeConfig, Partitioner, PlacementPolicy, Snapshot, TelemetryConfig,
-    TransportMode, VertexId, CHAOS_PANIC_MARKER,
+    FaultPlan, LatticeConfig, Partitioner, PlacementPolicy, QueryRegistry, Snapshot,
+    TelemetryConfig, TransportMode, VertexId, CHAOS_PANIC_MARKER,
 };
 
 /// The paper's §II-A example: count each vertex's degree. Enough to make
@@ -832,4 +832,141 @@ fn legacy_rhh_record_layout_still_works() {
     let result = engine.try_finish().unwrap();
     assert_eq!(result.states.get(1), Some(&2));
     assert!(result.store_bytes > 0);
+}
+
+// ---- registry: multi-query columns across respawn --------------------
+
+/// Min-label propagation (components by min id, labels offset by one so
+/// the bottom `0` reads "unlabelled"). A second idempotent lattice with a
+/// *different* join direction from [`MaxLabel`]: the registry recovery
+/// test runs both as live columns of one engine, so a respawn that mixed
+/// columns up — or replayed one query's WAL records into the other's
+/// slot — would push a max-flavored label into the min lattice and break
+/// the byte-identity assertion.
+struct MinLabel;
+
+impl MinLabel {
+    fn absorb(ctx: &mut impl AlgoCtx<u64>, cand: u64) {
+        let changed = ctx.apply(|s| {
+            if *s == 0 || cand < *s {
+                *s = cand;
+                true
+            } else {
+                false
+            }
+        });
+        if changed {
+            let label = *ctx.state();
+            ctx.update_nbrs(&label);
+        }
+    }
+}
+
+impl Algorithm for MinLabel {
+    type State = u64;
+    fn on_add(&self, ctx: &mut impl AlgoCtx<u64>, visitor: VertexId, _val: &u64, _w: u64) {
+        let cand = (ctx.vertex() + 1).min(visitor + 1);
+        Self::absorb(ctx, cand);
+        let label = *ctx.state();
+        ctx.update_single_nbr(visitor, &label);
+    }
+    fn on_reverse_add(&self, ctx: &mut impl AlgoCtx<u64>, visitor: VertexId, value: &u64, _w: u64) {
+        let mut cand = (ctx.vertex() + 1).min(visitor + 1);
+        if *value != 0 {
+            cand = cand.min(*value);
+        }
+        Self::absorb(ctx, cand);
+        let label = *ctx.state();
+        ctx.update_single_nbr(visitor, &label);
+    }
+    fn on_update(&self, ctx: &mut impl AlgoCtx<u64>, _visitor: VertexId, value: &u64, _w: u64) {
+        if *value != 0 {
+            Self::absorb(ctx, *value);
+        }
+    }
+    fn join(into: &mut u64, from: &u64) -> bool {
+        if *from != 0 && (*into == 0 || *from < *into) {
+            *into = *from;
+            true
+        } else {
+            false
+        }
+    }
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        codec::put_u64(*state, out);
+    }
+    fn decode_state(bytes: &[u8]) -> u64 {
+        codec::get_u64(bytes)
+    }
+}
+
+/// Registry × durability × chaos: a shard that panics while N queries are
+/// live must come back with **every** query column intact — checkpoint
+/// restore and WAL replay recover the whole multi-column vertex state,
+/// and the attach control sweeps logged before the crash replay
+/// idempotently. After recovery the registry must still be fully alive:
+/// a *late* attach backfills from the respawned shard's restored
+/// adjacency and lands on the watched-whole-stream fixpoint.
+#[test]
+fn respawned_shard_recovers_all_query_columns() {
+    let pairs = chain_pairs(24);
+    // Fault-free solo references, one per lattice.
+    let want_max = baseline_fixpoint(&pairs);
+    let want_min = {
+        let config = EngineConfig {
+            lattice: lattice_mode(),
+            transport: transport_mode(),
+            ..EngineConfig::undirected(2)
+        };
+        let engine = Engine::new(MinLabel, config);
+        engine.try_ingest_pairs(&pairs).unwrap();
+        let result = engine.try_finish().unwrap();
+        assert!(!result.is_degraded());
+        fixpoint(&result.states)
+    };
+
+    let dir = durable_dir("registry-respawn");
+    let reg = QueryRegistry::<u64>::new();
+    let engine = Engine::new(
+        reg.clone(),
+        durable_chaos_config(FaultPlan::panic_shard_at(1, 5), &dir, 8),
+    );
+    let q_max = reg.attach(&engine, MaxLabel, &[], "max").unwrap();
+    let q_min = reg.attach(&engine, MinLabel, &[], "min").unwrap();
+    engine.try_ingest_pairs(&pairs).unwrap();
+    engine
+        .try_await_quiescence()
+        .expect("recovered multi-query run must quiesce clean");
+    // Live attach *after* the panic + respawn: the prime sweep reads the
+    // respawned shard's recovered adjacency, so a hole in its store would
+    // surface here as a short column.
+    let q_late = reg.attach(&engine, MaxLabel, &[], "max-late").unwrap();
+    let result = engine
+        .try_finish()
+        .expect("recovered multi-query run must finish clean");
+    assert!(
+        !result.is_degraded(),
+        "respawned shard must not degrade the harvest: {:?}",
+        result.failures
+    );
+    let total = result.metrics.total();
+    assert!(total.faults_injected >= 1, "the chaos panic must have fired");
+    assert!(total.shard_respawns >= 1, "shard 1 must have been respawned");
+    assert_eq!(
+        fixpoint(&reg.project(&result.states, q_max)),
+        want_max,
+        "max column must survive the respawn byte-identically"
+    );
+    assert_eq!(
+        fixpoint(&reg.project(&result.states, q_min)),
+        want_min,
+        "min column must survive the respawn byte-identically"
+    );
+    assert_eq!(
+        fixpoint(&reg.project(&result.states, q_late)),
+        want_max,
+        "post-recovery attach must backfill the restored adjacency"
+    );
+    result.metrics.verify_balance().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }

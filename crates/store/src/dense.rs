@@ -209,6 +209,13 @@ impl<S: Default> DenseVertexTable<S> {
         self.intern.id(idx)
     }
 
+    /// Global ids in dense (intern) order — the whole-store walk used by
+    /// control sweeps, without materializing states or adjacencies.
+    #[inline]
+    pub fn ids(&self) -> &[VertexId] {
+        self.intern.ids()
+    }
+
     /// Live state at `idx`.
     #[inline]
     pub fn state(&self, idx: LocalIdx) -> &S {
@@ -372,6 +379,7 @@ mod tests {
         }
         let ids: Vec<VertexId> = t.iter().map(|(v, _, _)| v).collect();
         assert_eq!(ids, (0u64..50).rev().collect::<Vec<_>>());
+        assert_eq!(t.ids(), &ids[..]);
         for (v, s, _) in t.iter() {
             assert_eq!(v, *s);
         }

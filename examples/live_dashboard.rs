@@ -16,6 +16,12 @@
 //! - `REMO_DASH_SCALE`  — RMAT scale (default 13; edges ≈ 16 × 2^scale)
 //! - `REMO_DASH_SHARDS` — shard threads (default 4)
 //! - `REMO_DASH_TICKS`  — ingest chunks / dashboard refreshes (default 16)
+//! - `REMO_DASH_QUERIES` — number of live queries (default 0 = a solo
+//!   degree-count). When ≥ 1 the engine runs a [`QueryRegistry`] with a
+//!   rotating BFS / CC / degree / SSSP mix attached, and the dashboard
+//!   gains a per-query section — attached gauge, per-query envelope and
+//!   update counters — scraped from the same hub the exporters serve
+//!   (DESIGN.md §17)
 //! - `REMO_DASH_WAL`    — directory for the durability layer; when set,
 //!   every event is write-ahead logged and checkpointed, and the WAL /
 //!   checkpoint / replay counters show up in both scrapes and the final
@@ -28,6 +34,7 @@
 
 use std::time::Duration;
 
+use remo::core::Algorithm;
 use remo::prelude::*;
 
 fn env_or(name: &str, default: u64) -> u64 {
@@ -41,6 +48,7 @@ fn main() {
     let scale = env_or("REMO_DASH_SCALE", 13) as u32;
     let shards = env_or("REMO_DASH_SHARDS", 4) as usize;
     let ticks = env_or("REMO_DASH_TICKS", 16) as usize;
+    let queries = env_or("REMO_DASH_QUERIES", 0) as usize;
 
     let cfg = RmatConfig {
         seed: 42,
@@ -71,7 +79,31 @@ fn main() {
         Ok(other) => eprintln!("ignoring REMO_DASH_PLACEMENT={other} (want compact|scatter)"),
         Err(_) => {}
     }
-    let engine = Engine::new(DegreeCount, config);
+
+    if queries > 0 {
+        // Multi-query mode: one shared topology, `queries` live columns.
+        let hub_vertex = edges[0].0;
+        let reg = QueryRegistry::<u64>::new();
+        let engine = Engine::new(reg.clone(), config);
+        for i in 0..queries {
+            match i % 4 {
+                0 => reg.attach(&engine, DegreeCount, &[], &format!("degree-{i}")),
+                1 => reg.attach(&engine, IncBfs, &[hub_vertex], &format!("bfs-{i}")),
+                2 => reg.attach(&engine, IncCc, &[], &format!("cc-{i}")),
+                _ => reg.attach(&engine, IncSssp, &[hub_vertex], &format!("sssp-{i}")),
+            }
+            .expect("attach");
+        }
+        println!("registry: {} live queries on one topology", reg.attached());
+        drive(engine, &edges, ticks, pinned);
+    } else {
+        drive(Engine::new(DegreeCount, config), &edges, ticks, pinned);
+    }
+}
+
+/// The dashboard loop itself is algorithm-agnostic: it only talks to the
+/// engine's supervised API and its telemetry hub.
+fn drive<A: Algorithm>(engine: Engine<A>, edges: &[(u64, u64)], ticks: usize, pinned: bool) {
     // The hub is a cheap clone-able handle: hand it to a dashboard thread,
     // an HTTP endpoint, or (here) poll it inline between ingest chunks.
     let hub = engine.telemetry();
@@ -129,6 +161,22 @@ fn main() {
     }
 
     engine.try_await_quiescence().expect("quiescence");
+
+    // The per-query section, present whenever a registry is live: the
+    // same rows the exporters serialize, straight off the hub.
+    if let Some(src) = hub.query_source() {
+        println!("\n--- live queries ({} attached) ---", src.queries_attached());
+        println!(
+            "{:>4}  {:<12}  {:>14}  {:>14}",
+            "slot", "query", "envelopes", "updates"
+        );
+        for row in src.query_rows() {
+            println!(
+                "{:>4}  {:<12}  {:>14}  {:>14}",
+                row.slot, row.name, row.envelopes_sent, row.updates_applied
+            );
+        }
+    }
 
     // One scrape of each exporter against the still-live engine — the
     // same strings a `/metrics` (Prometheus) or `/metrics.json` endpoint

@@ -3,15 +3,18 @@
 //! The paper's vision (§I): "multiple algorithms can be executed
 //! simultaneously (i.e. maintain their state) on the same underlying
 //! dynamic data structure, thus enabling support for multiple queries" — a
-//! capability its prototype listed as future work (§III-F). `Pair` composes
-//! REMO algorithms: here BFS (how far is everything from our hub?) and
-//! Connected Components (what communities exist?) share one topology, one
-//! set of shards, and one message stream — with a trigger over the
-//! *combined* local state.
+//! capability its prototype listed as future work (§III-F). The
+//! [`QueryRegistry`] realizes it dynamically (DESIGN.md §17): BFS (how far
+//! is everything from our hub?) and Connected Components (what communities
+//! exist?) share one topology, one set of shards, and one message stream —
+//! each with its own state column and per-query delta envelopes — with a
+//! trigger over the combined local state. Halfway through the stream a
+//! *third* query (degree tracking) attaches live: it backfills from the
+//! adjacency the shards already store, no stream re-ingest, and from then
+//! on rides the same topology events as everyone else.
 //!
 //! Run with: `cargo run --release --example multi_query`
 
-use remo::core::Pair;
 use remo::prelude::*;
 use std::collections::HashMap;
 
@@ -21,45 +24,75 @@ fn main() {
     let hub = edges[0].0;
     println!("workload: {} edge events; hub vertex {hub}", edges.len());
 
-    // One engine, two live algorithms, plus a trigger over the combined
-    // local state: pages that are both close to the hub (BFS level <= 2)
-    // and labelled into the hub's (eventually dominant) community.
+    // One engine, one registry. Attach order fixes the column slots:
+    // BFS lands in slot 0, CC in slot 1 — the trigger below reads both.
     let hub_label = cc_label(hub);
-    let mut builder = EngineBuilder::new(Pair::new(IncBfs, IncCc), EngineConfig::undirected(4));
+    let reg = QueryRegistry::<u64>::new();
+    let mut builder = EngineBuilder::new(reg.clone(), EngineConfig::undirected(4));
     builder.trigger(
         "close to hub AND in a big community",
-        move |_, (level, label): &(u64, u64)| *level <= 2 && *level > 0 && *label >= hub_label,
+        move |_, s: &RegPayload<u64>| {
+            let level = s.cell(0).copied().unwrap_or(0);
+            let label = s.cell(1).copied().unwrap_or(0);
+            level > 0 && level <= 2 && label >= hub_label
+        },
     );
     let engine = builder.build();
-    engine.try_init_vertex(hub).unwrap();
-    engine.try_ingest_pairs(&edges).unwrap();
+    let bfs = reg.attach(&engine, IncBfs, &[hub], "bfs").unwrap();
+    let cc = reg.attach(&engine, IncCc, &[], "cc").unwrap();
+
+    // First half of the stream: two live queries.
+    let cut = edges.len() / 2;
+    engine.try_ingest_pairs(&edges[..cut]).unwrap();
+    engine.try_await_quiescence().unwrap();
+
+    // A third query arrives mid-run. Attach backfills its column from the
+    // adjacency each shard already stores — the first half of the stream
+    // is NOT replayed through the engine.
+    let deg = reg.attach(&engine, DegreeCount, &[], "degree").unwrap();
+    println!(
+        "attached 'degree' live after {cut} events ({} queries on one topology)",
+        reg.attached()
+    );
+
+    engine.try_ingest_pairs(&edges[cut..]).unwrap();
     engine.try_await_quiescence().unwrap();
 
     let near_hub_alerts = engine.trigger_events().try_iter().count();
     println!("trigger: {near_hub_alerts} pages within 2 hops sharing a dominant community");
 
-    // Both answers, live, from the same run.
+    // All three answers, live, from the same run.
     let result = engine.try_finish().unwrap();
-    let reached = result
-        .states
+    let bfs_states = reg.project(&result.states, bfs);
+    let cc_states = reg.project(&result.states, cc);
+    let deg_states = reg.project(&result.states, deg);
+
+    let reached = bfs_states
         .iter()
-        .filter(|(_, (l, _))| *l != u64::MAX && *l != 0)
+        .filter(|(_, l)| **l != u64::MAX && **l != 0)
         .count();
     let mut communities: HashMap<u64, usize> = HashMap::new();
-    for (_, (_, label)) in result.states.iter() {
+    for (_, label) in cc_states.iter() {
         *communities.entry(*label).or_default() += 1;
     }
     let giant = communities.values().max().copied().unwrap_or(0);
+    let max_degree = deg_states.iter().map(|(_, d)| *d).max().unwrap_or(0);
     println!(
-        "BFS query: hub reaches {reached}/{} pages",
+        "BFS query:    hub reaches {reached}/{} pages",
         result.num_vertices
     );
     println!(
-        "CC query:  {} communities, giant community {giant} pages",
+        "CC query:     {} communities, giant community {giant} pages",
         communities.len()
     );
+    println!("degree query: max degree {max_degree} (attached mid-stream)");
+    for (id, name) in [(bfs, "bfs"), (cc, "cc"), (deg, "degree")] {
+        if let Some((envs, upds)) = reg.query_counters(id) {
+            println!("  [{name:<6}] {envs:>9} envelopes sent, {upds:>9} updates applied");
+        }
+    }
     println!(
-        "one topology, one run: {} topology events drove both answers",
+        "one topology, one run: {} topology events drove all three answers",
         result.metrics.total().topo_ingested
     );
 }

@@ -49,9 +49,9 @@ pub mod prelude {
     };
     pub use remo_core::{
         AdaptiveConfig, AlgoCtx, Algorithm, DurabilityConfig, Engine, EngineBuilder, EngineConfig,
-        EventCtx, Pair, PlacementPolicy, SequentialEngine, Snapshot, StorageLayout,
-        TelemetryConfig, TelemetryHub, TerminationMode, TopoEvent, TransportMode, TriggerFire,
-        VertexId, Weight,
+        EventCtx, Pair, PlacementPolicy, QueryId, QueryRegistry, RegPayload, SequentialEngine,
+        Snapshot, StorageLayout, TelemetryConfig, TelemetryHub, TerminationMode, TopoEvent,
+        TransportMode, TriggerFire, VertexId, Weight,
     };
     pub use remo_gen::{Dataset, RmatConfig};
 }
