@@ -131,6 +131,7 @@ impl<A: Algorithm> EngineBuilder<A> {
         let board = Arc::new(FailureBoard::new());
         let tele = Arc::new(TelemetryShared::new(
             config.telemetry.clone(),
+            config.trace.clone(),
             shards,
             Arc::clone(&shared),
             Arc::clone(&board),
@@ -387,6 +388,23 @@ impl<A: Algorithm> Engine<A> {
         self.tele.snapshot_metrics()
     }
 
+    /// Reconstructed propagation trees for every trace-sampled external
+    /// update observed so far (empty unless the engine was built with
+    /// [`EngineConfig::with_tracing`] enabled). Harvest-side work only:
+    /// dumps each shard's span ring and stitches the trees — the shards
+    /// never stop. See [`crate::trace`] for the tag discipline and the
+    /// ring-overflow policy (rootless traces are dropped whole).
+    pub fn traces_now(&self) -> Vec<crate::trace::PropagationTrace> {
+        self.tele.traces()
+    }
+
+    /// Aggregate statistics over [`Engine::traces_now`]: fixpoint-latency,
+    /// hops, and amplification quantiles plus cross-shard / cross-NUMA
+    /// totals — the same families both exporters render.
+    pub fn trace_summary(&self) -> crate::trace::TraceSummary {
+        crate::trace::summarize(&self.traces_now())
+    }
+
     /// A cloneable, thread-safe handle onto the engine's live telemetry:
     /// derived gauges ([`crate::EngineGauges`]), Prometheus text, and
     /// JSON rendering. The handle stays valid for the life of the engine
@@ -516,6 +534,7 @@ impl<A: Algorithm> Engine<A> {
                 weight: 1,
                 kind: EventKind::Init,
                 epoch,
+                tag: 0,
             }),
         );
         if sent.is_err() {

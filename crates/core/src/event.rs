@@ -78,6 +78,11 @@ pub struct Envelope<S> {
     /// Snapshot epoch: inherited from the triggering event; stream events
     /// are tagged at ingestion time.
     pub epoch: Epoch,
+    /// Causal trace tag (`0` = untraced, the common case): trace id plus
+    /// hop depth, inherited with hop+1 by every envelope generated while
+    /// processing this one. Pure cargo — never consulted by the
+    /// computation. See [`crate::trace`].
+    pub tag: crate::trace::TraceTag,
 }
 
 /// What a control sweep does to the claimed per-query columns (see

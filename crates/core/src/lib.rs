@@ -50,6 +50,13 @@
 //!   per-shard flight recorder attaches a trace of a dying shard's last
 //!   events to its [`ShardFailure`], and a cloneable [`TelemetryHub`]
 //!   renders Prometheus text format and JSON for live dashboards.
+//! - Sampled causal tracing ([`trace`]): a [`TraceConfig`] samples
+//!   external ingests and stamps the resulting envelopes with a compact
+//!   trace tag that survives coalescing, dominance, registry fan-out, and
+//!   WAL replay; `Engine::traces_now` reconstructs per-update propagation
+//!   trees (hops to fixpoint, amplification, cross-shard/NUMA hops), and
+//!   per-shard phase accounting attributes every busy nanosecond to
+//!   drain/process/flush/spin/park/checkpoint/replay.
 //!
 //! ## Quick example
 //!
@@ -92,6 +99,7 @@ pub mod storage;
 pub mod supervision;
 pub mod telemetry;
 pub mod termination;
+pub mod trace;
 pub mod transport;
 pub mod trigger;
 pub mod vertex_state;
@@ -119,6 +127,9 @@ pub use telemetry::{
     TelemetryHub, PUBLISH_EVERY,
 };
 pub use termination::{Backoff, Deadline, DetectionTimer, TerminationMode};
+pub use trace::{
+    HopStats, PropagationTrace, SpanKind, TraceConfig, TraceSpan, TraceSummary, TraceTag,
+};
 pub use transport::TransportMode;
 pub use trigger::{TriggerFire, MAX_TRIGGERS};
 pub use vertex_state::{VertexMeta, VertexState};

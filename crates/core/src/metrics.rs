@@ -186,6 +186,41 @@ shard_metrics! {
     /// Vertices visited by control-plane sweeps (each sweep walks the
     /// shard's whole resident vertex set once).
     sweep_vertices,
+    /// Nanoseconds spent draining inbound envelope paths that yielded no
+    /// work (empty polls). Phase counters are 0 when
+    /// `TelemetryConfig::phase_accounting` is off.
+    phase_drain_ns,
+    /// Nanoseconds spent servicing envelopes and ingesting topology
+    /// (callback dispatch, routing, dominance filtering).
+    phase_process_ns,
+    /// Nanoseconds spent flushing outgoing batches, running the adaptive
+    /// controller tick, and publishing telemetry.
+    phase_flush_ns,
+    /// Nanoseconds a pinned shard spent in its bounded pre-park spin and
+    /// in flush-hysteresis yields.
+    phase_spin_ns,
+    /// Nanoseconds spent parked (or blocked on the channel receive)
+    /// waiting for work.
+    phase_park_ns,
+    /// Nanoseconds spent staging and publishing durable checkpoints.
+    phase_checkpoint_ns,
+    /// Nanoseconds spent in WAL recovery replay (respawn or cold
+    /// restart).
+    phase_replay_ns,
+    /// Total nanoseconds this shard's run loop was alive (the wall the
+    /// other `phase_*_ns` counters decompose; park time included). The
+    /// decomposition invariant — sum of phases ≤ busy — is checked by
+    /// [`RunMetrics::verify_balance`].
+    phase_busy_ns,
+    /// Sampled external ingests that minted a propagation trace. 0 when
+    /// tracing is off.
+    trace_roots,
+    /// Span records appended to this shard's trace ring (root, send,
+    /// process, absorb, dominate, suppress, replay).
+    trace_spans,
+    /// Span records that evicted an older span because the bounded trace
+    /// ring wrapped (see the ring-overflow policy in [`crate::trace`]).
+    trace_spans_dropped,
 }
 
 impl ShardMetrics {
@@ -196,6 +231,18 @@ impl ShardMetrics {
             + self.reverse_add_events
             + self.update_events
             + self.remove_events
+    }
+
+    /// Sum of the attributed phase nanoseconds (everything except
+    /// `phase_busy_ns`, which is the wall they decompose).
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.phase_drain_ns
+            + self.phase_process_ns
+            + self.phase_flush_ns
+            + self.phase_spin_ns
+            + self.phase_park_ns
+            + self.phase_checkpoint_ns
+            + self.phase_replay_ns
     }
 }
 
@@ -395,6 +442,11 @@ impl RunMetrics {
     /// counters, and in-flight envelopes at the moment of death are
     /// unaccounted. `try_finish` debug-asserts this on every clean
     /// harvest; chaos and property suites call it explicitly.
+    ///
+    /// Since PR 10 this also checks the phase-accounting decomposition
+    /// (per shard, attributed phase nanoseconds ≤ busy wall plus 1 ms of
+    /// `Instant` truncation slack) and trace-plane sanity
+    /// (`trace_spans_dropped ≤ trace_spans`, `trace_roots ≤ trace_spans`).
     pub fn verify_balance(&self) -> Result<(), String> {
         let t = self.total();
         let sent = t.envelopes_sent + self.controller_sent;
@@ -403,6 +455,35 @@ impl RunMetrics {
             + t.envelopes_undeliverable
             + t.envelopes_dropped
             + t.envelopes_recovered;
+        // Phase accounting: the attributed phases must decompose the busy
+        // wall they were carved out of. Each phase lap stops before the
+        // busy charge, so per shard sum(phases) ≤ busy up to `Instant`
+        // truncation drift; allow 1 ms of slack per shard for that drift.
+        for (i, m) in self.per_shard.iter().enumerate() {
+            let slack = 1_000_000;
+            if m.phase_sum_ns() > m.phase_busy_ns + slack {
+                return Err(format!(
+                    "phase accounting violated on shard {i}: attributed {} ns \
+                     exceeds busy wall {} ns",
+                    m.phase_sum_ns(),
+                    m.phase_busy_ns,
+                ));
+            }
+        }
+        // Trace plane: every drop is a recorded span that evicted another,
+        // and every root minted a span.
+        if t.trace_spans_dropped > t.trace_spans {
+            return Err(format!(
+                "trace accounting violated: {} spans dropped > {} recorded",
+                t.trace_spans_dropped, t.trace_spans,
+            ));
+        }
+        if t.trace_roots > t.trace_spans {
+            return Err(format!(
+                "trace accounting violated: {} roots > {} spans recorded",
+                t.trace_roots, t.trace_spans,
+            ));
+        }
         if sent == accounted {
             Ok(())
         } else {
@@ -573,6 +654,60 @@ mod tests {
         };
         let err = unbalanced.verify_balance().unwrap_err();
         assert!(err.contains("sent 11"), "{err}");
+    }
+
+    #[test]
+    fn verify_balance_checks_phase_and_trace_accounting() {
+        let ok = RunMetrics {
+            per_shard: vec![ShardMetrics {
+                phase_process_ns: 600,
+                phase_park_ns: 300,
+                phase_busy_ns: 1_000,
+                trace_roots: 1,
+                trace_spans: 5,
+                trace_spans_dropped: 2,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        assert!(ok.verify_balance().is_ok());
+        assert_eq!(ok.per_shard[0].phase_sum_ns(), 900);
+
+        // Attributed phases exceeding busy beyond the 1 ms slack fail.
+        let over = RunMetrics {
+            per_shard: vec![ShardMetrics {
+                phase_process_ns: 3_000_000,
+                phase_busy_ns: 1_000_000,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let err = over.verify_balance().unwrap_err();
+        assert!(err.contains("phase accounting violated"), "{err}");
+
+        // More drops than spans is impossible by construction.
+        let drops = RunMetrics {
+            per_shard: vec![ShardMetrics {
+                trace_spans: 1,
+                trace_spans_dropped: 2,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let err = drops.verify_balance().unwrap_err();
+        assert!(err.contains("spans dropped"), "{err}");
+
+        // More roots than spans is impossible: each root records a span.
+        let roots = RunMetrics {
+            per_shard: vec![ShardMetrics {
+                trace_roots: 3,
+                trace_spans: 2,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let err = roots.verify_balance().unwrap_err();
+        assert!(err.contains("roots"), "{err}");
     }
 
     #[test]

@@ -528,6 +528,13 @@ impl<C: Cell> QueryTable<C> {
 struct ShardMasks {
     primed: Vec<AtomicU64>,
     flooded: Vec<AtomicU64>,
+    /// Published column-store footprint of shard `s` in bytes (capacity of
+    /// every vertex's column vector), recomputed by the Prime and Clear
+    /// sweeps — the only moments the whole column store is walked anyway.
+    col_bytes: Vec<AtomicU64>,
+    /// In-flight accumulator for one sweep's recount (zeroed at claim time,
+    /// published into `col_bytes` at commit time).
+    col_acc: Vec<AtomicU64>,
 }
 
 impl ShardMasks {
@@ -535,6 +542,8 @@ impl ShardMasks {
         ShardMasks {
             primed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             flooded: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            col_bytes: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            col_acc: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -857,8 +866,15 @@ impl<C: Cell> QueryRegistry<C> {
     }
 
     /// Resets the masked cells to bottom (prime's clean slate, clear's
-    /// reclaim). Pure in the `apply` sense: safe to dual-apply to a fork.
-    fn reset_cells(ctx: &mut impl AlgoCtx<RegPayload<C>>, mask: u64) {
+    /// reclaim). With `compact`, also drops the trailing run of bottom
+    /// cells and shrinks the vector — detach-time memory reclaim: a
+    /// detached high slot otherwise pins `slot + 1` cells on *every* vertex
+    /// forever. Missing tail slots read as bottom everywhere
+    /// ([`RegPayload::cell`] returns `None` → callers substitute bottom),
+    /// so truncation is value-preserving. Pure in the `apply` sense: the
+    /// same input vector always compacts to the same output, so
+    /// dual-applying to a snapshot fork converges.
+    fn reset_cells(ctx: &mut impl AlgoCtx<RegPayload<C>>, mask: u64, compact: bool) {
         ctx.apply(|s| {
             let cols = columns_mut(s);
             let mut changed = false;
@@ -873,12 +889,44 @@ impl<C: Cell> QueryRegistry<C> {
                     }
                 }
             }
+            if compact {
+                let bottom = C::default();
+                let keep = cols
+                    .iter()
+                    .rposition(|c| *c != bottom)
+                    .map_or(0, |i| i + 1);
+                if keep < cols.len() {
+                    cols.truncate(keep);
+                    changed = true;
+                }
+                cols.shrink_to_fit();
+            }
             changed
         });
     }
 
+    /// Adds this vertex's column-store footprint to the owning shard's
+    /// sweep accumulator (recount protocol: zeroed in
+    /// [`Algorithm::on_control`], published in
+    /// [`Algorithm::on_control_commit`]).
+    fn account_columns(&self, ctx: &impl AlgoCtx<RegPayload<C>>) {
+        let Some(masks) = self.shared.masks.get() else {
+            return;
+        };
+        let Some(acc) = masks.col_acc.get(ctx.shard_hint()) else {
+            return;
+        };
+        let bytes = match ctx.state() {
+            RegPayload::Columns(cols) => {
+                (cols.capacity() * std::mem::size_of::<C>()) as u64
+            }
+            RegPayload::Delta { .. } => 0,
+        };
+        acc.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     fn sweep_prime(&self, ctx: &mut impl AlgoCtx<RegPayload<C>>, mask: u64) {
-        Self::reset_cells(ctx, mask);
+        Self::reset_cells(ctx, mask, false);
         let table = self.shared.read_table();
         // The stored adjacency is the replay source: one muted on_add per
         // stored edge reconstructs the topology-derived part of the cell
@@ -902,6 +950,7 @@ impl<C: Cell> QueryRegistry<C> {
                 q.query.on_add(&mut sc, nbr, &bottom, w);
             }
         }
+        self.account_columns(ctx);
     }
 
     fn sweep_flood(&self, ctx: &mut impl AlgoCtx<RegPayload<C>>, mask: u64) {
@@ -1111,20 +1160,33 @@ impl<C: Cell> Algorithm for QueryRegistry<C> {
         let live = self.shared.read_table().live_mask();
         let primed = primed.load(Ordering::Acquire);
         let flooded = flooded.load(Ordering::Acquire);
-        match op.kind {
+        let claimed = match op.kind {
             // Idempotent claims: a resent or replayed op claims only what
             // is still unswept, so duplicate delivery converges to 0 work.
             ControlKind::Prime => op.mask & live & !primed,
             ControlKind::Flood => op.mask & live & primed & !flooded,
             ControlKind::Clear => op.mask,
+        };
+        // Prime and Clear sweeps double as a column-footprint recount:
+        // reset this shard's accumulator before the sweep starts.
+        if claimed != 0 && !matches!(op.kind, ControlKind::Flood) {
+            if let Some(acc) = masks.col_acc.get(shard) {
+                acc.store(0, Ordering::Relaxed);
+            }
         }
+        claimed
     }
 
     fn on_sweep(&self, ctx: &mut impl AlgoCtx<Self::State>, kind: ControlKind, mask: u64) {
         match kind {
             ControlKind::Prime => self.sweep_prime(ctx, mask),
             ControlKind::Flood => self.sweep_flood(ctx, mask),
-            ControlKind::Clear => Self::reset_cells(ctx, mask),
+            ControlKind::Clear => {
+                // Detach reclaim: zero the column *and* compact the tail,
+                // then recount what this vertex still pins.
+                Self::reset_cells(ctx, mask, true);
+                self.account_columns(ctx);
+            }
         }
     }
 
@@ -1146,6 +1208,14 @@ impl<C: Cell> Algorithm for QueryRegistry<C> {
             ControlKind::Clear => {
                 primed.fetch_and(!claimed, Ordering::AcqRel);
                 flooded.fetch_and(!claimed, Ordering::AcqRel);
+            }
+        }
+        // Publish the recount taken during the sweep (Prime/Clear only).
+        if claimed != 0 && !matches!(kind, ControlKind::Flood) {
+            if let (Some(acc), Some(pub_bytes)) =
+                (masks.col_acc.get(shard), masks.col_bytes.get(shard))
+            {
+                pub_bytes.store(acc.load(Ordering::Relaxed), Ordering::Relaxed);
             }
         }
     }
@@ -1175,6 +1245,19 @@ impl<C: Cell> QueryStatsSource for QueryRegistry<C> {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .clone()
+    }
+
+    /// Column-store footprint across all shards, as of the last Prime or
+    /// Clear sweep (those sweeps walk every vertex anyway, so the recount
+    /// is free; between sweeps the gauge is a lower bound — columns only
+    /// grow outside sweeps).
+    fn column_bytes(&self) -> u64 {
+        self.shared.masks.get().map_or(0, |m| {
+            m.col_bytes
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .sum()
+        })
     }
 }
 
@@ -1367,6 +1450,40 @@ mod tests {
         assert_eq!(rec.state.live, RegPayload::Columns(vec![8]));
         assert!(out.is_empty(), "muted context must drop sends");
         assert_eq!(q.stats.envelopes_sent.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn clear_compacts_trailing_bottom_columns() {
+        let mut rec: VertexRecord<VertexState<RegPayload<u64>>> = VertexRecord {
+            state: VertexState::default(),
+            adj: remo_store::Adjacency::new(),
+        };
+        rec.state.live = RegPayload::Columns(vec![0, 5, 0, 7, 0, 0]);
+        let mut out = Vec::new();
+        let mut ctx = EventCtx::new(
+            1,
+            VertexParts::from_record(&mut rec, 0),
+            &mut out,
+            0,
+        );
+        // Clearing slot 3 zeroes it and truncates the trailing bottom run.
+        QueryRegistry::<u64>::reset_cells(&mut ctx, 1 << 3, true);
+        assert_eq!(
+            rec.state.live,
+            RegPayload::Columns(vec![0, 5]),
+            "detach must reclaim the trailing bottom cells"
+        );
+        // Without compaction the length is preserved (prime's clean slate).
+        rec.state.live = RegPayload::Columns(vec![0, 0, 9]);
+        let mut out = Vec::new();
+        let mut ctx = EventCtx::new(
+            1,
+            VertexParts::from_record(&mut rec, 0),
+            &mut out,
+            0,
+        );
+        QueryRegistry::<u64>::reset_cells(&mut ctx, 1 << 2, false);
+        assert_eq!(rec.state.live, RegPayload::Columns(vec![0, 0, 0]));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::supervision::{
 };
 use crate::telemetry::{FlightTag, TelemetryConfig, TelemetryShared, PUBLISH_EVERY};
 use crate::termination::{SafraState, SharedCounters, TerminationMode, Token, TokenAction};
+use crate::trace::{self, SpanKind, TraceConfig, TraceTag};
 use crate::transport::{LaneHandles, LaneMesh};
 use crate::trigger::{TriggerDef, TriggerFire};
 use crate::vertex_state::{VertexMeta, VertexState};
@@ -297,6 +298,14 @@ pub struct EngineConfig {
     /// default to 1-in-64 sampling; [`TelemetryConfig::off`] removes
     /// every observation from the hot path for ablation baselines.
     pub telemetry: TelemetryConfig,
+    /// Sampled causal tracing ([`crate::trace`]): every `2^sample_shift`-th
+    /// external topology ingest mints a trace id, and the envelopes it
+    /// causes carry a compact tag through coalescing, dominance
+    /// filtering, registry fan-out, and WAL replay; each shard records
+    /// bounded span rings that `Engine::traces_now` reconstructs into
+    /// propagation trees. Off by default — when off no envelope is ever
+    /// tagged and every observation point is one predictable branch.
+    pub trace: TraceConfig,
     /// Per-shard durability (WAL + checkpoints + in-place respawn of
     /// panicked shards). `None` (the default) takes no code path through
     /// [`crate::wal`] — the data path is byte-identical to a
@@ -331,6 +340,7 @@ impl EngineConfig {
             storage: StorageLayout::default(),
             transport: TransportMode::default(),
             telemetry: TelemetryConfig::default(),
+            trace: TraceConfig::off(),
             durability: None,
             placement: PlacementPolicy::None,
         }
@@ -385,6 +395,13 @@ impl EngineConfig {
     /// Same config with a different telemetry configuration.
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Same config with a different tracing configuration (see
+    /// [`TraceConfig::on`] for the default-sampled preset).
+    pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -546,6 +563,20 @@ pub(crate) struct ShardWorker<A: Algorithm, St: ShardStore<A::State>> {
     /// `EpochAck` edge detector).
     cur_epoch: Epoch,
 
+    // ---- tracing + phase accounting ----
+    /// Cached `config.trace.enabled` — the tracing-off data path pays one
+    /// predictable branch per observation point (an envelope tag compare
+    /// against 0), nothing else.
+    trace_on: bool,
+    /// `(topo_ingested & trace_mask) == 0` selects the sampled ingests.
+    trace_mask: u64,
+    /// Trace ids minted by this shard so far (combined with the shard id
+    /// into a run-unique trace id).
+    trace_seq: u64,
+    /// Cached `config.telemetry.phase_accounting`: when false the worker
+    /// loop takes zero clock reads for attribution.
+    phase_on: bool,
+
     // ---- durability (every field inert when `durable` is false) ----
     /// Cached `config.durability.is_some()` — the durability-off data path
     /// pays one predictable branch per custody point, nothing else.
@@ -587,6 +618,40 @@ pub(crate) struct ShardWorker<A: Algorithm, St: ShardStore<A::State>> {
     ckpt_fault_fired: bool,
 }
 
+/// One phase-accounting lap: nanoseconds since `t0`, re-arming `t0` at
+/// the current instant for the next segment. `None` (phase accounting
+/// off) stays `None` and costs no clock read. Used for the wholesale
+/// replay attribution; the worker loop proper uses the run-merged
+/// [`PhaseWindow`] scheme instead.
+#[inline]
+fn lap(t0: &mut Option<Instant>) -> Option<u64> {
+    t0.as_mut().map(|t| {
+        let now = Instant::now();
+        let ns = now.duration_since(*t).as_nanos() as u64;
+        *t = now;
+        ns
+    })
+}
+
+/// Which `phase_*_ns` counter a loop segment belongs to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PhaseLabel {
+    Drain,
+    Process,
+    Flush,
+    Spin,
+    Park,
+    Checkpoint,
+}
+
+/// The open window of run-merged phase accounting: `t0` is when the
+/// current run of same-labeled segments began, `run` its label. See
+/// `ShardWorker::phase_mark` for the scheme and its error bound.
+struct PhaseWindow {
+    t0: Instant,
+    run: PhaseLabel,
+}
+
 impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
@@ -617,6 +682,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         let tele_hist = config.telemetry.histograms;
         let tele_rec = config.telemetry.flight_recorder;
         let sample_mask = config.telemetry.sample_mask();
+        let trace_on = config.trace.enabled;
+        let trace_mask = config.trace.sample_mask();
+        let phase_on = config.telemetry.phase_accounting;
         let lattice = config.lattice;
         let lattice_on = lattice.coalesce || lattice.priority;
         let durable = config.durability.is_some();
@@ -685,6 +753,10 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             sample_mask,
             pub_ticker: 0,
             cur_epoch: 0,
+            trace_on,
+            trace_mask,
+            trace_seq: 0,
+            phase_on,
             durable,
             wal: None,
             wal_scratch: Vec::new(),
@@ -754,7 +826,14 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     self.open_wal();
                 }
                 if self.needs_recovery {
+                    // Replay is attributed wholesale: restore + WAL replay
+                    // + the backlog it spawns, one phase, one clock pair.
+                    let mut t0 = self.phase_on.then(Instant::now);
                     self.recover();
+                    if let Some(ns) = lap(&mut t0) {
+                        self.metrics.phase_replay_ns += ns;
+                        self.metrics.phase_busy_ns += ns;
+                    }
                 }
                 self.run_loop()
             }));
@@ -841,6 +920,56 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         }
     }
 
+    /// Run-merged phase attribution: closes the open window and starts a
+    /// new one *only* when the segment label changes — consecutive
+    /// same-labeled segments merge into one window with zero clock
+    /// reads, so the hot steady states (an ingest cascade that is all
+    /// processing, a long park) cost nothing but a register compare per
+    /// boundary. The price is precision at the transition itself: the
+    /// boundary segment lands in the outgoing run, an error bounded by
+    /// one loop segment per transition (call sites keep those segments
+    /// at probe-sliver scale by marking *before* heavy work). Every
+    /// charged nanosecond still lands in exactly one `phase_*_ns`
+    /// counter and in `phase_busy_ns`, so the breakdown sums to the
+    /// attributed wall by construction (`RunMetrics::verify_balance`
+    /// checks the identity).
+    #[inline]
+    fn phase_mark(&mut self, seg: &mut Option<PhaseWindow>, label: PhaseLabel) {
+        if let Some(w) = seg.as_mut() {
+            if w.run != label {
+                let now = Instant::now();
+                let ns = now.duration_since(w.t0).as_nanos() as u64;
+                w.t0 = now;
+                let ended = w.run;
+                w.run = label;
+                self.charge_phase(ended, ns);
+            }
+        }
+    }
+
+    /// Closes the open window at a loop exit so the tail of the final
+    /// run is attributed rather than dropped.
+    #[cold]
+    fn phase_close(&mut self, seg: &mut Option<PhaseWindow>) {
+        if let Some(w) = seg.take() {
+            let ns = Instant::now().duration_since(w.t0).as_nanos() as u64;
+            self.charge_phase(w.run, ns);
+        }
+    }
+
+    #[inline]
+    fn charge_phase(&mut self, label: PhaseLabel, ns: u64) {
+        *match label {
+            PhaseLabel::Drain => &mut self.metrics.phase_drain_ns,
+            PhaseLabel::Process => &mut self.metrics.phase_process_ns,
+            PhaseLabel::Flush => &mut self.metrics.phase_flush_ns,
+            PhaseLabel::Spin => &mut self.metrics.phase_spin_ns,
+            PhaseLabel::Park => &mut self.metrics.phase_park_ns,
+            PhaseLabel::Checkpoint => &mut self.metrics.phase_checkpoint_ns,
+        } += ns;
+        self.metrics.phase_busy_ns += ns;
+    }
+
     /// The worker loop. Returns on shutdown (or when every sender is
     /// gone); the caller then consumes `self` into the final report.
     pub(crate) fn run_loop(&mut self) {
@@ -853,6 +982,15 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             // under an eager test mesh it is a no-op.
             lanes.mesh.init_column(self.id);
         }
+        // Run-merged phase accounting (nothing at all when
+        // `phase_accounting` is off): one window per run of same-labeled
+        // segments, a clock read only at label transitions — see
+        // `phase_mark`. The hot ingest cascade, whose every segment is
+        // processing, therefore costs zero clock reads.
+        let mut seg = self.phase_on.then(|| PhaseWindow {
+            t0: Instant::now(),
+            run: PhaseLabel::Drain,
+        });
         loop {
             // Phase 1: drain all queued messages (algorithm events first):
             // alternate between the inbound lanes, the inbound channel,
@@ -866,7 +1004,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 while let Ok(msg) = self.rx.try_recv() {
                     round = true;
                     if self.dispatch(msg) {
+                        self.phase_mark(&mut seg, PhaseLabel::Checkpoint);
                         self.maybe_checkpoint(true);
+                        self.phase_close(&mut seg);
                         return;
                     }
                 }
@@ -887,6 +1027,17 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 }
                 did_work = true;
             }
+            // A pass that admitted or processed anything is processing
+            // time; a pass that merely probed empty queues is drain
+            // overhead — the "looking for work" tax.
+            self.phase_mark(
+                &mut seg,
+                if did_work {
+                    PhaseLabel::Process
+                } else {
+                    PhaseLabel::Drain
+                },
+            );
 
             // Phase 2: publish the epoch this iteration will tag pulls with
             // (the snapshot barrier ack — see Engine::snapshot).
@@ -914,11 +1065,26 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
 
             // Phase 3: pull one topology event, if any.
             if let Some(ev) = self.next_topo() {
+                // The pull is processing time from here on; the empty
+                // probes before it stay with the previous run.
+                self.phase_mark(&mut seg, PhaseLabel::Process);
                 self.metrics.topo_ingested += 1;
                 self.ingested_local += 1;
                 if self.tele_rec && self.metrics.topo_ingested & self.sample_mask == 0 {
                     self.tele
                         .record_flight(self.id, FlightTag::TopoIngest, epoch, ev.src, ev.dst);
+                }
+                // Sampled causal tracing: every 2^shift-th external ingest
+                // mints a trace. The ingest itself is hop 0 (the Root
+                // span); the envelope it spawns carries hop 1 and every
+                // descendant inherits hop+1 — see crate::trace.
+                let mut tag: TraceTag = 0;
+                if self.trace_on && self.metrics.topo_ingested & self.trace_mask == 0 {
+                    self.trace_seq += 1;
+                    let id = ((self.id as u64 + 1) << 40) | self.trace_seq;
+                    self.metrics.trace_roots += 1;
+                    self.trace_span(SpanKind::Root, trace::pack(id, 0), ev.src, ev.dst);
+                    tag = trace::pack(id, 1);
                 }
                 if self.durable {
                     // Log the pull (with its ingestion epoch) before any
@@ -926,7 +1092,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     self.log_topo(&ev, epoch);
                     self.wal_commit();
                 }
-                self.route_topo(ev, epoch);
+                self.route_topo(ev, epoch, tag);
                 // Publish the pull only after `route_topo` published the
                 // spawned envelope's `sent` count. The reverse order opens
                 // a false-quiescence window: with `ingested == injected`
@@ -960,6 +1126,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             {
                 self.idle_spins += 1;
                 self.metrics.flush_deferrals += 1;
+                // Marked before the yield so the yield itself accrues to
+                // the spin window.
+                self.phase_mark(&mut seg, PhaseLabel::Spin);
                 std::thread::yield_now();
                 continue;
             }
@@ -970,6 +1139,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             // PUBLISH_EVERY-1 events stale), then termination detection,
             // then wait for work (event-driven park under the lane
             // transport, timeout poll otherwise).
+            self.phase_mark(&mut seg, PhaseLabel::Flush);
             self.flush_all();
             self.adaptive_tick();
             if self.tele_counters {
@@ -978,18 +1148,32 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             // Durability: idle with every queue drained is the one moment
             // the store is a complete, self-consistent image — checkpoint
             // here if the WAL has grown past the configured interval.
+            self.phase_mark(&mut seg, PhaseLabel::Checkpoint);
             self.maybe_checkpoint(false);
+            // The whole wait — pre-park spin, park, heartbeat timeout —
+            // is parked time: the clearest "this shard had nothing to do"
+            // signal in the utilization breakdown.
+            self.phase_mark(&mut seg, PhaseLabel::Park);
             self.idle_step();
-            match self.idle_wait() {
+            let waited = self.idle_wait();
+            // Waking is the processing guess: a message wake goes straight
+            // into dispatch and a lane wake into the next drain pass; a
+            // bare heartbeat mislabels only the empty probe that follows.
+            self.phase_mark(&mut seg, PhaseLabel::Process);
+            match waited {
                 IdleWait::Message(msg) => {
                     if self.dispatch(msg) {
+                        self.phase_mark(&mut seg, PhaseLabel::Checkpoint);
                         self.maybe_checkpoint(true);
+                        self.phase_close(&mut seg);
                         return;
                     }
                 }
                 IdleWait::Heartbeat => {}
                 IdleWait::Disconnected => {
+                    self.phase_mark(&mut seg, PhaseLabel::Checkpoint);
                     self.maybe_checkpoint(true);
+                    self.phase_close(&mut seg);
                     return;
                 }
             }
@@ -1270,6 +1454,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     weight: o.weight,
                     kind: EventKind::Update,
                     epoch: self.cur_epoch,
+                    // Control sweeps are engine-initiated, not caused by
+                    // any one external update: never traced.
+                    tag: 0,
                 });
             }
             self.out = outgoing;
@@ -1354,6 +1541,11 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 // dominated.
                 self.metrics.updates_dominated += 1;
                 self.note_processed(env.epoch);
+                if env.tag != 0 {
+                    // A closed branch, not silence: the trace sees where
+                    // its cascade was cut off.
+                    self.trace_span(SpanKind::Dominate, env.tag, env.target, 0);
+                }
                 return;
             }
             if self.lattice.priority {
@@ -1413,9 +1605,24 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         if !A::join(&mut p.env.value, &env.value) {
             return Coalesce::Declined;
         }
+        // Tag inheritance across the merge: an untagged absorber adopts
+        // the absorbed envelope's tag so the trace keeps a carrier; a
+        // tagged absorber keeps its own (one carrier, one count).
+        if env.tag != 0 && p.env.tag == 0 {
+            p.env.tag = env.tag;
+        }
+        let absorber = p.env.tag;
         if self.lattice.priority {
             let prio = A::priority(&p.env.value).unwrap_or(0);
             self.stage_item(prio, DrainItem::Key(key));
+        }
+        if env.tag != 0 {
+            self.trace_span(
+                SpanKind::Absorb,
+                env.tag,
+                env.target,
+                trace::trace_id(absorber),
+            );
         }
         Coalesce::Absorbed
     }
@@ -1553,6 +1760,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 self.metrics.updates_dominated += 1;
                 self.note_processed(env.epoch);
             }
+            if env.tag != 0 {
+                self.trace_span(SpanKind::Dominate, env.tag, target, 0);
+            }
             self.mid_process = None;
             self.finish_service(t0);
             return;
@@ -1687,6 +1897,31 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             let _ = self.trigger_tx.send(fire);
         }
 
+        // Tracing: one Process (live) / Replay (recovery) span per tagged
+        // envelope, with the callback's fan-out before any coalescing or
+        // suppression trims it. Every generated envelope below inherits
+        // the tag at hop+1 — the registry's Delta fan-out rides the same
+        // outgoing path, so multi-query traces come for free.
+        let ctag = trace::child(env.tag);
+        if env.tag != 0 {
+            let fanout = u64::from(reverse_value.is_some()) + self.out.len() as u64;
+            let kind = if count_input {
+                SpanKind::Process
+            } else {
+                SpanKind::Replay
+            };
+            self.trace_span(kind, env.tag, target, fanout);
+            if self.tele_rec {
+                self.tele.record_flight(
+                    self.id,
+                    FlightTag::Trace,
+                    env.epoch,
+                    trace::trace_id(env.tag),
+                    u64::from(trace::hop_of(env.tag)),
+                );
+            }
+        }
+
         if let Some(value) = reverse_value {
             let kind = if env.kind == EventKind::Add {
                 EventKind::ReverseAdd
@@ -1700,6 +1935,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 weight: env.weight,
                 kind,
                 epoch: env.epoch,
+                tag: ctag,
             });
         }
 
@@ -1714,6 +1950,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 weight: o.weight,
                 kind: EventKind::Update,
                 epoch: env.epoch,
+                tag: ctag,
             });
         }
         self.out = outgoing;
@@ -1725,6 +1962,18 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         }
         self.mid_process = None;
         self.finish_service(t0);
+    }
+
+    /// Appends one span to this shard's ring, moving the span counters
+    /// (`trace_spans_dropped` counts ring evictions — see the overflow
+    /// policy in [`crate::trace`]). Callers gate on `env.tag != 0` (or
+    /// `trace_on` for roots), so the untraced path never lands here.
+    #[inline]
+    fn trace_span(&mut self, kind: SpanKind, tag: TraceTag, a: u64, b: u64) {
+        self.metrics.trace_spans += 1;
+        if self.tele.record_span(self.id, kind, tag, a, b) {
+            self.metrics.trace_spans_dropped += 1;
+        }
     }
 
     /// Closes a sampled service-time measurement opened in `process`.
@@ -1781,8 +2030,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         self.shared.slot(self.id).sent[p].store(self.sent_local[p], Ordering::Release);
     }
 
-    /// Routes a pulled topology event as an `Add`/`Remove` at `owner(src)`.
-    fn route_topo(&mut self, ev: TopoEvent, epoch: Epoch) {
+    /// Routes a pulled topology event as an `Add`/`Remove` at `owner(src)`,
+    /// stamped with `tag` when the ingest was trace-sampled (hop 1).
+    fn route_topo(&mut self, ev: TopoEvent, epoch: Epoch, tag: TraceTag) {
         let kind = match ev.op {
             crate::event::TopoOp::Add => EventKind::Add,
             crate::event::TopoOp::Remove => EventKind::Remove,
@@ -1794,6 +2044,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             weight: ev.weight,
             kind,
             epoch,
+            tag,
         });
     }
 
@@ -1815,6 +2066,9 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
             // as sent, so it must not enter the balance equation's
             // processed side either (see RunMetrics::verify_balance).
             self.metrics.updates_suppressed += 1;
+            if env.tag != 0 {
+                self.trace_span(SpanKind::Suppress, env.tag, env.target, 0);
+            }
             return;
         }
         // Sender-side coalescing: fold this `Update` into an envelope
@@ -1839,6 +2093,15 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 if let Some(&i) = self.outbox_index[owner].get(&key) {
                     if A::join(&mut self.outboxes[owner][i].value, &env.value) {
                         self.metrics.envelopes_coalesced += 1;
+                        // Same tag-inheritance rule as the local backlog:
+                        // the trace must survive outbox coalescing too.
+                        if env.tag != 0 {
+                            if self.outboxes[owner][i].tag == 0 {
+                                self.outboxes[owner][i].tag = env.tag;
+                            }
+                            let absorber = trace::trace_id(self.outboxes[owner][i].tag);
+                            self.trace_span(SpanKind::Absorb, env.tag, env.target, absorber);
+                        }
                         return;
                     }
                     key_occupied = true;
@@ -1848,6 +2111,21 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
         self.note_sent(env.epoch);
         self.safra.on_send();
         self.metrics.envelopes_sent += 1;
+        // A tagged envelope is counted sent here exactly once, so the
+        // Send span is the amplification unit (cross-checkable against
+        // `envelopes_sent`). Destination shard in the low word, cross-NUMA
+        // flag in bit 32 (both ends pinned, different nodes).
+        if env.tag != 0 {
+            let cross = match self.seat {
+                Some(seat) => self
+                    .plan
+                    .node_of_shard(owner)
+                    .is_some_and(|n| n != seat.node),
+                None => false,
+            };
+            let b = owner as u64 | (u64::from(cross) << 32);
+            self.trace_span(SpanKind::Send, env.tag, env.target, b);
+        }
         // Chaos: lose this envelope "in transit" — after the sent counter
         // was published, exactly like a message a real network ate. The
         // imbalance is what the controller's deadline machinery must catch.
@@ -2163,6 +2441,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                 env.target,
                 env.visitor,
                 env.weight,
+                env.tag,
                 &self.wal_scratch,
             );
             self.metrics.wal_records_appended += 1;
@@ -2446,6 +2725,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     target,
                     visitor,
                     weight,
+                    tag,
                     state,
                 } => {
                     let Some(kind) = EventKind::from_u8(kind) else {
@@ -2454,6 +2734,11 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                             self.id
                         );
                     };
+                    // The tag rides the WAL frame, so a replayed envelope
+                    // keeps its trace identity — process_inner records a
+                    // Replay span for it (count_input = false), never a
+                    // Process span, so replay is visible in the tree
+                    // without inflating amplification.
                     let env = Envelope {
                         target,
                         visitor,
@@ -2461,6 +2746,7 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                         weight,
                         kind,
                         epoch: if cold { 0 } else { epoch },
+                        tag,
                     };
                     self.process_inner(env, false);
                 }
@@ -2468,7 +2754,10 @@ impl<A: Algorithm, St: ShardStore<A::State>> ShardWorker<A, St> {
                     // Fresh sends (the pull itself was already counted
                     // ingested by the original run; replay must not move
                     // `ingested` or the stream books would overrun).
-                    self.route_topo(ev, if cold { 0 } else { epoch });
+                    // Untagged: the original ingest's Root span (if it was
+                    // sampled) already anchors the trace, and the replayed
+                    // envelope chain is re-derived below it.
+                    self.route_topo(ev, if cold { 0 } else { epoch }, 0);
                 }
                 RawRecord::Control { kind, mask } => {
                     // Re-derive the sweep's effects. Replaying a committed
@@ -2711,6 +3000,7 @@ mod tests {
         };
         let tele = Arc::new(TelemetryShared::new(
             config.telemetry.clone(),
+            config.trace.clone(),
             2,
             Arc::clone(&shared),
             Arc::clone(&board),
@@ -2754,6 +3044,7 @@ mod tests {
             weight: 1,
             kind: EventKind::Update,
             epoch: 0,
+            tag: 0,
         }
     }
 

@@ -53,6 +53,7 @@ use crate::event::Epoch;
 use crate::metrics::{LatencyHistogram, RunMetrics, ShardMetrics, HIST_BUCKETS};
 use crate::supervision::FailureBoard;
 use crate::termination::SharedCounters;
+use crate::trace::{self, PropagationTrace, SpanKind, SpanRing, TraceConfig, TraceSpan, TraceTag};
 
 /// How many retired envelopes between two snapshot-cell publications on
 /// the hot path (shards also publish at every idle transition, so a
@@ -95,6 +96,12 @@ pub struct TelemetryConfig {
     /// Flight-recorder ring capacity per shard (rounded up to a power of
     /// two, minimum 16).
     pub flight_capacity: usize,
+    /// Attribute each shard's busy wall to phases
+    /// (drain/process/flush/spin/park/checkpoint/replay ns counters —
+    /// see the `phase_*_ns` fields of [`ShardMetrics`]). Two `Instant`
+    /// reads per run-loop iteration, not per event, so it rides inside
+    /// the ≤ 2% telemetry budget and stays on by default.
+    pub phase_accounting: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -105,6 +112,7 @@ impl Default for TelemetryConfig {
             sample_shift: 6,
             flight_recorder: true,
             flight_capacity: 128,
+            phase_accounting: true,
         }
     }
 }
@@ -119,6 +127,7 @@ impl TelemetryConfig {
             sample_shift: 6,
             flight_recorder: false,
             flight_capacity: 0,
+            phase_accounting: false,
         }
     }
 
@@ -130,6 +139,13 @@ impl TelemetryConfig {
     /// Sets the sampling shift (see [`TelemetryConfig::sample_shift`]).
     pub fn with_sample_shift(mut self, shift: u32) -> Self {
         self.sample_shift = shift.min(62);
+        self
+    }
+
+    /// Enables or disables per-shard phase accounting (see
+    /// [`TelemetryConfig::phase_accounting`]).
+    pub fn with_phase_accounting(mut self, on: bool) -> Self {
+        self.phase_accounting = on;
         self
     }
 
@@ -265,6 +281,10 @@ pub enum FlightTag {
     /// The shard was respawned in place after a contained panic
     /// (`a` = respawn attempt number, `b` = WAL records replayed).
     Respawn = 12,
+    /// A traced envelope was processed on this shard (`a` = trace id,
+    /// `b` = hop depth) — lets a chaos postmortem name exactly which
+    /// in-flight traced updates died with the shard. See [`crate::trace`].
+    Trace = 13,
 }
 
 impl FlightTag {
@@ -282,6 +302,7 @@ impl FlightTag {
             10 => FlightTag::Fallback,
             11 => FlightTag::Shutdown,
             12 => FlightTag::Respawn,
+            13 => FlightTag::Trace,
             _ => return None,
         })
     }
@@ -340,6 +361,7 @@ impl FlightEntry {
             FlightTag::Respawn => {
                 format!("respawn attempt={} replayed={}", self.a, self.b)
             }
+            FlightTag::Trace => format!("trace id={} hop={}", self.a, self.b),
         };
         format!("#{} e{} {body}", self.seq, self.epoch)
     }
@@ -491,6 +513,12 @@ pub trait QueryStatsSource: std::fmt::Debug + Send + Sync {
     fn query_rows(&self) -> Vec<QueryStatsRow>;
     /// Attach-backfill duration histogram (one sample per attach).
     fn backfill_histogram(&self) -> LatencyHistogram;
+    /// Resident bytes of the per-query state columns as of the last
+    /// control sweep (tracks the detach-time compaction; 0 when the
+    /// provider does not measure it).
+    fn column_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Sliding-window sample horizon for the events/sec gauge.
@@ -507,6 +535,7 @@ pub(crate) struct TelemetryShared {
     service: Vec<AtomicHistogram>,
     flush: Vec<AtomicHistogram>,
     recorders: Vec<FlightRecorder>,
+    spans: Vec<SpanRing>,
     quiesce: AtomicHistogram,
     ingest_fixpoint: AtomicHistogram,
     checkpoint: AtomicHistogram,
@@ -525,6 +554,7 @@ pub(crate) struct TelemetryShared {
 impl TelemetryShared {
     pub(crate) fn new(
         config: TelemetryConfig,
+        trace: TraceConfig,
         shards: usize,
         counters: Arc<SharedCounters>,
         board: Arc<FailureBoard>,
@@ -543,6 +573,13 @@ impl TelemetryShared {
                 })
             })
             .collect();
+        // `spans` is empty when tracing is off — every trace-plane entry
+        // point no-ops on the missing ring, which is the zero-cost gate.
+        let spans = if trace.enabled {
+            (0..shards).map(|_| SpanRing::new(trace.ring_capacity)).collect()
+        } else {
+            Vec::new()
+        };
         TelemetryShared {
             config,
             started: Instant::now(),
@@ -550,6 +587,7 @@ impl TelemetryShared {
             service,
             flush,
             recorders,
+            spans,
             quiesce: AtomicHistogram::new(),
             ingest_fixpoint: AtomicHistogram::new(),
             checkpoint: AtomicHistogram::new(),
@@ -604,6 +642,46 @@ impl TelemetryShared {
     #[inline]
     pub(crate) fn record_flight(&self, shard: usize, tag: FlightTag, epoch: Epoch, a: u64, b: u64) {
         self.recorders[shard].record(tag, epoch, a, b);
+    }
+
+    /// Nanoseconds since the engine was built — the trace plane's clock.
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Appends one trace span to `shard`'s ring. Returns `true` when the
+    /// append evicted an older span (ring overflow). No-op (false) when
+    /// tracing is off.
+    #[inline]
+    pub(crate) fn record_span(
+        &self,
+        shard: usize,
+        kind: SpanKind,
+        tag: TraceTag,
+        a: u64,
+        b: u64,
+    ) -> bool {
+        match self.spans.get(shard) {
+            Some(ring) => ring.record(kind, tag, self.now_ns(), a, b),
+            None => false,
+        }
+    }
+
+    /// Dumps every shard's span-ring window (lossy for shards still
+    /// writing, exact after harvest).
+    pub(crate) fn dump_spans(&self) -> Vec<TraceSpan> {
+        let mut out = Vec::new();
+        for (shard, ring) in self.spans.iter().enumerate() {
+            out.extend(ring.dump(shard));
+        }
+        out
+    }
+
+    /// Reconstructs the propagation trees currently held in the span
+    /// rings (empty when tracing is off).
+    pub(crate) fn traces(&self) -> Vec<PropagationTrace> {
+        trace::reconstruct(&self.dump_spans())
     }
 
     /// Dumps `shard`'s flight-recorder window as rendered trace lines.
@@ -793,6 +871,19 @@ impl TelemetryHub {
         self.shared.snapshot_metrics()
     }
 
+    /// Propagation trees reconstructed from the per-shard span rings as
+    /// of now (empty when tracing is off; see [`crate::trace`]). Exact
+    /// once the engine has quiesced; lossy-but-coherent mid-run.
+    pub fn traces_now(&self) -> Vec<PropagationTrace> {
+        self.shared.traces()
+    }
+
+    /// Aggregate quantiles over [`TelemetryHub::traces_now`] — what the
+    /// exporters render as `remo_trace_*` families.
+    pub fn trace_summary(&self) -> trace::TraceSummary {
+        trace::summarize(&self.traces_now())
+    }
+
     /// Installs (or replaces) the per-query stats provider. Called by the
     /// multi-query registry on attach; exporters pick it up on the next
     /// render.
@@ -980,7 +1071,7 @@ impl TelemetryHub {
             "NUMA node of the shard's pinned CPU (-1 = unpinned).",
             node_lines,
         );
-        let mut summary = |name: &str, help: &str, h: &LatencyHistogram| {
+        let summary = |out: &mut String, name: &str, help: &str, h: &LatencyHistogram| {
             out.push_str(&format!(
                 "# HELP remo_{name} {help}\n# TYPE remo_{name} summary\n"
             ));
@@ -994,30 +1085,83 @@ impl TelemetryHub {
             out.push_str(&format!("remo_{name}_count {}\n", h.count));
         };
         summary(
+            &mut out,
             "service_time_seconds",
             "Event service time (sampled).",
             &self.shared.service_snapshot(),
         );
         summary(
+            &mut out,
             "flush_latency_seconds",
             "Outgoing lane-flush latency.",
             &self.shared.flush_snapshot(),
         );
         summary(
+            &mut out,
             "quiesce_latency_seconds",
             "Quiescence-detection latency.",
             &self.shared.quiesce_snapshot(),
         );
         summary(
+            &mut out,
             "ingest_fixpoint_seconds",
             "Ingest-to-fixpoint latency per settled epoch.",
             &self.shared.ingest_fixpoint_snapshot(),
         );
         summary(
+            &mut out,
             "checkpoint_seconds",
             "Durable checkpoint duration (staging through publish).",
             &self.shared.checkpoint_snapshot(),
         );
+        // Trace plane: always rendered (zeros when tracing is off) so
+        // scrapers see a stable family set.
+        let ts = self.trace_summary();
+        out.push_str(&format!(
+            "# HELP remo_traces_observed Propagation traces currently reconstructable from the span rings.\n# TYPE remo_traces_observed gauge\nremo_traces_observed {}\n",
+            ts.observed
+        ));
+        summary(
+            &mut out,
+            "trace_fixpoint_seconds",
+            "Per-trace propagation wall time, root ingest to last span.",
+            &ts.fixpoint,
+        );
+        // Hops and amplification are unitless counts — render the raw
+        // quantiles instead of routing them through the seconds scaler.
+        let summary_raw = |out: &mut String, name: &str, help: &str, h: &LatencyHistogram| {
+            out.push_str(&format!(
+                "# HELP remo_{name} {help}\n# TYPE remo_{name} summary\n"
+            ));
+            for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                out.push_str(&format!(
+                    "remo_{name}{{quantile=\"{label}\"}} {:.3}\n",
+                    h.quantile_ns(q)
+                ));
+            }
+            out.push_str(&format!("remo_{name}_sum {}\n", h.sum_ns));
+            out.push_str(&format!("remo_{name}_count {}\n", h.count));
+        };
+        summary_raw(
+            &mut out,
+            "trace_hops",
+            "Hops to fixpoint per trace (unitless).",
+            &ts.hops,
+        );
+        summary_raw(
+            &mut out,
+            "trace_amplification",
+            "Envelopes caused per traced update (unitless).",
+            &ts.amplification,
+        );
+        out.push_str(&format!(
+            "# HELP remo_trace_cross_shard_hops_total Cross-shard sends over all reconstructed traces.\n# TYPE remo_trace_cross_shard_hops_total counter\nremo_trace_cross_shard_hops_total {}\n",
+            ts.cross_shard_hops
+        ));
+        out.push_str(&format!(
+            "# HELP remo_trace_cross_numa_hops_total Cross-NUMA sends over all reconstructed traces.\n# TYPE remo_trace_cross_numa_hops_total counter\nremo_trace_cross_numa_hops_total {}\n",
+            ts.cross_numa_hops
+        ));
         if let Some(src) = self.query_source() {
             out.push_str(&format!(
                 "# HELP remo_queries_attached Live queries attached to the multi-query registry.\n# TYPE remo_queries_attached gauge\nremo_queries_attached {}\n",
@@ -1057,6 +1201,10 @@ impl TelemetryHub {
                 h.sum_ns as f64 / 1e9
             ));
             out.push_str(&format!("remo_attach_backfill_seconds_count {}\n", h.count));
+            out.push_str(&format!(
+                "# HELP remo_registry_column_bytes Resident bytes of per-query state columns as of the last control sweep.\n# TYPE remo_registry_column_bytes gauge\nremo_registry_column_bytes {}\n",
+                src.column_bytes()
+            ));
         }
         out
     }
@@ -1129,12 +1277,25 @@ impl TelemetryHub {
             hist_json(&m.ingest_fixpoint),
             hist_json(&m.checkpoint),
         ));
+        let ts = self.trace_summary();
+        out.push_str(&format!(
+            ",\"traces\":{{\"observed\":{},\"fixpoint\":{},\"hops\":{{\"p50\":{:.1},\"p99\":{:.1}}},\"amplification\":{{\"p50\":{:.1},\"p99\":{:.1}}},\"cross_shard_hops\":{},\"cross_numa_hops\":{}}}",
+            ts.observed,
+            hist_json(&ts.fixpoint),
+            ts.hops.quantile_ns(0.5),
+            ts.hops.quantile_ns(0.99),
+            ts.amplification.quantile_ns(0.5),
+            ts.amplification.quantile_ns(0.99),
+            ts.cross_shard_hops,
+            ts.cross_numa_hops,
+        ));
         if let Some(src) = self.query_source() {
             let rows = src.query_rows();
             out.push_str(&format!(
-                ",\"queries\":{{\"attached\":{},\"backfill\":{},\"rows\":[",
+                ",\"queries\":{{\"attached\":{},\"backfill\":{},\"column_bytes\":{},\"rows\":[",
                 src.queries_attached(),
                 hist_json(&src.backfill_histogram()),
+                src.column_bytes(),
             ));
             for (i, r) in rows.iter().enumerate() {
                 if i > 0 {
@@ -1160,10 +1321,14 @@ mod tests {
     #[test]
     fn config_defaults_and_off() {
         let d = TelemetryConfig::default();
-        assert!(d.counters && d.histograms && d.flight_recorder);
+        assert!(d.counters && d.histograms && d.flight_recorder && d.phase_accounting);
         assert_eq!(d.sample_mask(), 63);
         let off = TelemetryConfig::off();
         assert!(!off.counters && !off.histograms && !off.flight_recorder);
+        assert!(!off.phase_accounting);
+        assert!(!TelemetryConfig::default()
+            .with_phase_accounting(false)
+            .phase_accounting);
         assert_eq!(TelemetryConfig::full(), TelemetryConfig::default());
         assert_eq!(
             TelemetryConfig::default()
@@ -1264,6 +1429,7 @@ mod tests {
         let board = Arc::new(FailureBoard::new());
         let tele = TelemetryShared::new(
             TelemetryConfig::default(),
+            TraceConfig::off(),
             2,
             Arc::clone(&counters),
             Arc::clone(&board),
@@ -1292,6 +1458,7 @@ mod tests {
         let board = Arc::new(FailureBoard::new());
         let tele = Arc::new(TelemetryShared::new(
             TelemetryConfig::default(),
+            TraceConfig::off(),
             1,
             counters,
             board,
@@ -1318,6 +1485,7 @@ mod tests {
         let board = Arc::new(FailureBoard::new());
         let tele = Arc::new(TelemetryShared::new(
             TelemetryConfig::default(),
+            TraceConfig::on(),
             1,
             counters,
             board,
@@ -1329,7 +1497,14 @@ mod tests {
         };
         tele.publish_counters(0, &m, 0, 0, None);
         tele.record_quiesce(10_000);
+        // One complete traced cascade so the trace families render
+        // non-trivially.
+        assert!(!tele.record_span(0, SpanKind::Root, 7 << 8, 1, 2));
+        assert!(!tele.record_span(0, SpanKind::Send, (7 << 8) | 1, 1, 0));
         let hub = TelemetryHub::new(tele);
+        let traces = hub.traces_now();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].amplification, 1);
         let prom = hub.render_prometheus();
         assert!(prom.contains("# TYPE remo_add_events_total counter"));
         assert!(prom.contains("remo_add_events_total{shard=\"0\"} 3"));
@@ -1338,12 +1513,21 @@ mod tests {
         assert!(prom.contains("remo_events_per_sec"));
         assert!(prom.contains("remo_updates_per_sec"));
         assert!(prom.contains("# TYPE remo_adaptive_decisions_total counter"));
+        assert!(prom.contains("remo_traces_observed 1"));
+        assert!(prom.contains("# TYPE remo_trace_fixpoint_seconds summary"));
+        assert!(prom.contains("remo_trace_hops_count 1"));
+        assert!(prom.contains("remo_trace_amplification_count 1"));
+        assert!(prom.contains("remo_trace_cross_shard_hops_total"));
+        assert!(prom.contains("remo_trace_cross_numa_hops_total"));
+        assert!(prom.contains("# TYPE remo_phase_process_ns_total counter"));
         let json = hub.render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"add_events\":3"));
         assert!(json.contains("\"updates_per_sec\""));
         assert!(json.contains("\"adaptive_decisions\""));
         assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"traces\":{\"observed\":1"));
+        assert!(json.contains("\"phase_process_ns\""));
         // Braces balance (cheap structural sanity without a JSON parser).
         let depth = json.chars().fold(0i64, |d, c| match c {
             '{' | '[' => d + 1,

@@ -1,0 +1,641 @@
+//! Causal update tracing: sampled end-to-end propagation trees.
+//!
+//! The paper's model is that one external topology event triggers a
+//! bounded causal cascade of per-vertex reactions (§III). The aggregate
+//! counters (PR 5) measure how *much* cascading happened; this module
+//! answers *where it went*: a sampled external ingest mints a **trace
+//! id**, every envelope it causes carries a compact [`TraceTag`]
+//! (id + hop depth), and each shard appends bounded span records to a
+//! per-shard ring as tagged envelopes move through it. Harvest
+//! reconstructs per-update **propagation trees** — hops to fixpoint,
+//! per-hop latency, amplification, cross-shard / cross-NUMA hop counts —
+//! exposed via `Engine::traces_now()` and both telemetry exporters.
+//!
+//! ## Tag discipline (soundness)
+//!
+//! A tag never changes what the engine computes; it is cargo. The rules:
+//!
+//! - A sampled ingest's envelope carries `(id, hop 1)`; the ingest itself
+//!   is hop 0 (the `Root` span).
+//! - Every envelope generated while processing a tagged envelope inherits
+//!   `(id, hop + 1)` — registry `Delta` fan-out included, since deltas are
+//!   routed through the same outgoing path.
+//! - Sender-side coalescing: when a tagged envelope is absorbed into a
+//!   staged one, the absorber *inherits* the tag if it was untagged
+//!   (the trace is not lost), and an `Absorb` span records the merge
+//!   either way. When both are tagged the staged tag wins — one carrier,
+//!   one count.
+//! - Dominance retirement and sender-side suppression close a branch
+//!   with a `Dominate` / `Suppress` span instead of silence.
+//! - WAL envelope records carry the tag, so replay after a shard respawn
+//!   re-processes the envelope under its original identity but records a
+//!   `Replay` span — replayed work is visible without being double
+//!   counted as fresh processing (amplification counts `Send` spans, and
+//!   a replayed envelope's *re-derived* children are genuinely new
+//!   traffic).
+//!
+//! ## Ring-overflow policy
+//!
+//! Span rings are bounded and overwrite oldest-first (same discipline as
+//! the flight recorder); `trace_spans_dropped` counts evictions. A trace
+//! whose `Root` span was evicted is dropped whole at reconstruction —
+//! partial trees without an anchor would report garbage latencies.
+//! Tracing is sampled precisely so rings don't wrap in practice.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use remo_store::VertexId;
+
+use crate::metrics::LatencyHistogram;
+
+/// Compact causal tag carried by every [`Envelope`](crate::Envelope):
+/// `(trace_id << 8) | hop_depth`, or `0` for untraced envelopes (the
+/// overwhelmingly common case — the untraced hot path pays one predictable
+/// branch per observation point).
+pub type TraceTag = u64;
+
+/// Packs a trace id and hop depth into a [`TraceTag`].
+#[inline]
+pub(crate) fn pack(id: u64, hop: u8) -> TraceTag {
+    (id << 8) | u64::from(hop)
+}
+
+/// The trace id half of a tag.
+#[inline]
+pub fn trace_id(tag: TraceTag) -> u64 {
+    tag >> 8
+}
+
+/// The hop-depth half of a tag.
+#[inline]
+pub fn hop_of(tag: TraceTag) -> u8 {
+    (tag & 0xFF) as u8
+}
+
+/// Tag inherited by an envelope generated while processing `tag`: same
+/// id, hop + 1 (saturating — depth 255 is far beyond any REMO cascade we
+/// measure, and saturation merely flattens the tree's tail). `0` stays
+/// `0`.
+#[inline]
+pub(crate) fn child(tag: TraceTag) -> TraceTag {
+    if tag == 0 {
+        return 0;
+    }
+    let hop = (tag & 0xFF).min(0xFE);
+    (tag & !0xFF) | (hop + 1)
+}
+
+/// Runtime tracing selection, carried by
+/// [`EngineConfig`](crate::EngineConfig). Off by default; when off no
+/// envelope is ever tagged and every observation point reduces to one
+/// predictable branch — the same zero-cost-when-off discipline as
+/// telemetry, WAL, and the adaptive controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Sampling shift: every `2^shift`-th external topology ingest per
+    /// shard mints a trace. `0` traces every ingest (test/forensics
+    /// mode, not for benchmarking).
+    pub sample_shift: u32,
+    /// Per-shard span ring capacity (rounded up to a power of two,
+    /// minimum 64). Overflow overwrites oldest.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default): no tags, no spans, no rings.
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            sample_shift: 6,
+            ring_capacity: 0,
+        }
+    }
+
+    /// Tracing enabled at the default 1-in-64 ingest sampling with a
+    /// 4096-span ring per shard.
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            sample_shift: 6,
+            ring_capacity: 4096,
+        }
+    }
+
+    /// Sets the ingest sampling shift (see [`TraceConfig::sample_shift`]).
+    pub fn with_sample_shift(mut self, shift: u32) -> Self {
+        self.sample_shift = shift.min(62);
+        self
+    }
+
+    /// Sets the per-shard span ring capacity.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Bitmask such that `ingests & mask == 0` selects sampled ingests.
+    #[inline]
+    pub(crate) fn sample_mask(&self) -> u64 {
+        (1u64 << self.sample_shift.min(62)) - 1
+    }
+}
+
+/// What one span record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// A sampled external ingest minted this trace (`a` = src, `b` = dst
+    /// of the topology event). Hop 0 by construction.
+    Root = 1,
+    /// A tagged envelope was counted sent (`a` = target vertex, `b` =
+    /// destination shard in the low word, cross-NUMA flag in bit 32).
+    Send = 2,
+    /// A tagged envelope was processed (`a` = target, `b` = children
+    /// emitted by the callback, pre-coalescing).
+    Process = 3,
+    /// A tagged envelope was absorbed into an already-staged envelope by
+    /// sender-side coalescing (`a` = target, `b` = absorbing trace id).
+    Absorb = 4,
+    /// A tagged envelope was retired by receiver-side dominance
+    /// filtering (`a` = target).
+    Dominate = 5,
+    /// A tagged self-routed envelope was suppressed before sending
+    /// (`a` = target).
+    Suppress = 6,
+    /// A tagged envelope was re-processed during WAL replay
+    /// (`a` = target, `b` = children emitted).
+    Replay = 7,
+}
+
+impl SpanKind {
+    fn from_u8(v: u8) -> Option<SpanKind> {
+        Some(match v {
+            1 => SpanKind::Root,
+            2 => SpanKind::Send,
+            3 => SpanKind::Process,
+            4 => SpanKind::Absorb,
+            5 => SpanKind::Dominate,
+            6 => SpanKind::Suppress,
+            7 => SpanKind::Replay,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded span record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Shard whose ring recorded the span.
+    pub shard: usize,
+    pub kind: SpanKind,
+    /// Full tag (id + hop) of the envelope the span describes.
+    pub tag: TraceTag,
+    /// Nanoseconds since engine start.
+    pub t_ns: u64,
+    /// First operand (see [`SpanKind`]).
+    pub a: u64,
+    /// Second operand (see [`SpanKind`]).
+    pub b: u64,
+}
+
+/// Bounded lock-free ring of span records, single writer (the owning
+/// shard) — the same benign-race seqlock-lite protocol as the flight
+/// recorder: the reader re-checks the written count and discards windows
+/// overwritten mid-read. Exact once the writer has stopped (harvest).
+#[derive(Debug)]
+pub(crate) struct SpanRing {
+    mask: u64,
+    written: AtomicU64,
+    slots: Box<[[AtomicU64; 4]]>,
+}
+
+impl SpanRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let cap = capacity.max(64).next_power_of_two();
+        SpanRing {
+            mask: cap as u64 - 1,
+            written: AtomicU64::new(0),
+            slots: (0..cap)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    /// Appends one span (single writer). Returns `true` when the append
+    /// evicted an older span (ring overflow).
+    #[inline]
+    pub(crate) fn record(&self, kind: SpanKind, tag: TraceTag, t_ns: u64, a: u64, b: u64) -> bool {
+        let n = self.written.load(Ordering::Relaxed);
+        let slot = &self.slots[(n & self.mask) as usize];
+        slot[0].store((t_ns << 8) | kind as u64, Ordering::Relaxed);
+        slot[1].store(tag, Ordering::Relaxed);
+        slot[2].store(a, Ordering::Relaxed);
+        slot[3].store(b, Ordering::Relaxed);
+        self.written.store(n.wrapping_add(1), Ordering::Release);
+        n > self.mask
+    }
+
+    /// Decodes the retained window, oldest first. Lossy under concurrent
+    /// writes, exact when the writer has stopped.
+    pub(crate) fn dump(&self, shard: usize) -> Vec<TraceSpan> {
+        let cap = self.mask + 1;
+        for _ in 0..4 {
+            let n1 = self.written.load(Ordering::Acquire);
+            let start = n1.saturating_sub(cap);
+            let mut out = Vec::with_capacity((n1 - start) as usize);
+            for seq in start..n1 {
+                let slot = &self.slots[(seq & self.mask) as usize];
+                let w0 = slot[0].load(Ordering::Relaxed);
+                let tag = slot[1].load(Ordering::Relaxed);
+                let a = slot[2].load(Ordering::Relaxed);
+                let b = slot[3].load(Ordering::Relaxed);
+                if let Some(kind) = SpanKind::from_u8((w0 & 0xFF) as u8) {
+                    out.push(TraceSpan {
+                        shard,
+                        kind,
+                        tag,
+                        t_ns: w0 >> 8,
+                        a,
+                        b,
+                    });
+                }
+            }
+            fence(Ordering::Acquire);
+            let n2 = self.written.load(Ordering::Acquire);
+            if n2 == n1 {
+                return out;
+            }
+            let advanced = (n2 - n1) as usize;
+            if advanced < out.len() {
+                out.drain(..advanced);
+            } else {
+                out.clear();
+            }
+            if !out.is_empty() {
+                return out;
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Per-hop statistics inside one propagation tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HopStats {
+    /// Hop depth (1 = the envelope spawned directly by the ingest).
+    pub hop: u8,
+    /// Tagged envelopes counted sent at this depth.
+    pub sent: u64,
+    /// Tagged envelopes processed at this depth.
+    pub processed: u64,
+    /// Tagged envelopes absorbed by sender-side coalescing.
+    pub absorbed: u64,
+    /// Tagged envelopes retired by dominance filtering.
+    pub dominated: u64,
+    /// Tagged envelopes suppressed before sending.
+    pub suppressed: u64,
+    /// Tagged envelopes re-processed during WAL replay.
+    pub replayed: u64,
+    /// Earliest send timestamp at this depth (ns since engine start; 0
+    /// when no send was observed).
+    pub first_send_ns: u64,
+    /// Earliest processing timestamp at this depth (0 when none).
+    pub first_process_ns: u64,
+    /// First-send → first-process latency at this depth: lane/channel
+    /// transit plus queueing (0 when either side is missing).
+    pub transit_ns: u64,
+}
+
+/// One reconstructed propagation tree: everything a sampled external
+/// update caused, across all shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropagationTrace {
+    /// Trace id (unique per engine run).
+    pub id: u64,
+    /// Shard that ingested the root topology event.
+    pub root_shard: usize,
+    /// Root topology event endpoints.
+    pub src: VertexId,
+    pub dst: VertexId,
+    /// Root ingest timestamp (ns since engine start).
+    pub started_ns: u64,
+    /// Per-hop breakdown, ascending hop depth.
+    pub hops: Vec<HopStats>,
+    /// Deepest hop observed (hops to fixpoint).
+    pub depth: u8,
+    /// Envelopes this update caused (count of `Send` spans) — the
+    /// per-update amplification factor.
+    pub amplification: u64,
+    /// Envelopes processed on behalf of this trace.
+    pub processed: u64,
+    /// Branches closed by coalescing absorption.
+    pub absorbed: u64,
+    /// Branches closed by dominance retirement.
+    pub dominated: u64,
+    /// Branches closed by sender-side suppression.
+    pub suppressed: u64,
+    /// Envelopes re-processed during WAL replay (marked, not
+    /// double-counted in `amplification`).
+    pub replayed: u64,
+    /// Sends whose destination was a different shard.
+    pub cross_shard_hops: u64,
+    /// Sends that crossed NUMA nodes (both ends pinned).
+    pub cross_numa_hops: u64,
+    /// Root ingest → last observed span (ns): the update's propagation
+    /// wall time.
+    pub fixpoint_ns: u64,
+}
+
+/// Rebuilds propagation trees from the harvested span rings. Traces
+/// whose `Root` span was evicted by ring overflow are dropped whole (see
+/// the module docs for the overflow policy). Returned ascending by root
+/// timestamp.
+pub(crate) fn reconstruct(spans: &[TraceSpan]) -> Vec<PropagationTrace> {
+    use std::collections::HashMap;
+    let mut by_id: HashMap<u64, Vec<&TraceSpan>> = HashMap::new();
+    for s in spans {
+        by_id.entry(trace_id(s.tag)).or_default().push(s);
+    }
+    let mut out = Vec::new();
+    for (id, group) in by_id {
+        let Some(root) = group.iter().find(|s| s.kind == SpanKind::Root) else {
+            continue;
+        };
+        let mut t = PropagationTrace {
+            id,
+            root_shard: root.shard,
+            src: root.a,
+            dst: root.b,
+            started_ns: root.t_ns,
+            hops: Vec::new(),
+            depth: 0,
+            amplification: 0,
+            processed: 0,
+            absorbed: 0,
+            dominated: 0,
+            suppressed: 0,
+            replayed: 0,
+            cross_shard_hops: 0,
+            cross_numa_hops: 0,
+            fixpoint_ns: 0,
+        };
+        let mut hops: HashMap<u8, HopStats> = HashMap::new();
+        let mut last_ns = root.t_ns;
+        for s in &group {
+            last_ns = last_ns.max(s.t_ns);
+            let hop = hop_of(s.tag);
+            if s.kind == SpanKind::Root {
+                continue;
+            }
+            t.depth = t.depth.max(hop);
+            let h = hops.entry(hop).or_insert_with(|| HopStats {
+                hop,
+                ..Default::default()
+            });
+            match s.kind {
+                SpanKind::Send => {
+                    t.amplification += 1;
+                    h.sent += 1;
+                    if h.first_send_ns == 0 || s.t_ns < h.first_send_ns {
+                        h.first_send_ns = s.t_ns;
+                    }
+                    let dest = (s.b & 0xFFFF_FFFF) as usize;
+                    if dest != s.shard {
+                        t.cross_shard_hops += 1;
+                    }
+                    if s.b & (1 << 32) != 0 {
+                        t.cross_numa_hops += 1;
+                    }
+                }
+                SpanKind::Process => {
+                    t.processed += 1;
+                    h.processed += 1;
+                    if h.first_process_ns == 0 || s.t_ns < h.first_process_ns {
+                        h.first_process_ns = s.t_ns;
+                    }
+                }
+                SpanKind::Absorb => {
+                    t.absorbed += 1;
+                    h.absorbed += 1;
+                }
+                SpanKind::Dominate => {
+                    t.dominated += 1;
+                    h.dominated += 1;
+                }
+                SpanKind::Suppress => {
+                    t.suppressed += 1;
+                    h.suppressed += 1;
+                }
+                SpanKind::Replay => {
+                    t.replayed += 1;
+                    h.replayed += 1;
+                    if h.first_process_ns == 0 || s.t_ns < h.first_process_ns {
+                        h.first_process_ns = s.t_ns;
+                    }
+                }
+                SpanKind::Root => unreachable!("filtered above"),
+            }
+        }
+        let mut hops: Vec<HopStats> = hops.into_values().collect();
+        hops.sort_by_key(|h| h.hop);
+        for h in &mut hops {
+            if h.first_send_ns != 0 && h.first_process_ns != 0 {
+                h.transit_ns = h.first_process_ns.saturating_sub(h.first_send_ns);
+            }
+        }
+        t.hops = hops;
+        t.fixpoint_ns = last_ns.saturating_sub(root.t_ns);
+        out.push(t);
+    }
+    out.sort_by_key(|t| (t.started_ns, t.id));
+    out
+}
+
+/// Aggregate statistics over a set of propagation traces — what the
+/// exporters render as summary families.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Traces reconstructed.
+    pub observed: u64,
+    /// Root-to-last-span propagation wall time, one sample per trace.
+    pub fixpoint: LatencyHistogram,
+    /// Hops to fixpoint, one sample per trace (unitless; histogram
+    /// buckets reused for quantiles).
+    pub hops: LatencyHistogram,
+    /// Amplification factor (envelopes caused per update), one sample
+    /// per trace.
+    pub amplification: LatencyHistogram,
+    /// Cross-shard sends, totalled over all traces.
+    pub cross_shard_hops: u64,
+    /// Cross-NUMA sends, totalled over all traces.
+    pub cross_numa_hops: u64,
+}
+
+/// Summarizes reconstructed traces.
+pub fn summarize(traces: &[PropagationTrace]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    for t in traces {
+        s.observed += 1;
+        s.fixpoint.record(t.fixpoint_ns);
+        s.hops.record(u64::from(t.depth));
+        s.amplification.record(t.amplification);
+        s.cross_shard_hops += t.cross_shard_hops;
+        s.cross_numa_hops += t.cross_numa_hops;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_packing_roundtrips() {
+        let tag = pack(42, 3);
+        assert_eq!(trace_id(tag), 42);
+        assert_eq!(hop_of(tag), 3);
+        assert_eq!(child(0), 0, "untraced stays untraced");
+        assert_eq!(hop_of(child(tag)), 4);
+        assert_eq!(trace_id(child(tag)), 42);
+        // Saturation at depth 255.
+        let deep = pack(7, 255);
+        assert_eq!(hop_of(child(deep)), 255);
+        assert_eq!(trace_id(child(deep)), 7);
+    }
+
+    #[test]
+    fn config_defaults_off_and_masks() {
+        let c = TraceConfig::default();
+        assert!(!c.enabled);
+        assert_eq!(TraceConfig::off(), TraceConfig::default());
+        let on = TraceConfig::on();
+        assert!(on.enabled);
+        assert_eq!(on.sample_mask(), 63);
+        assert_eq!(on.with_sample_shift(0).sample_mask(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_and_reports_drops() {
+        let r = SpanRing::new(64);
+        for i in 0..64u64 {
+            assert!(!r.record(SpanKind::Send, pack(1, 1), i, 0, 0));
+        }
+        assert!(r.record(SpanKind::Send, pack(1, 1), 64, 0, 0), "65th evicts");
+        let dump = r.dump(0);
+        assert_eq!(dump.len(), 64);
+        assert_eq!(dump[0].t_ns, 1, "oldest surviving span");
+        assert_eq!(dump[63].t_ns, 64);
+    }
+
+    #[test]
+    fn reconstruct_builds_tree_and_drops_rootless() {
+        let spans = vec![
+            TraceSpan {
+                shard: 0,
+                kind: SpanKind::Root,
+                tag: pack(5, 0),
+                t_ns: 100,
+                a: 7,
+                b: 9,
+            },
+            TraceSpan {
+                shard: 0,
+                kind: SpanKind::Send,
+                tag: pack(5, 1),
+                t_ns: 110,
+                a: 7,
+                b: 1, // dest shard 1: cross-shard
+            },
+            TraceSpan {
+                shard: 1,
+                kind: SpanKind::Process,
+                tag: pack(5, 1),
+                t_ns: 150,
+                a: 7,
+                b: 2,
+            },
+            TraceSpan {
+                shard: 1,
+                kind: SpanKind::Send,
+                tag: pack(5, 2),
+                t_ns: 160,
+                a: 9,
+                b: 1 | (1 << 32), // self-shard but cross-NUMA flagged
+            },
+            TraceSpan {
+                shard: 1,
+                kind: SpanKind::Dominate,
+                tag: pack(5, 2),
+                t_ns: 170,
+                a: 9,
+                b: 0,
+            },
+            // Rootless trace: must be dropped whole.
+            TraceSpan {
+                shard: 0,
+                kind: SpanKind::Send,
+                tag: pack(99, 1),
+                t_ns: 500,
+                a: 1,
+                b: 0,
+            },
+        ];
+        let traces = reconstruct(&spans);
+        assert_eq!(traces.len(), 1, "rootless trace dropped");
+        let t = &traces[0];
+        assert_eq!(t.id, 5);
+        assert_eq!((t.src, t.dst), (7, 9));
+        assert_eq!(t.root_shard, 0);
+        assert_eq!(t.depth, 2);
+        assert_eq!(t.amplification, 2);
+        assert_eq!(t.processed, 1);
+        assert_eq!(t.dominated, 1);
+        assert_eq!(t.cross_shard_hops, 1);
+        assert_eq!(t.cross_numa_hops, 1);
+        assert_eq!(t.fixpoint_ns, 70);
+        assert_eq!(t.hops.len(), 2);
+        assert_eq!(t.hops[0].hop, 1);
+        assert_eq!(t.hops[0].transit_ns, 40, "first send 110 -> process 150");
+        assert_eq!(t.hops[1].hop, 2);
+        // Hop depths monotone by construction of the sort.
+        assert!(t.hops.windows(2).all(|w| w[0].hop < w[1].hop));
+    }
+
+    #[test]
+    fn summarize_aggregates() {
+        let spans = vec![
+            TraceSpan {
+                shard: 0,
+                kind: SpanKind::Root,
+                tag: pack(1, 0),
+                t_ns: 10,
+                a: 0,
+                b: 1,
+            },
+            TraceSpan {
+                shard: 0,
+                kind: SpanKind::Send,
+                tag: pack(1, 1),
+                t_ns: 20,
+                a: 0,
+                b: 0,
+            },
+        ];
+        let traces = reconstruct(&spans);
+        let s = summarize(&traces);
+        assert_eq!(s.observed, 1);
+        assert_eq!(s.fixpoint.count, 1);
+        assert_eq!(s.hops.count, 1);
+        assert_eq!(s.amplification.count, 1);
+        assert!(s.amplification.quantile_ns(0.5) >= 1.0);
+    }
+}

@@ -712,6 +712,7 @@ mod tests {
             weight: 1,
             kind: EventKind::Update,
             epoch: 0,
+            tag: 0,
         }
     }
 

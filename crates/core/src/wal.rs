@@ -211,6 +211,9 @@ pub(crate) enum RawRecord {
         target: VertexId,
         visitor: VertexId,
         weight: u64,
+        /// Causal trace tag (0 = untraced) — preserved so replayed
+        /// envelopes keep their trace identity (see [`crate::trace`]).
+        tag: u64,
         state: Vec<u8>,
     },
     /// A topology event pulled from an input stream, with the epoch it
@@ -319,6 +322,7 @@ impl ShardWal {
     }
 
     /// Buffers one accepted-envelope record.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn append_envelope(
         &mut self,
         kind: u8,
@@ -326,6 +330,7 @@ impl ShardWal {
         target: VertexId,
         visitor: VertexId,
         weight: u64,
+        tag: u64,
         state: &[u8],
     ) {
         let start = self.begin_frame();
@@ -335,6 +340,7 @@ impl ShardWal {
         put_u64(&mut self.buf, target);
         put_u64(&mut self.buf, visitor);
         put_u64(&mut self.buf, weight);
+        put_u64(&mut self.buf, tag);
         put_bytes(&mut self.buf, state);
         self.frame(start);
     }
@@ -426,6 +432,7 @@ pub(crate) fn read_wal(root: &Path, shard: usize) -> io::Result<Vec<RawRecord>> 
                 let target = r.u64()?;
                 let visitor = r.u64()?;
                 let weight = r.u64()?;
+                let tag = r.u64()?;
                 let state = r.bytes()?.to_vec();
                 out.push(RawRecord::Envelope {
                     kind,
@@ -433,6 +440,7 @@ pub(crate) fn read_wal(root: &Path, shard: usize) -> io::Result<Vec<RawRecord>> 
                     target,
                     visitor,
                     weight,
+                    tag,
                     state,
                 });
             }
@@ -601,7 +609,7 @@ mod tests {
     fn wal_roundtrip_and_reset() {
         let root = tmp_root("roundtrip");
         let mut wal = ShardWal::open(&root, 0, false).unwrap();
-        wal.append_envelope(3, 1, 10, 20, 7, &42u64.to_le_bytes());
+        wal.append_envelope(3, 1, 10, 20, 7, (99 << 8) | 2, &42u64.to_le_bytes());
         wal.append_topo(
             &TopoEvent {
                 src: 1,
@@ -626,11 +634,12 @@ mod tests {
                 target,
                 visitor,
                 weight,
+                tag,
                 state,
             } => {
                 assert_eq!(
-                    (*kind, *epoch, *target, *visitor, *weight),
-                    (3, 1, 10, 20, 7)
+                    (*kind, *epoch, *target, *visitor, *weight, *tag),
+                    (3, 1, 10, 20, 7, (99 << 8) | 2)
                 );
                 assert_eq!(state.as_slice(), &42u64.to_le_bytes());
             }
@@ -659,7 +668,7 @@ mod tests {
     fn torn_tail_is_truncated_on_open() {
         let root = tmp_root("torn");
         let mut wal = ShardWal::open(&root, 1, false).unwrap();
-        wal.append_envelope(1, 0, 5, 6, 1, &[]);
+        wal.append_envelope(1, 0, 5, 6, 1, 0, &[]);
         wal.commit().unwrap();
         drop(wal);
         // Simulate a crash mid-append: garbage half-frame at the end.
@@ -677,7 +686,7 @@ mod tests {
         );
         assert_eq!(read_wal(&root, 1).unwrap().len(), 1);
         // Appends after recovery land where the valid prefix ended.
-        wal.append_envelope(2, 0, 7, 8, 1, &[]);
+        wal.append_envelope(2, 0, 7, 8, 1, 0, &[]);
         wal.commit().unwrap();
         assert_eq!(read_wal(&root, 1).unwrap().len(), 2);
         let _ = fs::remove_dir_all(&root);

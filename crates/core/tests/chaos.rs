@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use remo_core::{
     algorithm::codec, AlgoCtx, Algorithm, DurabilityConfig, Engine, EngineConfig, EngineError,
     FaultPlan, LatticeConfig, Partitioner, PlacementPolicy, QueryRegistry, Snapshot,
-    TelemetryConfig, TransportMode, VertexId, CHAOS_PANIC_MARKER,
+    TelemetryConfig, TraceConfig, TransportMode, VertexId, CHAOS_PANIC_MARKER,
 };
 
 /// The paper's §II-A example: count each vertex's degree. Enough to make
@@ -92,6 +92,19 @@ fn telemetry_mode() -> TelemetryConfig {
     }
 }
 
+/// `REMO_CHAOS_TRACE=1` reruns the whole suite with causal tracing at
+/// full sampling (every ingest minted a trace): fault containment,
+/// deadlines, respawn, and degraded collection must hold identically
+/// while every envelope carries a tag and every shard writes span rings.
+fn trace_mode() -> TraceConfig {
+    match std::env::var("REMO_CHAOS_TRACE").as_deref() {
+        Ok("1") => TraceConfig::on()
+            .with_sample_shift(0)
+            .with_ring_capacity(1 << 15),
+        _ => TraceConfig::off(),
+    }
+}
+
 /// First few vertex ids owned by `shard` under a `shards`-way partition.
 fn owned_by(shard: usize, shards: usize) -> Vec<VertexId> {
     let p = Partitioner::new(shards);
@@ -136,6 +149,7 @@ fn chaos_config(plan: FaultPlan) -> EngineConfig {
         transport: transport_mode(),
         telemetry: telemetry_mode(),
         placement: placement_mode(),
+        trace: trace_mode(),
         ..EngineConfig::undirected(2)
     }
 }
@@ -586,6 +600,73 @@ fn panicked_shard_respawns_and_converges_byte_identically() {
         "recovery must converge to the byte-identical fixpoint"
     );
     // The books close exactly even across the sweep/replay cycle.
+    result.metrics.verify_balance().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Chaos × tracing: a respawned shard must resume span recording into
+/// the same ring (the rings live in the telemetry plane, which survives
+/// the shard thread), replayed envelopes must surface as `Replay` spans —
+/// marked, never double-counted as fresh amplification — and the traced,
+/// recovered fixpoint must stay byte-identical to an untraced, unfaulted
+/// run. Tracing is forced on here so the default CI pass covers the
+/// trace-replay interaction; `REMO_CHAOS_TRACE=1` additionally reruns
+/// the whole suite traced.
+#[test]
+fn respawned_shard_resumes_tracing_and_marks_replays() {
+    let pairs = chain_pairs(48);
+    let want = baseline_fixpoint(&pairs);
+    let dir = durable_dir("trace-respawn");
+    // No checkpoint before the panic: everything shard 1 accepted is
+    // replayed from the WAL, so tagged envelopes are guaranteed to
+    // re-process through the Replay observation point. The panic is set
+    // late (event 40 on a 49-vertex chain): shard 1 owns only ~24
+    // vertices, so reaching its 40th processed event requires having
+    // admitted — and custody-logged, tags included — cross-shard
+    // envelopes, which is what makes Replay spans deterministic here
+    // (an early panic could land inside the initial topology pull,
+    // whose records replay untagged by design).
+    let config = durable_chaos_config(FaultPlan::panic_shard_at(1, 40), &dir, 100_000)
+        .with_tracing(
+            TraceConfig::on()
+                .with_sample_shift(0)
+                .with_ring_capacity(1 << 15),
+        );
+    let engine = Engine::new(MaxLabel, config);
+    engine.try_ingest_pairs(&pairs).unwrap();
+    let traces = {
+        engine
+            .try_await_quiescence()
+            .expect("traced recovery must quiesce clean");
+        engine.traces_now()
+    };
+    let result = engine.try_finish().expect("traced recovery must finish");
+    assert!(!result.is_degraded(), "failures: {:?}", result.failures);
+    assert_eq!(
+        fixpoint(&result.states),
+        want,
+        "tracing + recovery must not perturb the fixpoint"
+    );
+    let total = result.metrics.total();
+    assert!(total.shard_respawns >= 1, "the chaos panic must respawn");
+    assert!(total.trace_roots >= 1, "full sampling must mint roots");
+    assert!(
+        result.metrics.per_shard[1].trace_spans > 0,
+        "the respawned shard must have resumed span recording"
+    );
+    assert!(!traces.is_empty(), "the trace plane must survive the respawn");
+    let replayed: u64 = traces.iter().map(|t| t.replayed).sum();
+    assert!(
+        replayed >= 1,
+        "WAL replay of tagged envelopes must surface as Replay spans"
+    );
+    let amplification: u64 = traces.iter().map(|t| t.amplification).sum();
+    assert!(
+        amplification <= total.envelopes_sent,
+        "replays must not inflate amplification past the engine's own send count \
+         ({amplification} traced sends vs {} total)",
+        total.envelopes_sent
+    );
     result.metrics.verify_balance().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }

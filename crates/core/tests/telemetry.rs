@@ -344,6 +344,82 @@ fn json_rendering_is_well_formed() {
     assert_eq!(json.matches("\"queue_depth\":").count(), 3);
 }
 
+/// Per-shard phase accounting: with the default config every nanosecond a
+/// shard thread spends between loop laps is charged to exactly one
+/// `phase_*_ns` counter *and* to `phase_busy_ns`, so the breakdown must
+/// decompose the busy wall almost exactly (≥95% — the charge points are
+/// lockstep, so the only slack is the final partial lap). The counters
+/// flow through both exporters like every other `shard_metrics!` entry.
+#[test]
+fn phase_breakdown_decomposes_busy_wall_and_exports() {
+    let edges = edge_stream(4_000, 0x7157);
+    let engine = Engine::new(Degree, EngineConfig::undirected(2));
+    let hub = engine.telemetry();
+    engine.try_ingest_pairs(&edges).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let prom = hub.render_prometheus();
+    let json = hub.render_json();
+    let result = engine.try_finish().unwrap();
+    assert!(result.failures.is_empty());
+    result.metrics.verify_balance().unwrap();
+
+    let mut charged_shards = 0;
+    for (shard, m) in result.metrics.per_shard.iter().enumerate() {
+        if m.phase_busy_ns == 0 {
+            continue;
+        }
+        charged_shards += 1;
+        let sum = m.phase_sum_ns();
+        assert!(
+            sum as f64 >= 0.95 * m.phase_busy_ns as f64,
+            "shard {shard}: phase sum {sum}ns covers <95% of busy {}ns",
+            m.phase_busy_ns
+        );
+        // Real work happened, so the work phases can't all be zero.
+        assert!(
+            m.phase_process_ns + m.phase_drain_ns + m.phase_flush_ns > 0,
+            "shard {shard}: processed events but charged no work phase"
+        );
+    }
+    assert!(charged_shards > 0, "no shard accumulated busy time");
+
+    // Exporters carry the new counters like any other shard metric.
+    for name in [
+        "phase_drain_ns",
+        "phase_process_ns",
+        "phase_flush_ns",
+        "phase_spin_ns",
+        "phase_park_ns",
+        "phase_checkpoint_ns",
+        "phase_replay_ns",
+        "phase_busy_ns",
+    ] {
+        assert!(
+            prom.contains(&format!("remo_{name}_total{{shard=\"0\"}}")),
+            "missing Prometheus sample for {name}"
+        );
+        assert!(json.contains(&format!("\"{name}\":")), "missing JSON key {name}");
+    }
+}
+
+/// `with_phase_accounting(false)` disarms the clock entirely: every phase
+/// counter stays zero while the computation and its other counters are
+/// unaffected.
+#[test]
+fn phase_accounting_off_charges_nothing() {
+    let edges = edge_stream(1_500, 0x0ff0);
+    let config = EngineConfig::undirected(2)
+        .with_telemetry(TelemetryConfig::default().with_phase_accounting(false));
+    let engine = Engine::new(Degree, config);
+    engine.try_ingest_pairs(&edges).unwrap();
+    engine.try_await_quiescence().unwrap();
+    let result = engine.try_finish().unwrap();
+    let t = result.metrics.total();
+    assert!(t.events_processed() > 0);
+    assert_eq!(t.phase_busy_ns, 0);
+    assert_eq!(result.metrics.per_shard.iter().map(ShardMetrics::phase_sum_ns).sum::<u64>(), 0);
+}
+
 /// Derived gauges stay self-consistent with the snapshot cells and the
 /// engine's shape.
 #[test]

@@ -29,6 +29,16 @@
 //! - `REMO_DASH_PLACEMENT` — `compact` or `scatter` pins shard threads to
 //!   cores (NUMA-aware, see DESIGN.md §16); the per-shard seats show up in
 //!   the dashboard header and both scrapes (default: unpinned)
+//! - `REMO_DASH_TRACE` — `1` turns on causal update tracing
+//!   ([`TraceConfig::on`]: 1-in-64 ingest sampling, DESIGN.md §18). The
+//!   report gains a propagation-trace section — summary quantiles plus the
+//!   deepest reconstructed tree, hop by hop — and the `remo_trace_*`
+//!   families in both scrapes carry real samples (default: off)
+//!
+//! Independent of tracing, the final report always ends with a per-shard
+//! utilization table (phase accounting is on by default): each shard's
+//! busy wall decomposed into drain / process / flush / spin / park /
+//! checkpoint / replay time.
 //!
 //! Run with: `cargo run --release --example live_dashboard`
 
@@ -65,6 +75,10 @@ fn main() {
     if let Ok(dir) = std::env::var("REMO_DASH_WAL") {
         println!("durability: WAL + checkpoints under {dir}");
         config = config.with_durability(DurabilityConfig::new(dir).fsync(false));
+    }
+    if std::env::var("REMO_DASH_TRACE").as_deref() == Ok("1") {
+        println!("tracing: causal update tracing on (1-in-64 sampling)");
+        config = config.with_tracing(TraceConfig::on());
     }
     let mut pinned = false;
     match std::env::var("REMO_DASH_PLACEMENT").as_deref() {
@@ -178,6 +192,59 @@ fn drive<A: Algorithm>(engine: Engine<A>, edges: &[(u64, u64)], ticks: usize, pi
         }
     }
 
+    // The trace section, present whenever causal tracing is on: summary
+    // quantiles over every reconstructed propagation tree, then the
+    // deepest tree hop by hop — "what did update X touch, and where did
+    // its latency go" for one concrete X (DESIGN.md §18).
+    let traces = engine.traces_now();
+    if !traces.is_empty() {
+        let ts = engine.trace_summary();
+        println!("\n--- propagation traces ({} observed) ---", ts.observed);
+        println!(
+            "fixpoint p50/p99: {:.1}/{:.1} us  hops p50/p99: {:.0}/{:.0}  \
+             amplification p50/p99: {:.0}/{:.0}  cross-shard {}  cross-numa {}",
+            ts.fixpoint.quantile_ns(0.50) / 1_000.0,
+            ts.fixpoint.quantile_ns(0.99) / 1_000.0,
+            ts.hops.quantile_ns(0.50),
+            ts.hops.quantile_ns(0.99),
+            ts.amplification.quantile_ns(0.50),
+            ts.amplification.quantile_ns(0.99),
+            ts.cross_shard_hops,
+            ts.cross_numa_hops
+        );
+        if let Some(t) = traces
+            .iter()
+            .max_by_key(|t| (t.depth, t.amplification, t.id))
+        {
+            println!(
+                "deepest tree: trace {} root {}->{} @shard {}  depth {}  \
+                 amplification {}  processed {}  fixpoint {:.1} us",
+                t.id,
+                t.src,
+                t.dst,
+                t.root_shard,
+                t.depth,
+                t.amplification,
+                t.processed,
+                t.fixpoint_ns as f64 / 1_000.0
+            );
+            for h in &t.hops {
+                println!(
+                    "  hop {:>2}: sent {:>4}  processed {:>4}  absorbed {:>3}  \
+                     dominated {:>3}  suppressed {:>3}  replayed {:>3}  transit {:.1} us",
+                    h.hop,
+                    h.sent,
+                    h.processed,
+                    h.absorbed,
+                    h.dominated,
+                    h.suppressed,
+                    h.replayed,
+                    h.transit_ns as f64 / 1_000.0
+                );
+            }
+        }
+    }
+
     // One scrape of each exporter against the still-live engine — the
     // same strings a `/metrics` (Prometheus) or `/metrics.json` endpoint
     // would serve. The smoke job greps these sections.
@@ -226,5 +293,31 @@ fn drive<A: Algorithm>(engine: Engine<A>, edges: &[(u64, u64)], ticks: usize, pi
             t.replayed_records,
             t.shard_respawns
         );
+    }
+
+    // Where did each shard's wall clock go? Phase accounting is on by
+    // default; every busy nanosecond lands in exactly one phase, so the
+    // row sums to ~100% of the shard's busy wall (DESIGN.md §18).
+    if m.per_shard.iter().any(|s| s.phase_busy_ns > 0) {
+        println!("--- per-shard utilization ---");
+        println!(
+            "{:>5}  {:>9}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}",
+            "shard", "busy_ms", "drain%", "proc%", "flush%", "spin%", "park%", "ckpt%", "replay%"
+        );
+        for (i, s) in m.per_shard.iter().enumerate() {
+            let busy = s.phase_busy_ns.max(1) as f64;
+            let pct = |ns: u64| 100.0 * ns as f64 / busy;
+            println!(
+                "{i:>5}  {:>9.1}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}",
+                s.phase_busy_ns as f64 / 1e6,
+                pct(s.phase_drain_ns),
+                pct(s.phase_process_ns),
+                pct(s.phase_flush_ns),
+                pct(s.phase_spin_ns),
+                pct(s.phase_park_ns),
+                pct(s.phase_checkpoint_ns),
+                pct(s.phase_replay_ns),
+            );
+        }
     }
 }

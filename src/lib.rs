@@ -51,7 +51,7 @@ pub mod prelude {
         AdaptiveConfig, AlgoCtx, Algorithm, DurabilityConfig, Engine, EngineBuilder, EngineConfig,
         EventCtx, Pair, PlacementPolicy, QueryId, QueryRegistry, RegPayload, SequentialEngine,
         Snapshot, StorageLayout, TelemetryConfig, TelemetryHub, TerminationMode, TopoEvent,
-        TransportMode, TriggerFire, VertexId, Weight,
+        TraceConfig, TransportMode, TriggerFire, VertexId, Weight,
     };
     pub use remo_gen::{Dataset, RmatConfig};
 }
